@@ -1,0 +1,76 @@
+"""Ablation benchmarks for the design choices listed in DESIGN.md §7.
+
+These quantify the sensitivity of the reproduction to its modelling and
+algorithmic choices: CSD vs binary multipliers, input bit-width, clustering
+granularity, and QAT vs PTQ.
+"""
+
+import pytest
+
+from benchlib import bench_config
+from repro.experiments import (
+    clustering_granularity,
+    csd_vs_binary,
+    input_bitwidth_sensitivity,
+    qat_vs_ptq,
+)
+
+CONFIG = bench_config("whitewine")
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_ablation_csd_vs_binary(benchmark, print_rows):
+    """CSD recoding vs naive binary shift-add constant multipliers."""
+    result = benchmark.pedantic(
+        csd_vs_binary, kwargs={"dataset": "whitewine", "config": CONFIG}, rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(result.values)
+    print_rows(result.format_rows())
+    assert result.values["binary_over_csd"] >= 1.0
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_ablation_input_bitwidth(benchmark, print_rows):
+    """Baseline area as a function of the input bit-width (3-6 bits)."""
+    result = benchmark.pedantic(
+        input_bitwidth_sensitivity,
+        kwargs={"dataset": "whitewine", "input_bit_range": (3, 4, 5, 6), "config": CONFIG},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(result.values)
+    print_rows(result.format_rows())
+    areas = [result.values[f"input_bits_{bits}"] for bits in (3, 4, 5, 6)]
+    assert areas == sorted(areas)
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_ablation_clustering_granularity(benchmark, print_rows):
+    """Per-input-position clustering (paper) vs one codebook per layer."""
+    result = benchmark.pedantic(
+        clustering_granularity,
+        kwargs={"dataset": "whitewine", "n_clusters": 4, "config": CONFIG},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(result.values)
+    print_rows(result.format_rows())
+    # Per-position clustering is what enables product sharing, so it must not
+    # give a larger circuit than the whole-layer variant.
+    assert result.values["per_position_area"] <= result.values["whole_layer_area"] * 1.05
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_ablation_qat_vs_ptq(benchmark, print_rows):
+    """Accuracy of QAT vs post-training quantization at 2-4 bits."""
+    result = benchmark.pedantic(
+        qat_vs_ptq,
+        kwargs={"dataset": "whitewine", "bit_range": (2, 3, 4), "config": CONFIG},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(result.values)
+    print_rows(result.format_rows())
+    # QAT recovers accuracy at the lowest precision (the reason the paper
+    # retrains with QKeras rather than quantizing post hoc).
+    assert result.values["qat_2b_accuracy"] >= result.values["ptq_2b_accuracy"] - 0.02

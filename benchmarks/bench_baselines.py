@@ -1,0 +1,42 @@
+"""Baseline bespoke-classifier benchmark (experiment E4 in DESIGN.md).
+
+Reproduces the role of Mubarik et al. [1] in the paper: the un-minimized
+bespoke MLP of every dataset, synthesized with 8-bit weights / 4-bit inputs
+on the EGT library. These are the designs all Figure-1/2 results are
+normalized against.
+"""
+
+import pytest
+
+from benchlib import bench_config
+from repro.experiments import baseline_for
+
+
+DATASETS = ("whitewine", "redwine", "pendigits", "seeds")
+
+
+def _run_baselines():
+    return {name: baseline_for(name, config=bench_config(name)) for name in DATASETS}
+
+
+@pytest.mark.benchmark(group="baselines", min_rounds=1, max_time=1.0, warmup=False)
+def test_baseline_table(benchmark, print_rows):
+    table = benchmark.pedantic(_run_baselines, rounds=1, iterations=1)
+    print_rows([row.format() for row in table.values()])
+    for name, row in table.items():
+        benchmark.extra_info[name] = {
+            "accuracy": row.accuracy,
+            "area_mm2": row.area,
+            "power_uw": row.power,
+            "n_multipliers": row.n_multipliers,
+            "total_gates": row.total_gates,
+        }
+
+    # Baseline sanity: bigger classifiers occupy more area, every baseline
+    # reaches a sensible accuracy for its dataset.
+    assert table["pendigits"].area > table["seeds"].area
+    assert table["whitewine"].area > table["seeds"].area
+    assert table["seeds"].accuracy > 0.8
+    assert table["pendigits"].accuracy > 0.85
+    assert table["whitewine"].accuracy > 0.45
+    assert table["redwine"].accuracy > 0.45

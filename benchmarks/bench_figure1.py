@@ -1,0 +1,64 @@
+"""Figure 1 reproduction benchmarks (experiments E1a-E1d in DESIGN.md).
+
+One benchmark per panel: the accuracy/area Pareto fronts of quantization,
+pruning and weight clustering on WhiteWine, RedWine, Pendigits and Seeds,
+normalized to the un-minimized bespoke baseline.
+"""
+
+import pytest
+
+from benchlib import bench_config
+from repro.experiments import run_figure1_panel
+
+
+def _run_panel(dataset):
+    return run_figure1_panel(dataset, config=bench_config(dataset))
+
+
+def _record(benchmark, panel, print_rows):
+    benchmark.extra_info["dataset"] = panel.dataset
+    benchmark.extra_info["baseline_accuracy"] = panel.sweep.baseline.accuracy
+    benchmark.extra_info["baseline_area_mm2"] = panel.sweep.baseline.area
+    benchmark.extra_info["area_gain_at_5pct_loss"] = {
+        technique: gain for technique, gain in panel.area_gains.items()
+    }
+    print_rows(panel.format_rows())
+    print_rows(
+        [
+            f"gain@5%loss {technique:<13} "
+            + (f"{gain:.2f}x" if gain is not None else "not reached")
+            for technique, gain in panel.area_gains.items()
+        ]
+    )
+
+
+@pytest.mark.benchmark(group="figure1", min_rounds=1, max_time=1.0, warmup=False)
+def test_fig1_whitewine(benchmark, print_rows):
+    """Figure 1(a): WhiteWine standalone Pareto fronts."""
+    panel = benchmark.pedantic(_run_panel, args=("whitewine",), rounds=1, iterations=1)
+    _record(benchmark, panel, print_rows)
+    assert panel.area_gains["quantization"] is not None
+
+
+@pytest.mark.benchmark(group="figure1", min_rounds=1, max_time=1.0, warmup=False)
+def test_fig1_redwine(benchmark, print_rows):
+    """Figure 1(b): RedWine standalone Pareto fronts."""
+    panel = benchmark.pedantic(_run_panel, args=("redwine",), rounds=1, iterations=1)
+    _record(benchmark, panel, print_rows)
+    assert panel.area_gains["quantization"] is not None
+
+
+@pytest.mark.benchmark(group="figure1", min_rounds=1, max_time=1.0, warmup=False)
+def test_fig1_pendigits(benchmark, print_rows):
+    """Figure 1(c): Pendigits standalone Pareto fronts."""
+    panel = benchmark.pedantic(_run_panel, args=("pendigits",), rounds=1, iterations=1)
+    _record(benchmark, panel, print_rows)
+    assert panel.area_gains["quantization"] is not None
+
+
+@pytest.mark.benchmark(group="figure1", min_rounds=1, max_time=1.0, warmup=False)
+def test_fig1_seeds(benchmark, print_rows):
+    """Figure 1(d): Seeds standalone Pareto fronts."""
+    panel = benchmark.pedantic(_run_panel, args=("seeds",), rounds=1, iterations=1)
+    _record(benchmark, panel, print_rows)
+    assert panel.area_gains["quantization"] is not None

@@ -1,0 +1,56 @@
+"""Power / energy / battery-lifetime benchmark (supporting analysis).
+
+The paper's evaluation reports area, but its motivation is equally about
+power ("operate under tight battery requirements"). This benchmark measures
+the power and energy side of the same designs the Figure-1 quantization
+sweep produces on WhiteWine: power gain, energy-per-inference gain, and the
+printed-battery lifetime at a 1 Hz classification rate, for the best design
+within the 5 % accuracy-loss budget.
+"""
+
+import pytest
+
+from benchlib import bench_config
+from repro.core import MinimizationPipeline, best_area_gain_at_loss
+from repro.hardware import battery_life_comparison, energy_gain, energy_per_inference
+
+
+def _run_power_study():
+    pipeline = MinimizationPipeline(bench_config("whitewine"))
+    prepared = pipeline.prepare()
+    points = pipeline.run_technique("quantization")
+    baseline_report = prepared.baseline_point.report
+
+    best = best_area_gain_at_loss(points, prepared.baseline_point, 0.05)
+    best_point = next(
+        p
+        for p in points
+        if p.parameters == best.parameters and p.technique == best.technique
+    )
+    gains = energy_gain(best_point.report, baseline_report)
+    battery = battery_life_comparison(
+        best_point.report, baseline_report, inferences_per_second=1.0
+    )
+    return {
+        "baseline_power_uw": baseline_report.power,
+        "baseline_energy_uj": energy_per_inference(baseline_report),
+        "best_weight_bits": best.parameters.get("weight_bits"),
+        "power_gain": gains["power_gain"],
+        "energy_gain": gains["energy_gain"],
+        "baseline_battery_hours": battery["baseline_hours"],
+        "minimized_battery_hours": battery["minimized_hours"],
+        "battery_lifetime_gain": battery["lifetime_gain"],
+    }
+
+
+@pytest.mark.benchmark(group="power", min_rounds=1, max_time=1.0, warmup=False)
+def test_power_and_battery_life(benchmark, print_rows):
+    study = benchmark.pedantic(_run_power_study, rounds=1, iterations=1)
+    benchmark.extra_info.update(study)
+    print_rows([f"{key:<26} {value}" for key, value in study.items()])
+
+    # Power and energy follow area in a bespoke design: the quantized design
+    # within the accuracy budget must also be the more power-efficient one.
+    assert study["power_gain"] > 1.5
+    assert study["energy_gain"] > 1.5
+    assert study["battery_lifetime_gain"] > 1.5

@@ -1,0 +1,61 @@
+"""Fault-tolerance benchmark (extension study beyond the paper).
+
+Printed fabrication is defect-prone; a fair comparison of baseline vs
+minimized bespoke classifiers should check that the area savings do not come
+at the cost of robustness. This benchmark injects open-connection defects at
+a 5 % rate into the Seeds baseline and into its 4-bit quantized + 40 %
+pruned counterpart and compares the accuracy degradation.
+"""
+
+import pytest
+
+from benchlib import bench_config
+from repro.core import MinimizationPipeline
+from repro.pruning import prune_by_magnitude
+from repro.quantization import QATConfig, quantize_aware_train
+from repro.reliability import FaultInjectionConfig, compare_fault_tolerance
+
+
+def _run_reliability_study():
+    pipeline = MinimizationPipeline(bench_config("seeds"))
+    prepared = pipeline.prepare()
+    data = prepared.data
+
+    minimized = prepared.baseline_model.clone()
+    prune_by_magnitude(minimized, 0.4)
+    quantize_aware_train(minimized, data, QATConfig(weight_bits=4, epochs=8), seed=0)
+
+    campaign = FaultInjectionConfig(
+        fault_rate=0.05, fault_model="open", weight_bits=8, n_trials=15, seed=0
+    )
+    comparison = compare_fault_tolerance(
+        {"baseline": prepared.baseline_model, "minimized": minimized},
+        data.test.features,
+        data.test.labels,
+        campaign,
+    )
+    return {name: result.as_dict() for name, result in comparison.items()}
+
+
+@pytest.mark.benchmark(group="reliability", min_rounds=1, max_time=1.0, warmup=False)
+def test_fault_tolerance_baseline_vs_minimized(benchmark, print_rows):
+    study = benchmark.pedantic(_run_reliability_study, rounds=1, iterations=1)
+    benchmark.extra_info.update(study)
+    print_rows(
+        [
+            f"{name:<10} fault-free={entry['fault_free_accuracy']:.3f} "
+            f"mean={entry['mean_accuracy']:.3f} worst={entry['worst_accuracy']:.3f} "
+            f"drop={entry['mean_accuracy_drop']:.3f}"
+            for name, entry in study.items()
+        ]
+    )
+
+    # Both designs must stay functional under a 5 % defect rate, and the
+    # minimized design's extra degradation must stay moderate (it has fewer
+    # redundant connections, so some extra sensitivity is expected).
+    assert study["baseline"]["mean_accuracy"] > 0.6
+    assert study["minimized"]["mean_accuracy"] > 0.6
+    extra_drop = (
+        study["minimized"]["mean_accuracy_drop"] - study["baseline"]["mean_accuracy_drop"]
+    )
+    assert extra_drop < 0.25

@@ -1,0 +1,53 @@
+"""Headline-number benchmark (experiment E3 in DESIGN.md).
+
+Recomputes the four numbers quoted in the paper's evaluation text — average
+area gain at <=5 % accuracy loss for quantization (paper: ~5x), pruning
+(~2.8x), clustering (~3.5x) and the GA combination (up to 8x, WhiteWine) —
+and reports measured vs paper values.
+"""
+
+import pytest
+
+from benchlib import FULL, bench_config
+from repro.experiments import run_figure1_panel, run_figure2, summarize_sweeps
+from repro.search import GAConfig
+
+
+def _run_summary():
+    datasets = ("whitewine", "redwine", "pendigits", "seeds")
+    panels = {name: run_figure1_panel(name, config=bench_config(name)) for name in datasets}
+    ga_config = (
+        GAConfig()
+        if FULL
+        else GAConfig(population_size=12, n_generations=6, finetune_epochs=6, seed=0)
+    )
+    combined = run_figure2(
+        "whitewine", config=bench_config("whitewine"), ga_config=ga_config
+    )
+    sweeps = {name: panel.sweep for name, panel in panels.items()}
+    return summarize_sweeps(sweeps, combined)
+
+
+@pytest.mark.benchmark(group="summary", min_rounds=1, max_time=1.0, warmup=False)
+def test_headline_area_gains(benchmark, print_rows):
+    summary = benchmark.pedantic(_run_summary, rounds=1, iterations=1)
+    benchmark.extra_info["measured"] = dict(summary.measured)
+    benchmark.extra_info["paper"] = dict(summary.paper)
+    benchmark.extra_info["per_dataset"] = {
+        dataset: gains for dataset, gains in summary.per_dataset.items()
+    }
+    print_rows(summary.format_rows())
+    for dataset, gains in summary.per_dataset.items():
+        print_rows(
+            [
+                f"  {dataset:<12} {technique:<13} "
+                + (f"{gain:.2f}x" if gain is not None else "not reached")
+                for technique, gain in gains.items()
+            ]
+        )
+
+    # Shape checks: quantization is the strongest standalone technique and
+    # the combined search reaches the largest gain overall.
+    measured = summary.measured
+    assert measured["quantization"] > measured["pruning"]
+    assert measured["combined"] >= measured["quantization"] * 0.8

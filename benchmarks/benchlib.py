@@ -1,0 +1,29 @@
+"""Shared configuration helpers for the benchmark harness.
+
+See ``benchmarks/conftest.py`` for the fixtures; this module holds the plain
+functions/constants the benchmark files import directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core import PipelineConfig
+
+#: Set REPRO_FULL_BENCH=1 to run the paper-faithful (slower) settings.
+FULL = os.environ.get("REPRO_FULL_BENCH", "0") == "1"
+
+
+def bench_config(dataset: str) -> PipelineConfig:
+    """Pipeline configuration used by the benchmark harness for one dataset."""
+    if FULL:
+        return PipelineConfig(dataset=dataset)
+    return PipelineConfig(
+        dataset=dataset,
+        seed=0,
+        finetune_epochs=8,
+        bit_range=(2, 3, 4, 5, 6, 7),
+        sparsity_range=(0.2, 0.3, 0.4, 0.5, 0.6),
+        cluster_range=(2, 3, 4, 6, 8),
+        n_samples=None if dataset == "seeds" else 1200,
+    )

@@ -1,0 +1,24 @@
+"""Fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's reported artefacts (Figure 1
+panels, Figure 2, the headline gains, the baseline table) or one ablation
+from DESIGN.md section 7. Results are attached to pytest-benchmark's
+``extra_info`` so that ``--benchmark-json`` output contains both the timing
+and the reproduced numbers, and the key rows are printed so ``-s`` shows them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def print_rows():
+    """Helper printing experiment rows beneath the benchmark output."""
+
+    def _print(rows):
+        print()
+        for row in rows:
+            print(row)
+
+    return _print

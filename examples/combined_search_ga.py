@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 2: hardware-aware GA combining all three minimizations.
+
+The NSGA-II searches over per-layer weight bit-widths, sparsity levels and
+cluster budgets; every candidate is fine-tuned briefly and synthesized with
+the bespoke EGT area model. The combined Pareto front is printed next to the
+standalone fronts, together with the winning configuration at the 5 %
+accuracy-loss budget (the paper reports up to 8x area gain there).
+
+Run with::
+
+    python examples/combined_search_ga.py                 # WhiteWine, as in the paper
+    python examples/combined_search_ga.py --dataset seeds
+    python examples/combined_search_ga.py --generations 12 --population 20
+"""
+
+import argparse
+
+from repro.core import PipelineConfig
+from repro.experiments import run_figure2
+from repro.search import GAConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="whitewine", help="dataset to search on")
+    parser.add_argument("--population", type=int, default=16, help="GA population size")
+    parser.add_argument("--generations", type=int, default=8, help="GA generations")
+    parser.add_argument("--finetune-epochs", type=int, default=6,
+                        help="fine-tuning epochs inside each fitness evaluation")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = PipelineConfig(dataset=args.dataset, seed=args.seed)
+    ga_config = GAConfig(
+        population_size=args.population,
+        n_generations=args.generations,
+        finetune_epochs=args.finetune_epochs,
+        seed=args.seed,
+    )
+    result = run_figure2(args.dataset, config=config, ga_config=ga_config)
+
+    print()
+    for row in result.format_rows():
+        print(row)
+
+    print(f"\nGA evaluations      : {result.ga_result.n_evaluations}")
+    print("generation progress :")
+    for entry in result.ga_result.generations:
+        print(
+            f"  gen {int(entry['generation']):>2}  front={int(entry['front_size'])}  "
+            f"best_gain={entry['best_area_gain']:.2f}x  best_acc={entry['best_accuracy']:.3f}"
+        )
+
+    best = result.ga_result.best_area_within_loss(result.sweep.baseline, max_loss=0.05)
+    if best is not None:
+        print("\nbest combined design within the 5 % loss budget:")
+        print(f"  accuracy     : {best.accuracy:.3f} "
+              f"(baseline {result.sweep.baseline.accuracy:.3f})")
+        print(f"  area         : {best.area:.2f} mm^2 "
+              f"({result.sweep.baseline.area / best.area:.2f}x gain)")
+        print(f"  weight bits  : {best.parameters['weight_bits']}")
+        print(f"  sparsity     : {best.parameters['sparsity']}")
+        print(f"  clusters     : {best.parameters['clusters']}")
+    else:
+        print("\nno combined design met the 5 % loss budget with this GA budget")
+
+
+if __name__ == "__main__":
+    main()

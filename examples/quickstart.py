@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: train a printed MLP classifier, synthesize it, and minimize it.
+
+This walks through the core loop of the paper on the WhiteWine classifier:
+
+1. load the dataset and prepare it for fixed-point bespoke inference,
+2. train the float baseline MLP,
+3. synthesize the un-minimized bespoke circuit (the paper's baseline [1]),
+4. apply 4-bit quantization-aware training and re-synthesize,
+5. report the accuracy/area trade-off.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.bespoke import BespokeConfig, synthesize
+from repro.datasets import get_classifier_spec, load_dataset, prepare_split, train_val_test_split
+from repro.nn import build_mlp, train_classifier
+from repro.quantization import QATConfig, quantize_aware_train
+
+
+def main() -> None:
+    # 1. Data: min-max scaled and quantized to the 4-bit printed-ADC grid.
+    dataset = load_dataset("whitewine")
+    spec = get_classifier_spec("whitewine")
+    split = train_val_test_split(dataset, seed=0)
+    data = prepare_split(split, input_bits=spec.input_bits)
+    print(f"dataset: {dataset.name}  ({dataset.n_samples} samples, "
+          f"{dataset.n_features} features, {dataset.n_classes} classes)")
+
+    # 2. Train the float baseline (the topology used by the printed-classifier literature).
+    model = build_mlp(dataset.n_features, spec.hidden_layers, dataset.n_classes, seed=0)
+    train_classifier(
+        model,
+        data.train.features,
+        data.train.labels,
+        data.validation.features,
+        data.validation.labels,
+        epochs=spec.epochs,
+        batch_size=spec.batch_size,
+        learning_rate=spec.learning_rate,
+        seed=0,
+    )
+    baseline_accuracy = model.evaluate_accuracy(data.test.features, data.test.labels)
+
+    # 3. Synthesize the un-minimized bespoke baseline (8-bit weights, 4-bit inputs).
+    baseline_report = synthesize(
+        model,
+        config=BespokeConfig(input_bits=4, weight_bits=spec.baseline_weight_bits),
+        name="whitewine_baseline",
+    )
+    print("\n=== un-minimized bespoke baseline ===")
+    print(baseline_report.format_summary())
+    print(f"test accuracy     : {baseline_accuracy:.3f}")
+
+    # 4. Quantize to 4-bit weights with QAT and re-synthesize.
+    quantized = model.clone()
+    quantize_aware_train(quantized, data, QATConfig(weight_bits=4, epochs=20), seed=0)
+    quantized_accuracy = quantized.evaluate_accuracy(data.test.features, data.test.labels)
+    quantized_report = synthesize(
+        quantized,
+        config=BespokeConfig(input_bits=4, weight_bits=4),
+        name="whitewine_q4",
+    )
+    print("\n=== 4-bit quantized bespoke design ===")
+    print(quantized_report.format_summary(baseline_report))
+    print(f"test accuracy     : {quantized_accuracy:.3f}")
+
+    # 5. The paper's headline quantities.
+    gain = quantized_report.area_gain(baseline_report)
+    relative_loss = 1.0 - quantized_accuracy / baseline_accuracy
+    print("\n=== trade-off ===")
+    print(f"area gain         : {gain:.2f}x")
+    print(f"accuracy loss     : {relative_loss * 100:.1f} % (relative to baseline)")
+
+
+if __name__ == "__main__":
+    main()

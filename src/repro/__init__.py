@@ -1,0 +1,77 @@
+"""repro — Hardware-Aware Automated Neural Minimization for Printed MLPs.
+
+A from-scratch reproduction of Kokkinis et al., DATE 2023: quantization,
+unstructured pruning and per-input-position weight clustering applied to
+bespoke (hard-wired coefficient) printed MLP classifiers, with an analytical
+EGT area/power model standing in for the commercial synthesis flow, and a
+hardware-aware NSGA-II combining all three techniques.
+
+Quickstart::
+
+    from repro import MinimizationPipeline, PipelineConfig
+
+    pipeline = MinimizationPipeline(PipelineConfig(dataset="whitewine"))
+    sweep = pipeline.run()                 # Figure-1 style sweeps
+    print(pipeline.area_gains(sweep))      # area gain at <=5 % accuracy loss
+
+Sub-packages:
+
+* :mod:`repro.nn` — NumPy MLP training framework.
+* :mod:`repro.datasets` — synthetic UCI stand-ins and preprocessing.
+* :mod:`repro.hardware` — EGT technology library and arithmetic cost models.
+* :mod:`repro.bespoke` — bespoke circuit generation and synthesis reports.
+* :mod:`repro.quantization` / :mod:`repro.pruning` / :mod:`repro.clustering`
+  — the three minimization techniques.
+* :mod:`repro.core` — design points, Pareto analysis, the evaluation pipeline.
+* :mod:`repro.search` — the hardware-aware genetic algorithm.
+* :mod:`repro.experiments` — Figure/Table reproduction drivers.
+"""
+
+from .bespoke import BespokeConfig, SynthesisReport, synthesize, synthesize_baseline
+from .core import (
+    DesignPoint,
+    MinimizationPipeline,
+    NormalizedPoint,
+    PipelineConfig,
+    SweepResult,
+    area_gain_table,
+    best_area_gain_at_loss,
+    evaluate_dataset,
+    fast_config,
+    pareto_front,
+)
+from .datasets import load_dataset, prepare_split, train_val_test_split
+from .hardware import egt_library, get_technology
+from .nn import MLP, build_mlp, train_classifier
+from .search import GAConfig, HardwareAwareGA, run_combined_search
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BespokeConfig",
+    "DesignPoint",
+    "GAConfig",
+    "HardwareAwareGA",
+    "MLP",
+    "MinimizationPipeline",
+    "NormalizedPoint",
+    "PipelineConfig",
+    "SweepResult",
+    "SynthesisReport",
+    "__version__",
+    "area_gain_table",
+    "best_area_gain_at_loss",
+    "build_mlp",
+    "egt_library",
+    "evaluate_dataset",
+    "fast_config",
+    "get_technology",
+    "load_dataset",
+    "pareto_front",
+    "prepare_split",
+    "run_combined_search",
+    "synthesize",
+    "synthesize_baseline",
+    "train_classifier",
+    "train_val_test_split",
+]

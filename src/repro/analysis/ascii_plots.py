@@ -1,0 +1,101 @@
+"""ASCII rendering of accuracy/area trade-off plots.
+
+A text-mode stand-in for the paper's Figure 1/2 panels: design points are
+scattered on a normalized-accuracy (y) vs normalized-area (x) grid, one
+marker character per technique, with the baseline at (1.0, 1.0). Useful in
+terminals, CI logs, and the examples — anywhere matplotlib is unavailable
+(this repository is intentionally NumPy-only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.results import DesignPoint, SweepResult
+
+#: Marker characters per technique (baseline rendered as ``B``).
+TECHNIQUE_MARKERS: Dict[str, str] = {
+    "baseline": "B",
+    "quantization": "q",
+    "pruning": "p",
+    "clustering": "c",
+    "combined": "*",
+}
+
+
+def scatter_plot(
+    points: Sequence[DesignPoint],
+    baseline: DesignPoint,
+    width: int = 64,
+    height: int = 20,
+    title: Optional[str] = None,
+) -> str:
+    """Render design points as an ASCII scatter plot on normalized axes.
+
+    Args:
+        points: the design points to plot (any techniques).
+        baseline: normalization reference; plotted as ``B`` at (1, 1).
+        width: plot width in characters (x axis: normalized area, 0..1.05).
+        height: plot height in characters (y axis: normalized accuracy).
+        title: optional title line.
+    """
+    if width < 20 or height < 8:
+        raise ValueError("width must be >= 20 and height >= 8")
+    if baseline.area <= 0 or baseline.accuracy <= 0:
+        raise ValueError("baseline area and accuracy must be positive")
+
+    normalized = [
+        (p.area / baseline.area, p.accuracy / baseline.accuracy, p.technique) for p in points
+    ]
+    normalized.append((1.0, 1.0, "baseline"))
+
+    x_max = 1.05
+    y_values = [y for _, y, _ in normalized]
+    y_min = min(min(y_values) - 0.02, 0.9)
+    y_max = max(max(y_values) + 0.02, 1.02)
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for x, y, technique in normalized:
+        column = int(round(min(max(x, 0.0), x_max) / x_max * (width - 1)))
+        row = int(round((y_max - min(max(y, y_min), y_max)) / (y_max - y_min) * (height - 1)))
+        grid[row][column] = TECHNIQUE_MARKERS.get(technique, "?")
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_value = y_max - row_index * (y_max - y_min) / (height - 1)
+        lines.append(f"{y_value:5.2f} |" + "".join(row))
+    lines.append("      +" + "-" * width)
+    left = "0.00"
+    mid = f"{x_max / 2:.2f}"
+    right = f"{x_max:.2f}"
+    padding = width - len(left) - len(mid) - len(right)
+    lines.append(
+        "       " + left + " " * (padding // 2) + mid + " " * (padding - padding // 2) + right
+    )
+    lines.append("       normalized area (x) vs normalized accuracy (y)   "
+                 + " ".join(f"{marker}={name}" for name, marker in TECHNIQUE_MARKERS.items()))
+    return "\n".join(lines)
+
+
+def sweep_plot(sweep: SweepResult, width: int = 64, height: int = 20) -> str:
+    """ASCII Figure-1 panel for one sweep (all techniques overlaid)."""
+    title = (
+        f"{sweep.dataset}: baseline acc={sweep.baseline.accuracy:.3f}, "
+        f"area={sweep.baseline.area:.1f} mm^2"
+    )
+    return scatter_plot(sweep.points, sweep.baseline, width=width, height=height, title=title)
+
+
+def front_plot(
+    points: Sequence[DesignPoint],
+    baseline: DesignPoint,
+    width: int = 64,
+    height: int = 20,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII plot restricted to the Pareto front of ``points``."""
+    from ..core.pareto import pareto_front
+
+    return scatter_plot(pareto_front(points), baseline, width=width, height=height, title=title)

@@ -1,0 +1,115 @@
+"""Netlist-like description of a bespoke printed MLP circuit.
+
+The "netlist" here is an inventory of hardware blocks (constant multipliers,
+adder trees, ReLU units, the argmax tree, interface registers), each carrying
+its :class:`~repro.hardware.cost.HardwareCost`. It is the object the
+synthesis report is computed from and is detailed enough for the ablation
+studies (e.g. counting multipliers saved by product sharing) without
+modelling individual wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..hardware.cost import HardwareCost
+
+
+@dataclass(frozen=True)
+class CircuitComponent:
+    """One hardware block instance in the bespoke circuit.
+
+    Attributes:
+        name: unique instance name, e.g. ``"layer0/neuron2/mult_in3"``.
+        kind: block category, one of ``"multiplier"``, ``"adder_tree"``,
+            ``"activation"``, ``"argmax"``, ``"register"``.
+        cost: the block's area/power/delay/gate-count bundle.
+        layer_index: index of the Dense layer the block belongs to
+            (``None`` for global blocks such as the argmax tree).
+        attributes: free-form details (coefficient value, operand count...).
+    """
+
+    name: str
+    kind: str
+    cost: HardwareCost
+    layer_index: Optional[int] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    VALID_KINDS = ("multiplier", "adder_tree", "activation", "argmax", "register")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID_KINDS:
+            raise ValueError(
+                f"Unknown component kind '{self.kind}'. Valid kinds: {self.VALID_KINDS}"
+            )
+
+
+class Netlist:
+    """An ordered collection of :class:`CircuitComponent` instances."""
+
+    def __init__(self, components: Optional[Iterable[CircuitComponent]] = None) -> None:
+        self._components: List[CircuitComponent] = list(components) if components else []
+        names = [c.name for c in self._components]
+        if len(names) != len(set(names)):
+            raise ValueError("Component names in a netlist must be unique")
+
+    def add(self, component: CircuitComponent) -> None:
+        """Append a component (names must stay unique)."""
+        if any(existing.name == component.name for existing in self._components):
+            raise ValueError(f"Duplicate component name: {component.name}")
+        self._components.append(component)
+
+    def extend(self, components: Iterable[CircuitComponent]) -> None:
+        for component in components:
+            self.add(component)
+
+    # -- queries ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[CircuitComponent]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    @property
+    def components(self) -> List[CircuitComponent]:
+        return list(self._components)
+
+    def by_kind(self, kind: str) -> List[CircuitComponent]:
+        """All components of one kind."""
+        return [c for c in self._components if c.kind == kind]
+
+    def by_layer(self, layer_index: int) -> List[CircuitComponent]:
+        """All components belonging to one Dense layer."""
+        return [c for c in self._components if c.layer_index == layer_index]
+
+    def total_cost(self) -> HardwareCost:
+        """Sum of all component costs (parallel composition)."""
+        total = HardwareCost.zero()
+        for component in self._components:
+            total = total + component.cost
+        return total
+
+    def cost_by_kind(self) -> Dict[str, HardwareCost]:
+        """Total cost per component kind."""
+        breakdown: Dict[str, HardwareCost] = {}
+        for component in self._components:
+            current = breakdown.get(component.kind, HardwareCost.zero())
+            breakdown[component.kind] = current + component.cost
+        return breakdown
+
+    def cost_by_layer(self) -> Dict[Optional[int], HardwareCost]:
+        """Total cost per Dense layer (``None`` key for global blocks)."""
+        breakdown: Dict[Optional[int], HardwareCost] = {}
+        for component in self._components:
+            current = breakdown.get(component.layer_index, HardwareCost.zero())
+            breakdown[component.layer_index] = current + component.cost
+        return breakdown
+
+    def count_by_kind(self) -> Dict[str, int]:
+        """Number of component instances per kind."""
+        counts: Dict[str, int] = {}
+        for component in self._components:
+            counts[component.kind] = counts.get(component.kind, 0) + 1
+        return counts

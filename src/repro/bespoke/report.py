@@ -1,0 +1,129 @@
+"""Synthesis reports for bespoke MLP circuits.
+
+A :class:`SynthesisReport` is the analytical equivalent of the area/power
+numbers the paper obtains from Synopsys Design Compiler and PrimeTime on the
+EGT library: total area, power, critical-path delay, plus breakdowns by block
+kind and by layer. Reports can be normalized against a baseline report,
+which is how every figure in the paper (and in ``EXPERIMENTS.md``) presents
+its results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..hardware.cost import HardwareCost
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Area / power / delay summary of one synthesized bespoke MLP.
+
+    Attributes:
+        circuit_name: identifier of the synthesized design.
+        technology: technology library name (e.g. ``"EGT"``).
+        total: full-circuit cost.
+        by_kind: cost per component kind (multiplier / adder_tree / ...).
+        by_layer: cost per Dense layer index (``-1`` groups global blocks).
+        component_counts: number of instances per kind.
+        n_multipliers: total constant multipliers instantiated.
+        n_shared_products: products saved by multiplier sharing.
+        metadata: configuration echoes (bit-widths, sharing, method...).
+    """
+
+    circuit_name: str
+    technology: str
+    total: HardwareCost
+    by_kind: Dict[str, HardwareCost] = field(default_factory=dict)
+    by_layer: Dict[int, HardwareCost] = field(default_factory=dict)
+    component_counts: Dict[str, int] = field(default_factory=dict)
+    n_multipliers: int = 0
+    n_shared_products: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- headline numbers --------------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        """Total area in mm²."""
+        return self.total.area
+
+    @property
+    def power(self) -> float:
+        """Total power in µW."""
+        return self.total.power
+
+    @property
+    def delay(self) -> float:
+        """Critical-path delay in µs."""
+        return self.total.delay
+
+    @property
+    def total_gates(self) -> int:
+        return self.total.total_gates
+
+    # -- normalization -------------------------------------------------------------
+
+    def normalized_area(self, baseline: "SynthesisReport") -> float:
+        """Area relative to a baseline report (the paper's y-axis)."""
+        if baseline.area <= 0:
+            raise ValueError("Baseline area must be positive for normalization")
+        return self.area / baseline.area
+
+    def area_gain(self, baseline: "SynthesisReport") -> float:
+        """Area reduction factor w.r.t. the baseline (``baseline / self``)."""
+        if self.area <= 0:
+            raise ValueError("Cannot compute area gain of a zero-area design")
+        return baseline.area / self.area
+
+    def normalized_power(self, baseline: "SynthesisReport") -> float:
+        """Power relative to a baseline report."""
+        if baseline.power <= 0:
+            raise ValueError("Baseline power must be positive for normalization")
+        return self.power / baseline.power
+
+    # -- presentation -----------------------------------------------------------------
+
+    def area_breakdown(self) -> Dict[str, float]:
+        """Fraction of total area per component kind."""
+        if self.area <= 0:
+            return {kind: 0.0 for kind in self.by_kind}
+        return {kind: cost.area / self.area for kind, cost in self.by_kind.items()}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (used by examples and EXPERIMENTS.md)."""
+        return {
+            "circuit_name": self.circuit_name,
+            "technology": self.technology,
+            "area_mm2": self.area,
+            "power_uw": self.power,
+            "delay_us": self.delay,
+            "total_gates": self.total_gates,
+            "n_multipliers": self.n_multipliers,
+            "n_shared_products": self.n_shared_products,
+            "area_by_kind": {k: v.area for k, v in self.by_kind.items()},
+            "component_counts": dict(self.component_counts),
+            "metadata": dict(self.metadata),
+        }
+
+    def format_summary(self, baseline: Optional["SynthesisReport"] = None) -> str:
+        """Human-readable multi-line summary, DC-report style."""
+        lines = [
+            f"Design            : {self.circuit_name}",
+            f"Technology        : {self.technology}",
+            f"Total area        : {self.area:.4f} mm^2",
+            f"Total power       : {self.power:.4f} uW",
+            f"Critical path     : {self.delay:.1f} us",
+            f"Standard cells    : {self.total_gates}",
+            f"Constant mults    : {self.n_multipliers} "
+            f"({self.n_shared_products} products shared)",
+        ]
+        for kind, fraction in sorted(self.area_breakdown().items()):
+            lines.append(f"  area[{kind:<10}] : {fraction * 100:5.1f} %")
+        if baseline is not None:
+            lines.append(
+                f"Normalized area   : {self.normalized_area(baseline):.3f} "
+                f"(gain {self.area_gain(baseline):.2f}x)"
+            )
+        return "\n".join(lines)

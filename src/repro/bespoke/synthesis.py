@@ -1,0 +1,115 @@
+"""Synthesis driver: MLP → bespoke circuit → :class:`SynthesisReport`.
+
+This is the module that plays the role of Synopsys Design Compiler +
+PrimeTime in the original flow: it produces the area/power/delay numbers the
+evaluation is based on. See ``DESIGN.md`` section 2 for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..hardware.cost import HardwareCost
+from ..hardware.technology import TechnologyLibrary, egt_library
+from ..nn.network import MLP
+from .circuit import BespokeCircuit, BespokeConfig, build_bespoke_circuit
+from .report import SynthesisReport
+
+
+def report_from_circuit(circuit: BespokeCircuit) -> SynthesisReport:
+    """Compute the synthesis report of an already-built bespoke circuit.
+
+    The critical path is estimated as the serial chain of the slowest
+    multiplier, the per-layer adder trees and the argmax stage, which is
+    what dominates a fully combinational bespoke MLP.
+    """
+    netlist = circuit.netlist
+    total_parallel = netlist.total_cost()
+    by_kind = netlist.cost_by_kind()
+    by_layer_raw = netlist.cost_by_layer()
+    by_layer: Dict[int, HardwareCost] = {}
+    for key, value in by_layer_raw.items():
+        by_layer[-1 if key is None else int(key)] = value
+
+    # Critical path: per layer the slowest multiplier + slowest adder tree
+    # (+ activation), then the argmax; everything chained serially.
+    delay = 0.0
+    for layer_index in range(len(circuit.layer_results)):
+        layer_components = netlist.by_layer(layer_index)
+        mult_delay = max(
+            (c.cost.delay for c in layer_components if c.kind == "multiplier"),
+            default=0.0,
+        )
+        tree_delay = max(
+            (c.cost.delay for c in layer_components if c.kind == "adder_tree"),
+            default=0.0,
+        )
+        act_delay = max(
+            (c.cost.delay for c in layer_components if c.kind == "activation"),
+            default=0.0,
+        )
+        delay += mult_delay + tree_delay + act_delay
+    delay += sum(c.cost.delay for c in netlist.by_kind("argmax"))
+    delay += max((c.cost.delay for c in netlist.by_kind("register")), default=0.0)
+
+    total = HardwareCost(
+        area=total_parallel.area,
+        power=total_parallel.power,
+        delay=delay,
+        gate_counts=total_parallel.gate_counts,
+    )
+    return SynthesisReport(
+        circuit_name=circuit.name,
+        technology=circuit.technology.name,
+        total=total,
+        by_kind=by_kind,
+        by_layer=by_layer,
+        component_counts=netlist.count_by_kind(),
+        n_multipliers=circuit.n_multipliers,
+        n_shared_products=circuit.n_shared_products,
+        metadata=dict(circuit.metadata),
+    )
+
+
+def synthesize(
+    model: MLP,
+    config: Optional[BespokeConfig] = None,
+    tech: Optional[TechnologyLibrary] = None,
+    name: str = "bespoke_mlp",
+) -> SynthesisReport:
+    """One-call synthesis: build the bespoke circuit and report its costs.
+
+    Args:
+        model: trained (and possibly minimized) MLP.
+        config: bespoke mapping configuration; defaults to the baseline
+            convention (4-bit inputs, 8-bit weights, CSD, product sharing).
+        tech: technology library, defaults to the EGT printed library.
+        name: design name recorded in the report.
+    """
+    tech = tech if tech is not None else egt_library()
+    circuit = build_bespoke_circuit(model, config=config, tech=tech, name=name)
+    return report_from_circuit(circuit)
+
+
+def synthesize_baseline(
+    model: MLP,
+    input_bits: int = 4,
+    weight_bits: int = 8,
+    tech: Optional[TechnologyLibrary] = None,
+    name: str = "baseline_mlp",
+) -> SynthesisReport:
+    """Synthesize the un-minimized baseline the paper normalizes against.
+
+    The baseline is the same trained network mapped with the default
+    full-precision-for-printed convention (8-bit weights, 4-bit inputs),
+    without any pruning mask or clustering applied. Masks/quantizer hooks on
+    the model are temporarily ignored by synthesizing a clean clone.
+    """
+    baseline_model = model.clone()
+    for layer in baseline_model.dense_layers:
+        layer.mask = None
+        layer.weight_quantizer = None
+        layer.bias_quantizer = None
+    config = BespokeConfig(input_bits=input_bits, weight_bits=weight_bits)
+    return synthesize(baseline_model, config=config, tech=tech, name=name)

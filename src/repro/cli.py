@@ -1,0 +1,209 @@
+"""Command-line interface for the reproduction.
+
+Installed as the ``repro`` console script (see ``pyproject.toml``); every
+experiment of the paper can be run without writing Python:
+
+* ``repro baseline --dataset whitewine`` — train and synthesize the
+  un-minimized bespoke baseline of one (or all) datasets.
+* ``repro figure1 --dataset seeds --fast`` — standalone-technique sweeps
+  (Figure 1 panels), optionally exported to a results directory.
+* ``repro figure2 --dataset whitewine`` — the hardware-aware GA (Figure 2).
+* ``repro ablations`` — the DESIGN.md §7 ablation studies.
+* ``repro synth --dataset seeds --weight-bits 4 --verilog out.v`` — train,
+  quantize, synthesize and optionally export structural Verilog plus a
+  functional-verification verdict from the fixed-point simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis import export_sweep, gains_table, sweep_plot, sweep_table
+from .bespoke import BespokeConfig, FixedPointSimulator, export_verilog, synthesize
+from .core import MinimizationPipeline, PipelineConfig, fast_config
+from .datasets import PAPER_DATASETS
+from .experiments import (
+    PAPER_HEADLINE_GAINS,
+    baseline_for,
+    run_all_ablations,
+    run_figure1_panel,
+    run_figure2,
+)
+from .quantization import QATConfig, quantize_aware_train
+from .search import GAConfig
+
+
+def _pipeline_config(dataset: str, fast: bool, seed: int) -> PipelineConfig:
+    return fast_config(dataset, seed=seed) if fast else PipelineConfig(dataset=dataset, seed=seed)
+
+
+def _datasets_argument(value: Optional[str]) -> List[str]:
+    if value is None or value == "all":
+        return list(PAPER_DATASETS)
+    return [value]
+
+
+# -- sub-command implementations -----------------------------------------------------
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    for dataset in _datasets_argument(args.dataset):
+        row = baseline_for(dataset, config=_pipeline_config(dataset, args.fast, args.seed))
+        print(row.format())
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    gains_by_dataset = {}
+    for dataset in _datasets_argument(args.dataset):
+        config = _pipeline_config(dataset, args.fast, args.seed)
+        panel = run_figure1_panel(dataset, config=config)
+        gains_by_dataset[dataset] = panel.area_gains
+        print()
+        print(sweep_table(panel.sweep, pareto_only=True))
+        if args.plot:
+            print()
+            print(sweep_plot(panel.sweep))
+        if args.output:
+            paths = export_sweep(panel.sweep, args.output)
+            print(f"\nexported {dataset} artefacts to {Path(args.output).resolve()}: "
+                  f"{', '.join(sorted(p.name for p in paths.values()))}")
+    print()
+    print(gains_table(gains_by_dataset, paper_values=PAPER_HEADLINE_GAINS))
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    config = _pipeline_config(args.dataset, args.fast, args.seed)
+    ga_config = GAConfig(
+        population_size=args.population,
+        n_generations=args.generations,
+        finetune_epochs=args.finetune_epochs,
+        seed=args.seed,
+    )
+    result = run_figure2(args.dataset, config=config, ga_config=ga_config)
+    for row in result.format_rows():
+        print(row)
+    if args.plot:
+        print()
+        print(sweep_plot(result.sweep))
+    if args.output:
+        export_sweep(result.sweep, args.output)
+        print(f"\nexported artefacts to {Path(args.output).resolve()}")
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    for result in run_all_ablations(args.dataset, fast=args.fast):
+        print()
+        for row in result.format_rows():
+            print(row)
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    config = _pipeline_config(args.dataset, args.fast, args.seed)
+    pipeline = MinimizationPipeline(config)
+    prepared = pipeline.prepare()
+    model = prepared.baseline_model.clone()
+
+    weight_bits = args.weight_bits
+    if weight_bits is not None and weight_bits != config.baseline_weight_bits:
+        quantize_aware_train(
+            model,
+            prepared.data,
+            QATConfig(weight_bits=weight_bits, epochs=args.finetune_epochs),
+            seed=args.seed,
+        )
+    else:
+        weight_bits = config.baseline_weight_bits
+
+    bespoke_config = BespokeConfig(input_bits=config.input_bits, weight_bits=weight_bits)
+    report = synthesize(model, config=bespoke_config, name=f"{args.dataset}_w{weight_bits}")
+    baseline_report = prepared.baseline_point.report
+    print(report.format_summary(baseline_report))
+    accuracy = model.evaluate_accuracy(
+        prepared.data.test.features, prepared.data.test.labels
+    )
+    print(f"test accuracy     : {accuracy:.3f} (baseline {prepared.baseline_accuracy:.3f})")
+
+    simulator = FixedPointSimulator(model, bespoke_config)
+    agreement = simulator.agreement_with_model(model, prepared.data.test.features)
+    print(f"circuit/model agreement (fixed-point simulation): {agreement:.3f}")
+
+    if args.verilog:
+        source = export_verilog(model, bespoke_config, module_name=f"{args.dataset}_mlp")
+        Path(args.verilog).write_text(source)
+        print(f"structural Verilog written to {Path(args.verilog).resolve()}")
+    return 0
+
+
+# -- argument parsing -------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hardware-aware neural minimization for printed MLPs (DATE 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser, default_dataset: Optional[str]) -> None:
+        if default_dataset is None:
+            sub.add_argument("--dataset", default="all",
+                             help="dataset name or 'all' (default: all)")
+        else:
+            sub.add_argument("--dataset", default=default_dataset)
+        sub.add_argument("--fast", action="store_true",
+                         help="reduced-cost settings (smaller data, fewer epochs)")
+        sub.add_argument("--seed", type=int, default=0)
+
+    baseline = subparsers.add_parser("baseline", help="train + synthesize the bespoke baselines")
+    add_common(baseline, None)
+    baseline.set_defaults(func=_cmd_baseline)
+
+    figure1 = subparsers.add_parser("figure1", help="standalone-technique sweeps (Figure 1)")
+    add_common(figure1, None)
+    figure1.add_argument("--plot", action="store_true", help="print ASCII accuracy/area plots")
+    figure1.add_argument("--output", help="directory to export JSON/CSV/markdown artefacts")
+    figure1.set_defaults(func=_cmd_figure1)
+
+    figure2 = subparsers.add_parser("figure2", help="hardware-aware GA (Figure 2)")
+    add_common(figure2, "whitewine")
+    figure2.add_argument("--population", type=int, default=16)
+    figure2.add_argument("--generations", type=int, default=8)
+    figure2.add_argument("--finetune-epochs", type=int, default=6)
+    figure2.add_argument("--plot", action="store_true")
+    figure2.add_argument("--output", help="directory to export artefacts")
+    figure2.set_defaults(func=_cmd_figure2)
+
+    ablations = subparsers.add_parser("ablations", help="DESIGN.md section 7 ablation studies")
+    add_common(ablations, "whitewine")
+    ablations.set_defaults(func=_cmd_ablations)
+
+    synth = subparsers.add_parser(
+        "synth", help="train, (optionally) quantize, synthesize and export one classifier"
+    )
+    add_common(synth, "seeds")
+    synth.add_argument("--weight-bits", type=int, default=None,
+                       help="quantize to this weight bit-width with QAT before synthesis")
+    synth.add_argument("--finetune-epochs", type=int, default=15)
+    synth.add_argument("--verilog", help="write structural Verilog to this path")
+    synth.set_defaults(func=_cmd_synth)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Weight clustering: 1-D k-means, per-input-position sharing, sweeps."""
+
+from .kmeans import KMeansResult, cluster_and_replace, kmeans_1d
+from .sweep import PAPER_CLUSTER_RANGE, clustering_sweep
+from .weight_clustering import (
+    ClusteringResult,
+    LayerClustering,
+    cluster_and_finetune,
+    cluster_layer_weights,
+    cluster_model_weights,
+    distinct_products,
+    reproject_clusters,
+)
+
+__all__ = [
+    "ClusteringResult",
+    "KMeansResult",
+    "LayerClustering",
+    "PAPER_CLUSTER_RANGE",
+    "cluster_and_finetune",
+    "cluster_and_replace",
+    "cluster_layer_weights",
+    "cluster_model_weights",
+    "clustering_sweep",
+    "distinct_products",
+    "kmeans_1d",
+    "reproject_clusters",
+]

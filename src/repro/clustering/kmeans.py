@@ -1,0 +1,144 @@
+"""One-dimensional k-means for weight clustering.
+
+Deep-Compression-style weight clustering only ever clusters scalar weight
+values, so a dedicated 1-D Lloyd's algorithm with k-means++ seeding is both
+simpler and faster than a general implementation. Cluster counts in printed
+MLPs are tiny (2–16), which keeps everything exact and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Result of a 1-D k-means run.
+
+    Attributes:
+        centroids: sorted cluster centres, shape ``(k,)``.
+        assignments: index of the centroid assigned to each input value.
+        inertia: sum of squared distances to the assigned centroids.
+        n_iterations: Lloyd iterations executed.
+    """
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    n_iterations: int
+
+
+def _kmeans_plus_plus_init(
+    values: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding on 1-D data."""
+    centroids = np.empty(k, dtype=np.float64)
+    centroids[0] = values[rng.integers(len(values))]
+    for index in range(1, k):
+        distances = np.min(
+            np.abs(values.reshape(-1, 1) - centroids[:index].reshape(1, -1)), axis=1
+        )
+        squared = distances**2
+        total = squared.sum()
+        if total == 0.0:
+            centroids[index:] = centroids[0]
+            break
+        probabilities = squared / total
+        centroids[index] = values[rng.choice(len(values), p=probabilities)]
+    return centroids
+
+
+def _assign(values: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    return np.argmin(np.abs(values.reshape(-1, 1) - centroids.reshape(1, -1)), axis=1)
+
+
+def kmeans_1d(
+    values: np.ndarray,
+    n_clusters: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-9,
+    seed: Optional[int] = None,
+    init: str = "kmeans++",
+) -> KMeansResult:
+    """Cluster scalar values into ``n_clusters`` groups with Lloyd's algorithm.
+
+    Args:
+        values: 1-D array of values to cluster.
+        n_clusters: number of clusters; clipped to the number of distinct
+            values (extra clusters would stay empty).
+        max_iterations: Lloyd iteration cap.
+        tolerance: convergence threshold on centroid movement.
+        seed: RNG seed for the initialization.
+        init: ``"kmeans++"`` (default), ``"linear"`` (evenly spaced over the
+            value range — the Deep Compression initialization), or
+            ``"quantile"`` (evenly spaced quantiles).
+
+    Returns:
+        A :class:`KMeansResult` with centroids sorted ascending and
+        assignments remapped accordingly.
+    """
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        raise ValueError("Cannot cluster an empty array")
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    if init not in ("kmeans++", "linear", "quantile"):
+        raise ValueError(f"Unknown init '{init}'")
+
+    distinct = np.unique(values)
+    k = min(n_clusters, distinct.size)
+    rng = np.random.default_rng(seed)
+
+    if k == distinct.size:
+        centroids = distinct.astype(np.float64).copy()
+    elif init == "kmeans++":
+        centroids = _kmeans_plus_plus_init(values, k, rng)
+    elif init == "linear":
+        centroids = np.linspace(values.min(), values.max(), k)
+    else:  # quantile
+        centroids = np.quantile(values, np.linspace(0.0, 1.0, k))
+
+    assignments = _assign(values, centroids)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = values[assignments == cluster]
+            if members.size:
+                new_centroids[cluster] = members.mean()
+        movement = float(np.max(np.abs(new_centroids - centroids)))
+        centroids = new_centroids
+        assignments = _assign(values, centroids)
+        if movement < tolerance:
+            break
+
+    # Sort centroids and remap assignments for a canonical result.
+    order = np.argsort(centroids)
+    centroids = centroids[order]
+    remap = np.empty_like(order)
+    remap[order] = np.arange(k)
+    assignments = remap[assignments]
+
+    inertia = float(np.sum((values - centroids[assignments]) ** 2))
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        inertia=inertia,
+        n_iterations=iterations,
+    )
+
+
+def cluster_and_replace(
+    values: np.ndarray,
+    n_clusters: int,
+    seed: Optional[int] = None,
+    init: str = "kmeans++",
+) -> Tuple[np.ndarray, KMeansResult]:
+    """Cluster ``values`` and return them with each value replaced by its centroid."""
+    original_shape = np.asarray(values).shape
+    result = kmeans_1d(np.asarray(values).reshape(-1), n_clusters, seed=seed, init=init)
+    replaced = result.centroids[result.assignments].reshape(original_shape)
+    return replaced, result

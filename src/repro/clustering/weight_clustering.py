@@ -1,0 +1,250 @@
+"""Per-input-position weight clustering for multiplier sharing.
+
+The paper adapts Deep Compression's weight clustering to bespoke circuits:
+"by forcing weights of the same position (i.e., multiplied by the same
+input) to the same value, the product can be shared among many operations
+and the number of the required multiplier units decreases accordingly."
+
+Concretely, for every Dense layer and every input position ``i`` (row ``i``
+of the weight matrix), the weights ``W[i, :]`` across all neurons are
+clustered into ``n_clusters`` values. After clustering, input ``i`` needs at
+most ``n_clusters`` constant multipliers regardless of how many neurons it
+feeds. Zero weights (pruned connections) are kept at exactly zero so
+clustering never undoes pruning.
+
+Centroid fine-tuning follows Deep Compression: gradients of weights sharing
+a centroid are accumulated and applied to the shared value, implemented here
+by re-projecting the weights onto their cluster structure after a standard
+fine-tuning pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..datasets.preprocessing import PreparedData
+from ..nn.layers import Dense
+from ..nn.network import MLP
+from ..nn.trainer import finetune
+from .kmeans import kmeans_1d
+
+
+@dataclass
+class LayerClustering:
+    """Cluster structure of one Dense layer.
+
+    Attributes:
+        n_clusters: cluster budget per input position.
+        centroids: list (one entry per input position) of centroid arrays.
+        assignments: list of per-position assignment arrays (index into the
+            position's centroid array), with ``-1`` marking zero weights that
+            are excluded from clustering.
+    """
+
+    n_clusters: int
+    centroids: List[np.ndarray] = field(default_factory=list)
+    assignments: List[np.ndarray] = field(default_factory=list)
+
+    def distinct_values_per_position(self) -> List[int]:
+        """Number of distinct non-zero weight values at each input position."""
+        return [int(np.unique(c).size) if c.size else 0 for c in self.centroids]
+
+
+@dataclass
+class ClusteringResult:
+    """Summary of a whole-model clustering application."""
+
+    n_clusters: int
+    per_layer: List[LayerClustering]
+    total_distinct_products: int
+    total_connections: int
+
+    def sharing_ratio(self) -> float:
+        """Connections per instantiated multiplier (higher = more sharing)."""
+        if self.total_distinct_products == 0:
+            return float("inf") if self.total_connections else 1.0
+        return self.total_connections / self.total_distinct_products
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n_clusters": self.n_clusters,
+            "total_distinct_products": self.total_distinct_products,
+            "total_connections": self.total_connections,
+            "sharing_ratio": self.sharing_ratio(),
+        }
+
+
+def cluster_layer_weights(
+    layer: Dense,
+    n_clusters: int,
+    seed: Optional[int] = None,
+    per_position: bool = True,
+) -> LayerClustering:
+    """Cluster one Dense layer's weights in place.
+
+    Args:
+        layer: Dense layer whose weights are replaced by cluster centroids.
+        n_clusters: cluster budget (per input position when ``per_position``).
+        seed: clustering seed.
+        per_position: cluster each input row separately (the paper's scheme,
+            which enables product sharing); when False the whole weight
+            matrix shares one codebook (plain Deep Compression).
+    """
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    weights = layer.weights.copy()
+    mask = layer.mask if layer.mask is not None else np.ones_like(weights)
+    clustering = LayerClustering(n_clusters=n_clusters)
+
+    if per_position:
+        for row_index in range(weights.shape[0]):
+            row = weights[row_index]
+            keep = mask[row_index] != 0.0
+            nonzero = row[keep]
+            if nonzero.size == 0:
+                clustering.centroids.append(np.array([]))
+                clustering.assignments.append(np.full(row.shape, -1, dtype=int))
+                continue
+            result = kmeans_1d(nonzero, n_clusters, seed=seed)
+            assignments = np.full(row.shape, -1, dtype=int)
+            assignments[keep] = result.assignments
+            row_clustered = row.copy()
+            row_clustered[keep] = result.centroids[result.assignments]
+            weights[row_index] = row_clustered
+            clustering.centroids.append(result.centroids)
+            clustering.assignments.append(assignments)
+    else:
+        keep = mask != 0.0
+        nonzero = weights[keep]
+        if nonzero.size:
+            result = kmeans_1d(nonzero.reshape(-1), n_clusters, seed=seed)
+            clustered = weights.copy()
+            clustered[keep] = result.centroids[result.assignments]
+            weights = clustered
+            clustering.centroids.append(result.centroids)
+            assignments = np.full(weights.shape, -1, dtype=int)
+            assignments[keep] = result.assignments
+            clustering.assignments.append(assignments)
+
+    layer.weights = weights * mask
+    return clustering
+
+
+def cluster_model_weights(
+    model: MLP,
+    n_clusters: Union[int, Sequence[int]],
+    seed: Optional[int] = None,
+    per_position: bool = True,
+) -> ClusteringResult:
+    """Cluster every Dense layer of the model in place.
+
+    Args:
+        model: network whose weights are replaced by centroids.
+        n_clusters: cluster budget; single int or per-layer sequence.
+        seed: clustering seed.
+        per_position: per-input-position clustering (paper) vs whole-layer.
+    """
+    dense_layers = model.dense_layers
+    if isinstance(n_clusters, int):
+        budgets = [n_clusters] * len(dense_layers)
+    else:
+        budgets = [int(b) for b in n_clusters]
+        if len(budgets) != len(dense_layers):
+            raise ValueError(
+                f"n_clusters has {len(budgets)} entries but the model has "
+                f"{len(dense_layers)} Dense layers"
+            )
+
+    per_layer: List[LayerClustering] = []
+    total_products = 0
+    total_connections = 0
+    for layer, budget in zip(dense_layers, budgets):
+        clustering = cluster_layer_weights(layer, budget, seed=seed, per_position=per_position)
+        per_layer.append(clustering)
+        effective = layer.effective_weights()
+        total_connections += int(np.count_nonzero(effective))
+        for row in effective:
+            total_products += len(set(abs(float(v)) for v in row if v != 0.0))
+
+    return ClusteringResult(
+        n_clusters=max(budgets),
+        per_layer=per_layer,
+        total_distinct_products=total_products,
+        total_connections=total_connections,
+    )
+
+
+def reproject_clusters(model: MLP, result: ClusteringResult) -> None:
+    """Re-impose the cluster structure after a fine-tuning pass, in place.
+
+    Weights sharing a cluster are replaced by their mean — this is the
+    Deep-Compression centroid update expressed as a projection, and it keeps
+    the number of distinct products per input position bounded by the
+    cluster budget after fine-tuning has moved individual weights.
+    """
+    dense_layers = model.dense_layers
+    if len(result.per_layer) != len(dense_layers):
+        raise ValueError("ClusteringResult does not match the model's layer count")
+    for layer, clustering in zip(dense_layers, result.per_layer):
+        weights = layer.weights.copy()
+        if len(clustering.assignments) == weights.shape[0]:
+            # per-position clustering
+            for row_index, assignments in enumerate(clustering.assignments):
+                row = weights[row_index]
+                for cluster in np.unique(assignments[assignments >= 0]):
+                    members = assignments == cluster
+                    row[members] = row[members].mean()
+                weights[row_index] = row
+        elif len(clustering.assignments) == 1:
+            assignments = clustering.assignments[0]
+            for cluster in np.unique(assignments[assignments >= 0]):
+                members = assignments == cluster
+                weights[members] = weights[members].mean()
+        mask = layer.mask if layer.mask is not None else np.ones_like(weights)
+        layer.weights = weights * mask
+
+
+def cluster_and_finetune(
+    model: MLP,
+    data: PreparedData,
+    n_clusters: Union[int, Sequence[int]],
+    epochs: int = 15,
+    learning_rate: float = 0.002,
+    seed: Optional[int] = None,
+    per_position: bool = True,
+) -> ClusteringResult:
+    """Cluster, fine-tune, and re-project — the full clustering flow, in place.
+
+    The cluster structure is re-imposed after every fine-tuning epoch, which
+    approximates Deep Compression's tied-centroid training: weights sharing a
+    centroid can only move together (their individual updates are averaged by
+    the projection), so the final model satisfies the sharing constraint with
+    no post-hoc accuracy drop.
+    """
+    result = cluster_model_weights(model, n_clusters, seed=seed, per_position=per_position)
+    for epoch in range(int(epochs)):
+        epoch_lr = learning_rate * (0.85**epoch)
+        finetune(
+            model,
+            data.train.features,
+            data.train.labels,
+            data.validation.features,
+            data.validation.labels,
+            epochs=1,
+            learning_rate=epoch_lr,
+            seed=None if seed is None else seed + epoch,
+        )
+        reproject_clusters(model, result)
+    return result
+
+
+def distinct_products(model: MLP) -> int:
+    """Total distinct non-zero |weight| values summed over all input positions."""
+    total = 0
+    for layer in model.dense_layers:
+        for row in layer.effective_weights():
+            total += len(set(abs(float(v)) for v in row if v != 0.0))
+    return total

@@ -1,0 +1,168 @@
+"""Design points and result containers shared across the library.
+
+A :class:`DesignPoint` is one evaluated configuration in the accuracy/area
+design space: which technique produced it, its hyper-parameters, its test
+accuracy and its synthesized hardware cost. Sweeps and the genetic search
+all return lists of design points, and the Pareto/normalization utilities in
+:mod:`repro.core.pareto` consume them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..bespoke.report import SynthesisReport
+
+#: Technique labels used throughout the library.
+TECHNIQUES = ("baseline", "quantization", "pruning", "clustering", "combined")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated design in the accuracy/area space.
+
+    Attributes:
+        technique: which minimization produced the point (one of
+            :data:`TECHNIQUES`).
+        accuracy: test-set top-1 accuracy of the minimized classifier.
+        area: synthesized bespoke area in mm².
+        power: synthesized power in µW.
+        delay: critical-path delay in µs.
+        parameters: technique hyper-parameters (bit-width, sparsity, ...).
+        report: the full synthesis report (optional, for detailed analysis).
+    """
+
+    technique: str
+    accuracy: float
+    area: float
+    power: float = 0.0
+    delay: float = 0.0
+    parameters: Dict[str, object] = field(default_factory=dict)
+    report: Optional[SynthesisReport] = None
+
+    def __post_init__(self) -> None:
+        if self.technique not in TECHNIQUES:
+            raise ValueError(
+                f"Unknown technique '{self.technique}'. Valid: {TECHNIQUES}"
+            )
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {self.accuracy}")
+        if self.area < 0 or self.power < 0 or self.delay < 0:
+            raise ValueError("area, power and delay must be non-negative")
+
+    # -- normalized views ------------------------------------------------------
+
+    def normalized(self, baseline: "DesignPoint") -> "NormalizedPoint":
+        """Express the point relative to a baseline design (the paper's axes)."""
+        if baseline.area <= 0:
+            raise ValueError("Baseline area must be positive")
+        if baseline.accuracy <= 0:
+            raise ValueError("Baseline accuracy must be positive")
+        normalized_accuracy = self.accuracy / baseline.accuracy
+        return NormalizedPoint(
+            technique=self.technique,
+            normalized_accuracy=normalized_accuracy,
+            normalized_area=self.area / baseline.area,
+            accuracy_loss=1.0 - normalized_accuracy,
+            area_gain=baseline.area / self.area if self.area > 0 else float("inf"),
+            parameters=dict(self.parameters),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "technique": self.technique,
+            "accuracy": self.accuracy,
+            "area": self.area,
+            "power": self.power,
+            "delay": self.delay,
+            "parameters": dict(self.parameters),
+        }
+
+
+@dataclass(frozen=True)
+class NormalizedPoint:
+    """A design point normalized to its baseline (Figure-1/2 axes).
+
+    ``normalized_accuracy`` and ``normalized_area`` are the ratios plotted in
+    the paper; ``accuracy_loss`` (``1 - normalized_accuracy``, i.e. the loss
+    *relative to the baseline*, matching the paper's normalized axes) and
+    ``area_gain`` are the derived headline quantities ("x% accuracy loss",
+    "yx area reduction").
+    """
+
+    technique: str
+    normalized_accuracy: float
+    normalized_area: float
+    accuracy_loss: float
+    area_gain: float
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "technique": self.technique,
+            "normalized_accuracy": self.normalized_accuracy,
+            "normalized_area": self.normalized_area,
+            "accuracy_loss": self.accuracy_loss,
+            "area_gain": self.area_gain,
+            "parameters": dict(self.parameters),
+        }
+
+
+@dataclass
+class SweepResult:
+    """All design points of one dataset's evaluation, plus its baseline."""
+
+    dataset: str
+    baseline: DesignPoint
+    points: List[DesignPoint] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def by_technique(self, technique: str) -> List[DesignPoint]:
+        """Design points of one technique."""
+        return [p for p in self.points if p.technique == technique]
+
+    def techniques(self) -> List[str]:
+        """Techniques present in this sweep, in :data:`TECHNIQUES` order."""
+        present = {p.technique for p in self.points}
+        return [t for t in TECHNIQUES if t in present]
+
+    def normalized_points(self, technique: Optional[str] = None) -> List[NormalizedPoint]:
+        """Normalized view of (optionally one technique's) points."""
+        selected = self.points if technique is None else self.by_technique(technique)
+        return [p.normalized(self.baseline) for p in selected]
+
+    def add(self, points: Iterable[DesignPoint]) -> None:
+        self.points.extend(points)
+
+    # -- persistence ------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "dataset": self.dataset,
+            "baseline": self.baseline.as_dict(),
+            "points": [p.as_dict() for p in self.points],
+            "metadata": dict(self.metadata),
+        }
+
+    def save_json(self, path: Union[str, Path]) -> Path:
+        """Write the sweep (without full synthesis reports) to a JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2))
+        return path
+
+    @staticmethod
+    def load_json(path: Union[str, Path]) -> "SweepResult":
+        """Load a sweep previously written by :meth:`save_json`."""
+        data = json.loads(Path(path).read_text())
+        baseline = DesignPoint(**data["baseline"])
+        points = [DesignPoint(**entry) for entry in data["points"]]
+        return SweepResult(
+            dataset=data["dataset"],
+            baseline=baseline,
+            points=points,
+            metadata=data.get("metadata", {}),
+        )

@@ -1,0 +1,184 @@
+"""Dataset container and splitting utilities.
+
+A :class:`Dataset` is an immutable bundle of feature matrix, integer labels
+and metadata. All experiment code consumes datasets through this interface,
+so the synthetic UCI stand-ins and any user-provided data behave identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable classification dataset.
+
+    Attributes:
+        features: ``(n_samples, n_features)`` float matrix.
+        labels: ``(n_samples,)`` integer class labels in ``[0, n_classes)``.
+        name: short identifier (e.g. ``"whitewine"``).
+        feature_names: optional column names.
+        class_names: optional class names.
+        metadata: free-form description of provenance / generator settings.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+    feature_names: Tuple[str, ...] = ()
+    class_names: Tuple[str, ...] = ()
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=np.float64)
+        labels = np.asarray(self.labels).reshape(-1).astype(int)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"features has {features.shape[0]} rows but labels has {labels.shape[0]}"
+            )
+        if labels.size and labels.min() < 0:
+            raise ValueError("labels must be non-negative integers")
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels)
+
+    # -- basic properties -------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples of each class (length ``n_classes``)."""
+        return np.bincount(self.labels, minlength=self.n_classes)
+
+    def class_balance(self) -> np.ndarray:
+        """Relative class frequencies (sums to 1)."""
+        counts = self.class_counts().astype(np.float64)
+        return counts / counts.sum() if counts.sum() > 0 else counts
+
+    # -- transformations --------------------------------------------------------
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Return a new dataset restricted to ``indices`` (order preserved)."""
+        indices = np.asarray(indices, dtype=int)
+        return Dataset(
+            features=self.features[indices],
+            labels=self.labels[indices],
+            name=self.name,
+            feature_names=self.feature_names,
+            class_names=self.class_names,
+            metadata=dict(self.metadata),
+        )
+
+    def with_features(self, features: np.ndarray) -> "Dataset":
+        """Return a copy with replaced feature matrix (same labels/metadata)."""
+        return Dataset(
+            features=features,
+            labels=self.labels,
+            name=self.name,
+            feature_names=self.feature_names,
+            class_names=self.class_names,
+            metadata=dict(self.metadata),
+        )
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+
+@dataclass(frozen=True)
+class DataSplit:
+    """A train/validation/test split of one dataset."""
+
+    train: Dataset
+    validation: Dataset
+    test: Dataset
+
+    @property
+    def name(self) -> str:
+        return self.train.name
+
+    @property
+    def n_features(self) -> int:
+        return self.train.n_features
+
+    @property
+    def n_classes(self) -> int:
+        return max(self.train.n_classes, self.validation.n_classes, self.test.n_classes)
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.3,
+    seed: Optional[int] = None,
+    stratify: bool = True,
+) -> Tuple[Dataset, Dataset]:
+    """Split into train and test subsets.
+
+    Args:
+        test_fraction: fraction of samples assigned to the test set.
+        seed: RNG seed for the permutation.
+        stratify: keep per-class proportions approximately equal in both
+            subsets (recommended for the heavily imbalanced wine datasets).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    n = dataset.n_samples
+    if stratify:
+        test_indices = []
+        train_indices = []
+        for cls in range(dataset.n_classes):
+            cls_idx = np.flatnonzero(dataset.labels == cls)
+            rng.shuffle(cls_idx)
+            n_test = int(round(len(cls_idx) * test_fraction))
+            # keep at least one sample of every represented class on each side
+            if len(cls_idx) >= 2:
+                n_test = min(max(n_test, 1), len(cls_idx) - 1)
+            test_indices.append(cls_idx[:n_test])
+            train_indices.append(cls_idx[n_test:])
+        test_idx = np.concatenate(test_indices) if test_indices else np.array([], dtype=int)
+        train_idx = np.concatenate(train_indices) if train_indices else np.array([], dtype=int)
+        rng.shuffle(test_idx)
+        rng.shuffle(train_idx)
+    else:
+        order = rng.permutation(n)
+        n_test = int(round(n * test_fraction))
+        test_idx, train_idx = order[:n_test], order[n_test:]
+    return dataset.subset(train_idx), dataset.subset(test_idx)
+
+
+def train_val_test_split(
+    dataset: Dataset,
+    val_fraction: float = 0.15,
+    test_fraction: float = 0.25,
+    seed: Optional[int] = None,
+    stratify: bool = True,
+) -> DataSplit:
+    """Three-way split used by every experiment (train / validation / test)."""
+    if val_fraction + test_fraction >= 1.0:
+        raise ValueError("val_fraction + test_fraction must be < 1")
+    trainval, test = train_test_split(
+        dataset, test_fraction=test_fraction, seed=seed, stratify=stratify
+    )
+    relative_val = val_fraction / (1.0 - test_fraction)
+    train, val = train_test_split(
+        trainval,
+        test_fraction=relative_val,
+        seed=None if seed is None else seed + 1,
+        stratify=stratify,
+    )
+    return DataSplit(train=train, validation=val, test=test)

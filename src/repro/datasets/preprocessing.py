@@ -1,0 +1,142 @@
+"""Feature preprocessing for bespoke fixed-point inference.
+
+Printed bespoke MLPs receive their inputs from printed ADCs/sensors as small
+unsigned integers, so features are min-max scaled to ``[0, 1]`` and then
+uniformly quantized to the input bit-width (4 bits by default, following the
+printed-classifier literature). The scalers here are fitted on training data
+only and applied consistently to validation/test data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import DataSplit, Dataset
+
+
+class MinMaxScaler:
+    """Scales features column-wise to ``[0, 1]`` based on fitted ranges."""
+
+    def __init__(self) -> None:
+        self.minimum: Optional[np.ndarray] = None
+        self.maximum: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("MinMaxScaler expects a 2-D feature matrix")
+        self.minimum = features.min(axis=0)
+        self.maximum = features.max(axis=0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.minimum is None or self.maximum is None:
+            raise RuntimeError("MinMaxScaler must be fitted before transform()")
+        features = np.asarray(features, dtype=np.float64)
+        span = self.maximum - self.minimum
+        span = np.where(span == 0.0, 1.0, span)
+        return np.clip((features - self.minimum) / span, 0.0, 1.0)
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling (used only for float training studies)."""
+
+    def __init__(self) -> None:
+        self.mean: Optional[np.ndarray] = None
+        self.std: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("StandardScaler expects a 2-D feature matrix")
+        self.mean = features.mean(axis=0)
+        self.std = features.std(axis=0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("StandardScaler must be fitted before transform()")
+        features = np.asarray(features, dtype=np.float64)
+        std = np.where(self.std == 0.0, 1.0, self.std)
+        return (features - self.mean) / std
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+def quantize_inputs(features: np.ndarray, bits: int = 4) -> np.ndarray:
+    """Quantize features in ``[0, 1]`` to ``bits``-bit unsigned levels.
+
+    Returns float values on the grid ``{0, 1, ..., 2^bits - 1} / (2^bits - 1)``
+    so they can be fed to the float model while exactly matching what the
+    bespoke circuit's integer datapath would see.
+    """
+    if bits < 1:
+        raise ValueError(f"Input bit-width must be >= 1, got {bits}")
+    features = np.asarray(features, dtype=np.float64)
+    if features.size and (features.min() < -1e-9 or features.max() > 1.0 + 1e-9):
+        raise ValueError("quantize_inputs expects features scaled to [0, 1]")
+    levels = (1 << bits) - 1
+    return np.round(np.clip(features, 0.0, 1.0) * levels) / levels
+
+
+def one_hot(labels: np.ndarray, n_classes: Optional[int] = None) -> np.ndarray:
+    """One-hot encode integer labels."""
+    labels = np.asarray(labels).reshape(-1).astype(int)
+    if n_classes is None:
+        n_classes = int(labels.max()) + 1 if labels.size else 0
+    out = np.zeros((labels.size, n_classes), dtype=np.float64)
+    if labels.size:
+        out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+@dataclass
+class PreparedData:
+    """A split whose features are scaled (and optionally input-quantized)."""
+
+    split: DataSplit
+    scaler: MinMaxScaler
+    input_bits: Optional[int]
+
+    @property
+    def train(self) -> Dataset:
+        return self.split.train
+
+    @property
+    def validation(self) -> Dataset:
+        return self.split.validation
+
+    @property
+    def test(self) -> Dataset:
+        return self.split.test
+
+
+def prepare_split(split: DataSplit, input_bits: Optional[int] = 4) -> PreparedData:
+    """Min-max scale a split (fit on train only) and quantize the inputs.
+
+    Args:
+        split: raw train/validation/test split.
+        input_bits: unsigned input bit-width; ``None`` skips input
+            quantization (pure float features).
+    """
+    scaler = MinMaxScaler().fit(split.train.features)
+
+    def _prepare(dataset: Dataset) -> Dataset:
+        scaled = scaler.transform(dataset.features)
+        if input_bits is not None:
+            scaled = quantize_inputs(scaled, bits=input_bits)
+        return dataset.with_features(scaled)
+
+    prepared = DataSplit(
+        train=_prepare(split.train),
+        validation=_prepare(split.validation),
+        test=_prepare(split.test),
+    )
+    return PreparedData(split=prepared, scaler=scaler, input_bits=input_bits)

@@ -1,0 +1,132 @@
+"""Dataset registry and per-dataset classifier specifications.
+
+The registry maps the dataset names used throughout the paper ("WhiteWine",
+"RedWine", "Pendigits", "Seeds") to their loaders and to the MLP topology and
+training hyper-parameters used for the bespoke baseline of each classifier
+(one hidden layer, as in Mubarik et al., MICRO 2020).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from .base import Dataset
+from .uci import load_pendigits, load_redwine, load_seeds, load_whitewine
+
+
+@dataclass(frozen=True)
+class ClassifierSpec:
+    """Baseline-classifier recipe for one dataset.
+
+    Attributes:
+        dataset_name: registry key of the dataset.
+        hidden_layers: hidden-layer widths of the baseline MLP.
+        epochs: training epochs for the float baseline.
+        learning_rate: Adam learning rate for the float baseline.
+        batch_size: mini-batch size.
+        input_bits: unsigned bit-width of the circuit inputs.
+        baseline_weight_bits: weight bit-width of the un-minimized bespoke
+            baseline the paper normalizes against.
+        finetune_epochs: epochs used for QAT / pruning / clustering
+            fine-tuning passes during the sweeps and the GA.
+    """
+
+    dataset_name: str
+    hidden_layers: Tuple[int, ...]
+    epochs: int = 120
+    learning_rate: float = 0.01
+    batch_size: int = 32
+    input_bits: int = 4
+    baseline_weight_bits: int = 8
+    finetune_epochs: int = 15
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+_LOADERS: Dict[str, Callable[..., Dataset]] = {
+    "whitewine": load_whitewine,
+    "redwine": load_redwine,
+    "pendigits": load_pendigits,
+    "seeds": load_seeds,
+}
+
+_CLASSIFIER_SPECS: Dict[str, ClassifierSpec] = {
+    "whitewine": ClassifierSpec("whitewine", hidden_layers=(8,), epochs=120),
+    "redwine": ClassifierSpec("redwine", hidden_layers=(8,), epochs=120),
+    "pendigits": ClassifierSpec(
+        "pendigits", hidden_layers=(10,), epochs=100, batch_size=64
+    ),
+    "seeds": ClassifierSpec("seeds", hidden_layers=(4,), epochs=150, batch_size=16),
+}
+
+#: The four evaluation datasets of the paper, in Figure-1 order.
+PAPER_DATASETS: Tuple[str, ...] = ("whitewine", "redwine", "pendigits", "seeds")
+
+
+def available_datasets() -> Tuple[str, ...]:
+    """Names accepted by :func:`load_dataset`."""
+    return tuple(sorted(_LOADERS))
+
+
+def normalize_name(name: str) -> str:
+    """Canonical lower-case key for a dataset name (accepts paper spellings)."""
+    key = name.strip().lower().replace(" ", "").replace("-", "").replace("_", "")
+    aliases = {
+        "whitewine": "whitewine",
+        "winequalitywhite": "whitewine",
+        "redwine": "redwine",
+        "winequalityred": "redwine",
+        "pendigits": "pendigits",
+        "pendigit": "pendigits",
+        "seeds": "seeds",
+        "seed": "seeds",
+    }
+    if key in aliases:
+        return aliases[key]
+    if key in _LOADERS:
+        return key
+    raise KeyError(f"Unknown dataset '{name}'. Available: {available_datasets()}")
+
+
+def load_dataset(
+    name: str, seed: Optional[int] = None, n_samples: Optional[int] = None
+) -> Dataset:
+    """Load a dataset by name.
+
+    Args:
+        name: one of :func:`available_datasets` (case/format-insensitive).
+        seed: override the loader's default seed (keeps defaults when None).
+        n_samples: override the default sample count.
+    """
+    key = normalize_name(name)
+    loader = _LOADERS[key]
+    kwargs: Dict[str, object] = {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if n_samples is not None:
+        kwargs["n_samples"] = n_samples
+    return loader(**kwargs)
+
+
+def get_classifier_spec(name: str) -> ClassifierSpec:
+    """Baseline MLP recipe for a dataset (topology, training, bit-widths)."""
+    return _CLASSIFIER_SPECS[normalize_name(name)]
+
+
+def register_dataset(
+    name: str, loader: Callable[..., Dataset], spec: ClassifierSpec
+) -> None:
+    """Register a custom dataset + classifier spec (for user extensions).
+
+    The name is stored in the same canonical form :func:`normalize_name`
+    produces (lower-case, separators stripped), so lookups accept the same
+    spelling variations as the built-in datasets.
+
+    Raises:
+        ValueError: if the name collides with an existing registration.
+    """
+    key = name.strip().lower().replace(" ", "").replace("-", "").replace("_", "")
+    if key in _LOADERS:
+        raise ValueError(f"Dataset '{name}' is already registered")
+    _LOADERS[key] = loader
+    _CLASSIFIER_SPECS[key] = spec

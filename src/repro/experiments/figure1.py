@@ -1,0 +1,99 @@
+"""Figure 1 reproduction: standalone-technique Pareto fronts per dataset.
+
+The paper's Figure 1 shows, for each of the four classifiers, the
+accuracy/area Pareto fronts obtained by applying quantization (2–7 bits),
+unstructured pruning (20–60 % sparsity) and weight clustering standalone,
+normalized to the un-minimized bespoke baseline. :func:`run_figure1_panel`
+reproduces one panel; :func:`run_figure1` reproduces all four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import PipelineConfig, fast_config
+from ..core.pareto import area_gain_table, normalize_points, pareto_front
+from ..core.pipeline import STANDALONE_TECHNIQUES, MinimizationPipeline
+from ..core.results import NormalizedPoint, SweepResult
+from ..datasets.registry import PAPER_DATASETS
+
+
+@dataclass
+class Figure1Panel:
+    """One sub-plot of Figure 1: the normalized fronts of one dataset."""
+
+    dataset: str
+    sweep: SweepResult
+    fronts: Dict[str, List[NormalizedPoint]] = field(default_factory=dict)
+    area_gains: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    def format_rows(self) -> List[str]:
+        """Human-readable rows (one per Pareto point), Figure-1 style."""
+        rows = [
+            f"# {self.dataset}: normalized accuracy vs normalized area "
+            f"(baseline acc={self.sweep.baseline.accuracy:.3f}, "
+            f"area={self.sweep.baseline.area:.2f} mm^2)"
+        ]
+        for technique, points in self.fronts.items():
+            for point in points:
+                rows.append(
+                    f"{self.dataset:>10} {technique:>13} "
+                    f"norm_acc={point.normalized_accuracy:.3f} "
+                    f"norm_area={point.normalized_area:.3f} "
+                    f"(loss={point.accuracy_loss * 100:.1f}%, gain={point.area_gain:.2f}x)"
+                )
+        return rows
+
+
+def run_figure1_panel(
+    dataset: str,
+    config: Optional[PipelineConfig] = None,
+    techniques: Sequence[str] = STANDALONE_TECHNIQUES,
+    fast: bool = False,
+) -> Figure1Panel:
+    """Reproduce one Figure-1 panel.
+
+    Args:
+        dataset: dataset name (``"whitewine"``, ``"redwine"``, ``"pendigits"``,
+            ``"seeds"``).
+        config: pipeline configuration; defaults to the paper-faithful
+            settings (or the reduced :func:`repro.core.config.fast_config`
+            when ``fast`` is True).
+        techniques: standalone techniques to sweep.
+        fast: use the reduced-cost configuration.
+    """
+    if config is None:
+        config = fast_config(dataset) if fast else PipelineConfig(dataset=dataset)
+    pipeline = MinimizationPipeline(config)
+    sweep = pipeline.run(techniques)
+
+    fronts: Dict[str, List[NormalizedPoint]] = {}
+    for technique in techniques:
+        front = pareto_front(sweep.by_technique(technique))
+        fronts[technique] = normalize_points(front, sweep.baseline)
+    gains = area_gain_table(sweep, max_accuracy_loss=config.max_accuracy_loss)
+    return Figure1Panel(dataset=sweep.dataset, sweep=sweep, fronts=fronts, area_gains=gains)
+
+
+def run_figure1(
+    datasets: Sequence[str] = PAPER_DATASETS,
+    fast: bool = False,
+    configs: Optional[Dict[str, PipelineConfig]] = None,
+) -> Dict[str, Figure1Panel]:
+    """Reproduce all panels of Figure 1 (WhiteWine, RedWine, Pendigits, Seeds)."""
+    panels: Dict[str, Figure1Panel] = {}
+    for dataset in datasets:
+        config = configs.get(dataset) if configs else None
+        panels[dataset] = run_figure1_panel(dataset, config=config, fast=fast)
+    return panels
+
+
+def figure1_summary_rows(panels: Dict[str, Figure1Panel]) -> List[str]:
+    """The per-dataset area-gain-at-5%-loss summary the paper's text quotes."""
+    rows = ["dataset        technique      area_gain_at_5%_loss"]
+    for dataset, panel in panels.items():
+        for technique, gain in panel.area_gains.items():
+            gain_text = f"{gain:.2f}x" if gain is not None else "not reached"
+            rows.append(f"{dataset:<14} {technique:<14} {gain_text}")
+    return rows

@@ -1,0 +1,106 @@
+"""Figure 2 reproduction: combined minimization via the hardware-aware GA.
+
+The paper's Figure 2 overlays, for the WhiteWine classifier, the standalone
+Pareto fronts with the front obtained when quantization, pruning and weight
+clustering are combined by a hardware-aware genetic algorithm. The combined
+front dominates the standalone ones and reaches ≈8× area gain at the 5 %
+accuracy-loss budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import PipelineConfig, fast_config
+from ..core.pareto import best_area_gain_at_loss, normalize_points, pareto_front
+from ..core.pipeline import STANDALONE_TECHNIQUES, MinimizationPipeline
+from ..core.results import NormalizedPoint, SweepResult
+from ..search.ga import GAConfig, GAResult, HardwareAwareGA
+
+
+@dataclass
+class Figure2Result:
+    """All the curves of Figure 2 for one dataset (WhiteWine in the paper)."""
+
+    dataset: str
+    sweep: SweepResult
+    ga_result: GAResult
+    fronts: Dict[str, List[NormalizedPoint]] = field(default_factory=dict)
+    area_gains: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    @property
+    def combined_gain(self) -> Optional[float]:
+        """Area gain of the combined front at the 5 % loss budget."""
+        return self.area_gains.get("combined")
+
+    def format_rows(self) -> List[str]:
+        rows = [
+            f"# {self.dataset}: standalone vs combined minimization "
+            f"(baseline acc={self.sweep.baseline.accuracy:.3f}, "
+            f"area={self.sweep.baseline.area:.2f} mm^2)"
+        ]
+        for technique, points in self.fronts.items():
+            for point in points:
+                rows.append(
+                    f"{technique:>13} norm_acc={point.normalized_accuracy:.3f} "
+                    f"norm_area={point.normalized_area:.3f} "
+                    f"(loss={point.accuracy_loss * 100:.1f}%, gain={point.area_gain:.2f}x)"
+                )
+        for technique, gain in self.area_gains.items():
+            gain_text = f"{gain:.2f}x" if gain is not None else "not reached"
+            rows.append(f"gain@5%loss {technique:<13} {gain_text}")
+        return rows
+
+
+def run_figure2(
+    dataset: str = "whitewine",
+    config: Optional[PipelineConfig] = None,
+    ga_config: Optional[GAConfig] = None,
+    techniques: Sequence[str] = STANDALONE_TECHNIQUES,
+    fast: bool = False,
+) -> Figure2Result:
+    """Reproduce Figure 2: standalone sweeps plus the GA-combined front.
+
+    Args:
+        dataset: the paper uses WhiteWine; any registered dataset works.
+        config: pipeline configuration (paper-faithful by default, reduced
+            when ``fast``).
+        ga_config: GA hyper-parameters (a smaller budget is used when ``fast``).
+        techniques: standalone techniques to overlay.
+        fast: reduced-cost settings for tests and quick benchmarks.
+    """
+    if config is None:
+        config = fast_config(dataset) if fast else PipelineConfig(dataset=dataset)
+    if ga_config is None:
+        ga_config = (
+            GAConfig(population_size=8, n_generations=4, finetune_epochs=4)
+            if fast
+            else GAConfig()
+        )
+    pipeline = MinimizationPipeline(config)
+    sweep = pipeline.run(techniques)
+    prepared = pipeline.prepare()
+
+    ga = HardwareAwareGA(prepared, config=ga_config)
+    ga_result = ga.run()
+    sweep.add(ga_result.front)
+
+    fronts: Dict[str, List[NormalizedPoint]] = {}
+    gains: Dict[str, Optional[float]] = {}
+    for technique in list(techniques) + ["combined"]:
+        technique_points = sweep.by_technique(technique)
+        front = pareto_front(technique_points)
+        fronts[technique] = normalize_points(front, sweep.baseline)
+        best = best_area_gain_at_loss(
+            technique_points, sweep.baseline, config.max_accuracy_loss
+        )
+        gains[technique] = None if best is None else float(best.area_gain)
+
+    return Figure2Result(
+        dataset=sweep.dataset,
+        sweep=sweep,
+        ga_result=ga_result,
+        fronts=fronts,
+        area_gains=gains,
+    )

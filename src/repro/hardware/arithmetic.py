@@ -1,0 +1,252 @@
+"""Gate-level cost models for the arithmetic blocks of bespoke MLPs.
+
+These models replace the Synopsys DC + PrimeTime synthesis flow of the
+paper. Each function returns a :class:`~repro.hardware.cost.HardwareCost`
+built from the cells of a :class:`~repro.hardware.technology.TechnologyLibrary`.
+
+The blocks are exactly those a bespoke (hard-wired coefficient) MLP needs:
+
+* constant-coefficient multipliers (CSD shift-add networks),
+* ripple-carry adders and multi-operand adder trees,
+* ReLU gating, comparators and the argmax selection tree of the output layer,
+* registers for the input/output interface.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .cost import HardwareCost
+from .csd import (
+    binary_adder_stages,
+    coefficient_bit_length,
+    csd_adder_stages,
+    is_power_of_two,
+)
+from .technology import TechnologyLibrary
+
+
+def ripple_carry_adder(width: int, tech: TechnologyLibrary) -> HardwareCost:
+    """A ``width``-bit ripple-carry adder: one full adder per bit.
+
+    The delay is the full carry-propagation chain, which is what dominates
+    the (very relaxed) timing of printed circuits.
+    """
+    if width <= 0:
+        raise ValueError(f"Adder width must be positive, got {width}")
+    fa = tech.cell("FA")
+    return HardwareCost(
+        area=fa.area * width,
+        power=fa.power * width,
+        delay=fa.delay * width,
+        gate_counts={"FA": width},
+    )
+
+
+def subtractor(width: int, tech: TechnologyLibrary) -> HardwareCost:
+    """Two's-complement subtractor: an adder plus one inverter per bit."""
+    adder = ripple_carry_adder(width, tech)
+    inverters = tech.cost("INV", width)
+    return adder.serial(inverters)
+
+
+def constant_multiplier(
+    coefficient: int,
+    input_bits: int,
+    tech: TechnologyLibrary,
+    method: str = "csd",
+) -> HardwareCost:
+    """Constant-coefficient multiplier implemented as a shift-add network.
+
+    Args:
+        coefficient: the hard-wired integer coefficient (may be negative).
+        input_bits: unsigned bit-width of the multiplied input.
+        tech: technology library supplying the cell costs.
+        method: ``"csd"`` (canonical signed digit, what synthesis achieves)
+            or ``"binary"`` (naive shift-add, used by the ablation study).
+
+    A zero coefficient costs nothing (the product is dropped), a power-of-two
+    coefficient is pure wiring. Otherwise the multiplier needs
+    ``nonzero_digits - 1`` adder stages whose width grows with the partial
+    product: stage widths are approximated as ``input_bits`` plus the
+    coefficient's magnitude bits, which matches the final product width.
+    """
+    if input_bits <= 0:
+        raise ValueError(f"input_bits must be positive, got {input_bits}")
+    if method not in ("csd", "binary"):
+        raise ValueError(f"method must be 'csd' or 'binary', got '{method}'")
+    coefficient = int(coefficient)
+    if coefficient == 0:
+        return HardwareCost.zero()
+    if is_power_of_two(coefficient) and coefficient > 0:
+        # A pure left shift: wiring only.
+        return HardwareCost.zero()
+
+    stages = (
+        csd_adder_stages(coefficient)
+        if method == "csd"
+        else binary_adder_stages(coefficient)
+    )
+    product_width = input_bits + coefficient_bit_length(coefficient)
+    if coefficient < 0 and stages == 0:
+        # A negative power of two: the negation is folded into the consuming
+        # adder tree (subtraction), charge one inverter row for the complement.
+        return tech.cost("INV", product_width)
+
+    cost = HardwareCost.zero()
+    for _ in range(stages):
+        cost = cost.serial(ripple_carry_adder(product_width, tech))
+    return cost
+
+
+def adder_tree(
+    n_operands: int, operand_width: int, tech: TechnologyLibrary
+) -> HardwareCost:
+    """Balanced adder tree summing ``n_operands`` values of ``operand_width`` bits.
+
+    The tree needs ``n_operands - 1`` adders; widths grow by one bit per
+    level to accommodate carries. Zero or one operand needs no hardware.
+    """
+    if n_operands < 0:
+        raise ValueError(f"n_operands must be non-negative, got {n_operands}")
+    if operand_width <= 0:
+        raise ValueError(f"operand_width must be positive, got {operand_width}")
+    if n_operands <= 1:
+        return HardwareCost.zero()
+
+    cost = HardwareCost.zero()
+    level_width = operand_width
+    remaining = n_operands
+    depth = 0
+    while remaining > 1:
+        adders_this_level = remaining // 2
+        level_cost = ripple_carry_adder(level_width, tech).scaled(adders_this_level)
+        if depth == 0:
+            cost = level_cost
+        else:
+            # levels are serial with one another, parallel within a level
+            cost = HardwareCost(
+                area=cost.area + level_cost.area,
+                power=cost.power + level_cost.power,
+                delay=cost.delay + level_cost.delay,
+                gate_counts={
+                    **cost.gate_counts,
+                    "FA": cost.gate_counts.get("FA", 0)
+                    + level_cost.gate_counts.get("FA", 0),
+                },
+            )
+        remaining = adders_this_level + (remaining % 2)
+        level_width += 1
+        depth += 1
+    return cost
+
+
+def adder_tree_from_widths(
+    operand_widths: "list[int]", tech: TechnologyLibrary
+) -> HardwareCost:
+    """Adder tree over operands of heterogeneous bit-widths.
+
+    Synthesis sizes each adder to its actual operands, so summing many narrow
+    products (small hard-wired coefficients) is cheaper than the worst-case
+    uniform-width estimate. The model combines the two narrowest operands
+    first (Huffman-style, which is what a area-driven synthesis netlist tends
+    towards); each combination costs a ripple-carry adder at the wider
+    operand's width and produces a result one bit wider.
+    """
+    widths = sorted(int(w) for w in operand_widths)
+    if any(w <= 0 for w in widths):
+        raise ValueError("operand widths must be positive")
+    if len(widths) <= 1:
+        return HardwareCost.zero()
+    total_area = 0.0
+    total_power = 0.0
+    total_fa = 0
+    depth_delay = 0.0
+    while len(widths) > 1:
+        first = widths.pop(0)
+        second = widths.pop(0)
+        adder_width = max(first, second)
+        adder = ripple_carry_adder(adder_width, tech)
+        total_area += adder.area
+        total_power += adder.power
+        total_fa += adder_width
+        depth_delay += adder.delay
+        # insert the sum (one bit wider) keeping the list sorted
+        result_width = adder_width + 1
+        insert_at = 0
+        while insert_at < len(widths) and widths[insert_at] < result_width:
+            insert_at += 1
+        widths.insert(insert_at, result_width)
+    # Delay: a balanced tree is log-depth, not the full serial chain; scale
+    # the accumulated serial delay down to the tree depth.
+    n_operands = len(operand_widths)
+    tree_depth = math.ceil(math.log2(n_operands)) if n_operands > 1 else 0
+    serial_stages = n_operands - 1
+    delay = depth_delay * (tree_depth / serial_stages) if serial_stages else 0.0
+    return HardwareCost(
+        area=total_area,
+        power=total_power,
+        delay=delay,
+        gate_counts={"FA": total_fa},
+    )
+
+
+def relu_unit(width: int, tech: TechnologyLibrary) -> HardwareCost:
+    """ReLU on a two's-complement value: sign bit gates the output bus.
+
+    One inverter for the sign bit plus one AND gate per data bit.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    sign = tech.cost("INV", 1)
+    gates = tech.cost("AND2", width)
+    return sign.serial(gates)
+
+
+def comparator(width: int, tech: TechnologyLibrary) -> HardwareCost:
+    """Magnitude comparator (greater-than) over two ``width``-bit values.
+
+    Modelled as a subtractor whose sign bit is the comparison result.
+    """
+    return subtractor(width, tech)
+
+
+def argmax_unit(
+    n_values: int, width: int, index_bits: int, tech: TechnologyLibrary
+) -> HardwareCost:
+    """Argmax over ``n_values`` scores: a linear chain of compare-and-select.
+
+    Each of the ``n_values - 1`` stages needs a comparator, a ``width``-bit
+    value multiplexer and an ``index_bits``-bit index multiplexer.
+    """
+    if n_values <= 0:
+        raise ValueError(f"n_values must be positive, got {n_values}")
+    if n_values == 1:
+        return HardwareCost.zero()
+    stage = comparator(width, tech).serial(tech.cost("MUX2", width + index_bits))
+    cost = HardwareCost.zero()
+    for _ in range(n_values - 1):
+        cost = cost.serial(stage)
+    return cost
+
+
+def register_bank(width: int, tech: TechnologyLibrary) -> HardwareCost:
+    """A bank of ``width`` flip-flops (input/output interface registers)."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return tech.cost("DFF", width)
+
+
+def neuron_output_width(
+    input_bits: int, weight_bits: int, n_operands: int
+) -> int:
+    """Bit-width of a neuron's accumulated sum.
+
+    Product width plus ``ceil(log2(n_operands))`` carry bits plus a sign bit.
+    """
+    if input_bits <= 0 or weight_bits <= 0:
+        raise ValueError("input_bits and weight_bits must be positive")
+    if n_operands <= 0:
+        return input_bits + weight_bits + 1
+    growth = math.ceil(math.log2(n_operands)) if n_operands > 1 else 0
+    return input_bits + weight_bits + growth + 1

@@ -1,0 +1,89 @@
+"""Canonical Signed Digit (CSD) encoding of constant coefficients.
+
+In a bespoke MLP every multiplier has a constant coefficient, so it is
+implemented as a shift-add network: one adder (or subtractor) per non-zero
+digit of the coefficient beyond the first. The CSD recoding minimizes the
+number of non-zero digits (no two adjacent digits are non-zero), which is
+what a synthesis tool effectively does when it optimizes a constant
+multiplication. The area model therefore charges ``nonzero_digits - 1``
+adder stages per multiplier, and zero or power-of-two coefficients are free.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def to_csd(value: int) -> List[int]:
+    """Return the CSD digit list of ``value`` (LSB first, digits in {-1, 0, 1}).
+
+    The representation satisfies ``sum(d * 2**i) == value`` and contains no
+    two adjacent non-zero digits.
+    """
+    value = int(value)
+    if value == 0:
+        return [0]
+    negative = value < 0
+    magnitude = -value if negative else value
+
+    digits: List[int] = []
+    while magnitude > 0:
+        if magnitude & 1:
+            # non-adjacent form: pick +1 or -1 so the remaining value is
+            # divisible by 4, which forces the next digit to be zero
+            remainder = 2 - (magnitude % 4)
+            digits.append(remainder)
+            magnitude -= remainder
+        else:
+            digits.append(0)
+        magnitude >>= 1
+    if negative:
+        digits = [-d for d in digits]
+    return digits
+
+
+def from_csd(digits: List[int]) -> int:
+    """Inverse of :func:`to_csd`: rebuild the integer from its digit list."""
+    value = 0
+    for position, digit in enumerate(digits):
+        if digit not in (-1, 0, 1):
+            raise ValueError(f"CSD digits must be in {{-1, 0, 1}}, got {digit}")
+        value += digit << position
+    return value
+
+
+def csd_nonzero_digits(value: int) -> int:
+    """Number of non-zero digits in the CSD representation of ``value``."""
+    return sum(1 for d in to_csd(value) if d != 0)
+
+
+def binary_nonzero_digits(value: int) -> int:
+    """Number of set bits of ``|value|`` (the naive shift-add decomposition)."""
+    return bin(abs(int(value))).count("1")
+
+
+def csd_adder_stages(value: int) -> int:
+    """Adder/subtractor stages needed for a CSD shift-add constant multiplier.
+
+    Zero and power-of-two coefficients need no adders (pure wiring / shift);
+    otherwise one stage per non-zero digit beyond the first.
+    """
+    nonzero = csd_nonzero_digits(value)
+    return max(nonzero - 1, 0)
+
+
+def binary_adder_stages(value: int) -> int:
+    """Adder stages for the naive binary shift-add decomposition."""
+    nonzero = binary_nonzero_digits(value)
+    return max(nonzero - 1, 0)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``|value|`` is a power of two (multiplication is a pure shift)."""
+    magnitude = abs(int(value))
+    return magnitude > 0 and (magnitude & (magnitude - 1)) == 0
+
+
+def coefficient_bit_length(value: int) -> int:
+    """Number of magnitude bits needed to represent ``value``."""
+    return int(abs(int(value))).bit_length()

@@ -1,0 +1,96 @@
+"""Fixed-point conversion between float weights and hard-wired integers.
+
+The bespoke circuit generator and the quantization package must agree on the
+mapping from float weights to the integer coefficients that get hard-wired:
+this module is that single source of truth. Weights use a symmetric signed
+representation with ``bits`` total bits (one sign bit), scaled so the largest
+magnitude weight maps onto the largest representable integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+def max_symmetric_level(bits: int) -> int:
+    """Largest representable magnitude for a signed ``bits``-bit weight."""
+    if bits < 2:
+        raise ValueError(f"Symmetric quantization needs at least 2 bits, got {bits}")
+    return (1 << (bits - 1)) - 1
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A symmetric fixed-point weight format.
+
+    Attributes:
+        bits: total bit-width including the sign bit.
+        scale: float value of one integer step (``quantized = round(w / scale)``).
+    """
+
+    bits: int
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise ValueError(f"bits must be >= 2, got {self.bits}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    @property
+    def max_level(self) -> int:
+        return max_symmetric_level(self.bits)
+
+    def to_integers(self, weights: np.ndarray) -> np.ndarray:
+        """Map float weights to clipped integer levels."""
+        weights = np.asarray(weights, dtype=np.float64)
+        levels = np.round(weights / self.scale)
+        return np.clip(levels, -self.max_level, self.max_level).astype(np.int64)
+
+    def to_floats(self, integers: np.ndarray) -> np.ndarray:
+        """Map integer levels back to their float values."""
+        return np.asarray(integers, dtype=np.float64) * self.scale
+
+
+def derive_format(weights: np.ndarray, bits: int) -> FixedPointFormat:
+    """Choose the scale so the largest |weight| lands on the largest level.
+
+    An all-zero weight tensor gets scale 1.0 (any scale represents it exactly).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    max_level = max_symmetric_level(bits)
+    max_abs = float(np.max(np.abs(weights))) if weights.size else 0.0
+    scale = max_abs / max_level if max_abs > 0 else 1.0
+    return FixedPointFormat(bits=bits, scale=scale)
+
+
+def quantize_to_fixed_point(
+    weights: np.ndarray, bits: int
+) -> Tuple[np.ndarray, FixedPointFormat]:
+    """Quantize float weights: returns (fake-quantized floats, format).
+
+    The fake-quantized floats are exactly ``format.to_floats(format.to_integers(w))``
+    so the float model and the integer circuit compute identical products up
+    to the shared scale factor.
+    """
+    fmt = derive_format(weights, bits)
+    integers = fmt.to_integers(weights)
+    return fmt.to_floats(integers), fmt
+
+
+def weights_to_integers(weights: np.ndarray, bits: int) -> Tuple[np.ndarray, FixedPointFormat]:
+    """Convenience wrapper returning the integer levels and their format."""
+    fmt = derive_format(weights, bits)
+    return fmt.to_integers(weights), fmt
+
+
+def quantization_error(weights: np.ndarray, bits: int) -> float:
+    """Root-mean-square error introduced by ``bits``-bit symmetric quantization."""
+    quantized, _ = quantize_to_fixed_point(weights, bits)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((weights - quantized) ** 2)))

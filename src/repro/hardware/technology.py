@@ -1,0 +1,199 @@
+"""Printed-technology standard-cell libraries.
+
+The paper synthesizes its bespoke MLPs with Synopsys Design Compiler against
+the open Electrolyte-Gated-Transistor (EGT) library of Bleier et al. (ISCA
+2020). That flow is replaced here by an analytical model built on a small
+standard-cell library: each cell carries an area (mm²), a power (µW) and a
+delay (µs) figure, and the arithmetic cost models in
+:mod:`repro.hardware.arithmetic` compose them into multipliers, adder trees,
+comparators, etc.
+
+The EGT numbers below are calibration constants chosen to reflect the
+*relative* sizes of printed cells (inverters small, full adders and flip-
+flops an order of magnitude larger, everything in the multi-10⁻² mm² regime,
+microsecond-scale delays, sub-µW power). Absolute values do not need to match
+the proprietary characterization because every figure in the paper — and in
+this reproduction — is normalized to the un-minimized baseline built from the
+same library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from .cost import HardwareCost
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Characterization of a single standard cell.
+
+    Attributes:
+        name: cell name (e.g. ``"NAND2"``).
+        area: cell area in mm².
+        power: average power in µW at the library's nominal activity.
+        delay: propagation delay in µs.
+    """
+
+    name: str
+    area: float
+    power: float
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.area <= 0 or self.power < 0 or self.delay < 0:
+            raise ValueError(f"Invalid cell characterization for {self.name}")
+
+    def cost(self, count: int = 1) -> HardwareCost:
+        """Hardware cost of ``count`` parallel instances of this cell."""
+        if count < 0:
+            raise ValueError(f"Cell count must be non-negative, got {count}")
+        if count == 0:
+            return HardwareCost.zero()
+        return HardwareCost(
+            area=self.area * count,
+            power=self.power * count,
+            delay=self.delay,
+            gate_counts={self.name: count},
+        )
+
+
+class TechnologyLibrary:
+    """A named collection of :class:`CellSpec` entries.
+
+    Args:
+        name: library identifier (e.g. ``"EGT"``).
+        cells: mapping from cell name to its spec.
+        description: free-form provenance note.
+    """
+
+    #: Cell names every library must provide (the arithmetic models rely on them).
+    REQUIRED_CELLS: Tuple[str, ...] = (
+        "INV",
+        "NAND2",
+        "NOR2",
+        "AND2",
+        "OR2",
+        "XOR2",
+        "XNOR2",
+        "MUX2",
+        "HA",
+        "FA",
+        "DFF",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        cells: Mapping[str, CellSpec],
+        description: str = "",
+    ) -> None:
+        missing = [c for c in self.REQUIRED_CELLS if c not in cells]
+        if missing:
+            raise ValueError(f"Technology '{name}' is missing required cells: {missing}")
+        self.name = name
+        self.description = description
+        self._cells: Dict[str, CellSpec] = dict(cells)
+
+    def cell(self, name: str) -> CellSpec:
+        """Look up a cell spec by name.
+
+        Raises:
+            KeyError: if the cell is not in the library.
+        """
+        if name not in self._cells:
+            raise KeyError(
+                f"Cell '{name}' not in technology '{self.name}'. "
+                f"Available: {sorted(self._cells)}"
+            )
+        return self._cells[name]
+
+    def cost(self, cell_name: str, count: int = 1) -> HardwareCost:
+        """Cost of ``count`` instances of ``cell_name``."""
+        return self.cell(cell_name).cost(count)
+
+    def cell_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._cells))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TechnologyLibrary({self.name!r}, {len(self._cells)} cells)"
+
+
+def _build_library(
+    name: str, raw: Mapping[str, Tuple[float, float, float]], description: str
+) -> TechnologyLibrary:
+    cells = {
+        cell_name: CellSpec(cell_name, area=a, power=p, delay=d)
+        for cell_name, (a, p, d) in raw.items()
+    }
+    return TechnologyLibrary(name, cells, description)
+
+
+#: EGT-like printed technology. (area mm², power µW, delay µs)
+_EGT_CELLS: Dict[str, Tuple[float, float, float]] = {
+    "INV": (0.0040, 0.020, 20.0),
+    "NAND2": (0.0060, 0.028, 25.0),
+    "NOR2": (0.0060, 0.028, 25.0),
+    "AND2": (0.0072, 0.034, 30.0),
+    "OR2": (0.0072, 0.034, 30.0),
+    "XOR2": (0.0130, 0.062, 45.0),
+    "XNOR2": (0.0130, 0.062, 45.0),
+    "MUX2": (0.0118, 0.055, 40.0),
+    "HA": (0.0205, 0.096, 55.0),
+    "FA": (0.0410, 0.190, 80.0),
+    "DFF": (0.0430, 0.210, 90.0),
+}
+
+#: A conventional low-cost silicon node, included for cross-technology studies.
+_SILICON_CELLS: Dict[str, Tuple[float, float, float]] = {
+    "INV": (1.0e-6, 0.010, 0.00005),
+    "NAND2": (1.4e-6, 0.014, 0.00006),
+    "NOR2": (1.4e-6, 0.014, 0.00006),
+    "AND2": (1.8e-6, 0.016, 0.00008),
+    "OR2": (1.8e-6, 0.016, 0.00008),
+    "XOR2": (3.0e-6, 0.028, 0.00010),
+    "XNOR2": (3.0e-6, 0.028, 0.00010),
+    "MUX2": (2.6e-6, 0.024, 0.00009),
+    "HA": (4.6e-6, 0.042, 0.00012),
+    "FA": (9.0e-6, 0.082, 0.00018),
+    "DFF": (9.6e-6, 0.090, 0.00020),
+}
+
+
+def egt_library() -> TechnologyLibrary:
+    """The Electrolyte-Gated-Transistor printed library used by the paper."""
+    return _build_library(
+        "EGT",
+        _EGT_CELLS,
+        description=(
+            "Analytical stand-in for the open EGT library (Bleier et al., ISCA 2020) "
+            "used via Synopsys DC/PrimeTime in the paper."
+        ),
+    )
+
+
+def silicon_library() -> TechnologyLibrary:
+    """A generic silicon node for cross-technology comparison studies."""
+    return _build_library(
+        "SILICON",
+        _SILICON_CELLS,
+        description="Generic bulk-CMOS node used only for relative comparisons.",
+    )
+
+
+_LIBRARIES = {
+    "egt": egt_library,
+    "silicon": silicon_library,
+}
+
+
+def get_technology(name: str = "egt") -> TechnologyLibrary:
+    """Look up a technology library by name (``"egt"`` or ``"silicon"``)."""
+    key = name.strip().lower()
+    if key not in _LIBRARIES:
+        raise KeyError(f"Unknown technology '{name}'. Available: {sorted(_LIBRARIES)}")
+    return _LIBRARIES[key]()

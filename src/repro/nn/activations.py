@@ -1,0 +1,166 @@
+"""Activation functions and their derivatives.
+
+Each activation is a small class with ``forward`` and ``backward`` methods so
+it can be used both by the training framework (float math) and referenced by
+the bespoke circuit generator (which maps activation *names* to hardware
+blocks: ReLU becomes a sign-check + mask, the output layer's softmax/argmax
+becomes a comparator tree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+
+class Activation:
+    """Base class for activations.
+
+    Subclasses implement :meth:`forward`; :meth:`backward` receives the
+    upstream gradient and the *input* that was given to forward.
+    """
+
+    #: Name used by the bespoke circuit generator to pick a hardware block.
+    name: str = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the activation element-wise."""
+        raise NotImplementedError
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        """Return d(loss)/d(x) given d(loss)/d(forward(x))."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Identity(Activation):
+    """Pass-through activation (used for the pre-argmax output layer)."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        del x
+        return grad_output
+
+
+class ReLU(Activation):
+    """Rectified linear unit; the hidden-layer activation of printed MLPs.
+
+    In the bespoke circuit a ReLU is essentially free: it is the sign bit of
+    the neuron's sum gating the output bus, so the area model charges only a
+    row of AND gates.
+    """
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * (x > 0.0)
+
+
+class LeakyReLU(Activation):
+    """Leaky ReLU with configurable negative slope."""
+
+    name = "leaky_relu"
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = float(alpha)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, x, self.alpha * x)
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * np.where(x > 0.0, 1.0, self.alpha)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid (kept for completeness; not used in bespoke MLPs)."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        return out
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        s = self.forward(x)
+        return grad_output * s * (1.0 - s)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        t = np.tanh(x)
+        return grad_output * (1.0 - t * t)
+
+
+class Softmax(Activation):
+    """Numerically stable softmax over the last axis.
+
+    Used only during training (paired with cross-entropy); the hardware
+    implementation replaces it with an argmax comparator tree since only the
+    winning class index is needed for classification.
+    """
+
+    name = "softmax"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - np.max(x, axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / np.sum(exp, axis=-1, keepdims=True)
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        s = self.forward(x)
+        dot = np.sum(grad_output * s, axis=-1, keepdims=True)
+        return s * (grad_output - dot)
+
+
+_REGISTRY: Dict[str, Type[Activation]] = {
+    "identity": Identity,
+    "linear": Identity,
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "softmax": Softmax,
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Instantiate an activation by name.
+
+    Raises:
+        KeyError: if ``name`` is not a registered activation.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"Unknown activation '{name}'. Available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]()
+
+
+def available_activations() -> tuple:
+    """Return the names of all registered activations."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,120 @@
+"""Weight initializers for the NumPy MLP framework.
+
+Printed bespoke MLPs are tiny (tens of neurons), so initialization still
+matters for reproducibility: every initializer takes an explicit
+``numpy.random.Generator`` so experiments are bit-exact given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+InitializerFn = Callable[[Tuple[int, int], np.random.Generator], np.ndarray]
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Return an all-zero array of ``shape`` (``rng`` is unused)."""
+    del rng
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Return an all-one array of ``shape`` (``rng`` is unused)."""
+    del rng
+    return np.ones(shape, dtype=np.float64)
+
+
+def uniform(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    low: float = -0.5,
+    high: float = 0.5,
+) -> np.ndarray:
+    """Sample uniformly from ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    mean: float = 0.0,
+    std: float = 0.1,
+) -> np.ndarray:
+    """Sample from a normal distribution with ``mean`` and ``std``."""
+    return rng.normal(mean, std, size=shape)
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization.
+
+    Bounds are ``sqrt(6 / (fan_in + fan_out))``; the default for the Dense
+    layers here, matching what QKeras/Keras would have used in the paper's
+    original training setup.
+    """
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialization (std ``sqrt(2/(fan_in+fan_out))``)."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialization, suited to ReLU hidden layers."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialization (std ``sqrt(2/fan_in)``)."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight tensor shape."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[0] * receptive, shape[1] * receptive
+
+
+_REGISTRY: Dict[str, InitializerFn] = {
+    "zeros": zeros,
+    "ones": ones,
+    "uniform": uniform,
+    "normal": normal,
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+}
+
+
+def get_initializer(name: str) -> InitializerFn:
+    """Look up an initializer by name.
+
+    Raises:
+        KeyError: if ``name`` is not a registered initializer.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"Unknown initializer '{name}'. Available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def available_initializers() -> Tuple[str, ...]:
+    """Return the names of all registered initializers."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,166 @@
+"""Loss functions for training printed-MLP classifiers.
+
+Classification in the paper is plain categorical cross-entropy (via Keras /
+QKeras); regression losses are included because they are useful for the
+clustering fine-tuning utilities and for property tests of the optimizers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+class Loss:
+    """Base class: ``forward`` returns a scalar, ``backward`` the gradient."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error averaged over all elements."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        diff = np.asarray(predictions, dtype=np.float64) - np.asarray(
+            targets, dtype=np.float64
+        )
+        return float(np.mean(diff * diff))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        return 2.0 * (predictions - targets) / predictions.size
+
+
+class MeanAbsoluteError(Loss):
+    """Mean absolute error averaged over all elements."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        diff = np.asarray(predictions, dtype=np.float64) - np.asarray(
+            targets, dtype=np.float64
+        )
+        return float(np.mean(np.abs(diff)))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        return np.sign(predictions - targets) / predictions.size
+
+
+class CategoricalCrossEntropy(Loss):
+    """Cross-entropy over probability vectors (expects softmax outputs).
+
+    ``targets`` must be one-hot encoded with the same shape as
+    ``predictions``; rows are averaged.
+    """
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.clip(np.asarray(predictions, dtype=np.float64), _EPS, 1.0)
+        targets = np.asarray(targets, dtype=np.float64)
+        per_sample = -np.sum(targets * np.log(predictions), axis=-1)
+        return float(np.mean(per_sample))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions = np.clip(np.asarray(predictions, dtype=np.float64), _EPS, 1.0)
+        targets = np.asarray(targets, dtype=np.float64)
+        n = predictions.shape[0] if predictions.ndim > 1 else 1
+        return -(targets / predictions) / n
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Fused softmax + cross-entropy on raw logits.
+
+    Numerically stabler than chaining :class:`~repro.nn.activations.Softmax`
+    with :class:`CategoricalCrossEntropy`, and the gradient collapses to the
+    familiar ``softmax(logits) - targets``.
+    """
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - np.max(logits, axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / np.sum(exp, axis=-1, keepdims=True)
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        probs = np.clip(self._softmax(logits), _EPS, 1.0)
+        per_sample = -np.sum(targets * np.log(probs), axis=-1)
+        return float(np.mean(per_sample))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        logits = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        probs = self._softmax(logits)
+        n = logits.shape[0] if logits.ndim > 1 else 1
+        return (probs - targets) / n
+
+
+class HingeLoss(Loss):
+    """Multi-class hinge (Crammer-Singer style) on raw scores.
+
+    Included as an alternative classification loss for robustness
+    experiments; not used by the main reproduction pipeline.
+    """
+
+    def __init__(self, margin: float = 1.0) -> None:
+        if margin <= 0:
+            raise ValueError(f"margin must be positive, got {margin}")
+        self.margin = float(margin)
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        scores = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        correct = np.sum(scores * targets, axis=-1, keepdims=True)
+        margins = np.maximum(0.0, scores - correct + self.margin)
+        margins = margins * (1.0 - targets)
+        return float(np.mean(np.sum(margins, axis=-1)))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        scores = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        correct = np.sum(scores * targets, axis=-1, keepdims=True)
+        margins = (scores - correct + self.margin) > 0.0
+        margins = margins & (targets == 0.0)
+        grad = margins.astype(np.float64)
+        grad -= targets * np.sum(margins, axis=-1, keepdims=True)
+        n = scores.shape[0] if scores.ndim > 1 else 1
+        return grad / n
+
+
+_REGISTRY: Dict[str, Type[Loss]] = {
+    "mse": MeanSquaredError,
+    "mean_squared_error": MeanSquaredError,
+    "mae": MeanAbsoluteError,
+    "mean_absolute_error": MeanAbsoluteError,
+    "categorical_crossentropy": CategoricalCrossEntropy,
+    "softmax_crossentropy": SoftmaxCrossEntropy,
+    "hinge": HingeLoss,
+}
+
+
+def get_loss(name: str) -> Loss:
+    """Instantiate a loss by name.
+
+    Raises:
+        KeyError: if ``name`` is not a registered loss.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"Unknown loss '{name}'. Available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]()
+
+
+def available_losses() -> Tuple[str, ...]:
+    """Return the names of all registered losses."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,195 @@
+"""Gradient-descent optimizers.
+
+The optimizers operate on lists of parameter/gradient array pairs, which is
+how :class:`repro.nn.network.MLP` exposes its layers. Updates are in-place so
+that layer hooks (masks, quantizers) keep pointing at the same arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Type
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer: subclasses implement :meth:`update`."""
+
+    def __init__(self, learning_rate: float = 0.01) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+
+    def update(
+        self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]
+    ) -> None:
+        """Apply one update step in place."""
+        raise NotImplementedError
+
+    def reset_state(self) -> None:
+        """Clear any accumulated state (momentum buffers etc.)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocities: Dict[int, np.ndarray] = {}
+
+    def update(
+        self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]
+    ) -> None:
+        _check_aligned(parameters, gradients)
+        for param, grad in zip(parameters, gradients):
+            grad = grad + self.weight_decay * param if self.weight_decay else grad
+            if self.momentum > 0.0:
+                key = id(param)
+                velocity = self._velocities.get(key)
+                if velocity is None or velocity.shape != param.shape:
+                    velocity = np.zeros_like(param)
+                velocity = self.momentum * velocity + grad
+                self._velocities[key] = velocity
+                step = (grad + self.momentum * velocity) if self.nesterov else velocity
+            else:
+                step = grad
+            param -= self.learning_rate * step
+
+    def reset_state(self) -> None:
+        self._velocities.clear()
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0:
+            raise ValueError(f"beta1 must be in [0, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta2 must be in [0, 1), got {beta2}")
+        if epsilon <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self.weight_decay = float(weight_decay)
+        self._state: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
+
+    def update(
+        self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]
+    ) -> None:
+        _check_aligned(parameters, gradients)
+        for param, grad in zip(parameters, gradients):
+            grad = grad + self.weight_decay * param if self.weight_decay else grad
+            key = id(param)
+            m, v, t = self._state.get(
+                key, (np.zeros_like(param), np.zeros_like(param), 0)
+            )
+            if m.shape != param.shape:
+                m, v, t = np.zeros_like(param), np.zeros_like(param), 0
+            t += 1
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * (grad * grad)
+            self._state[key] = (m, v, t)
+            m_hat = m / (1.0 - self.beta1**t)
+            v_hat = v / (1.0 - self.beta2**t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset_state(self) -> None:
+        self._state.clear()
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially decaying average of squared gradients."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        decay: float = 0.9,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {decay}")
+        if epsilon <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.decay = float(decay)
+        self.epsilon = float(epsilon)
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def update(
+        self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]
+    ) -> None:
+        _check_aligned(parameters, gradients)
+        for param, grad in zip(parameters, gradients):
+            key = id(param)
+            cache = self._cache.get(key)
+            if cache is None or cache.shape != param.shape:
+                cache = np.zeros_like(param)
+            cache = self.decay * cache + (1.0 - self.decay) * (grad * grad)
+            self._cache[key] = cache
+            param -= self.learning_rate * grad / (np.sqrt(cache) + self.epsilon)
+
+    def reset_state(self) -> None:
+        self._cache.clear()
+
+
+def _check_aligned(
+    parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]
+) -> None:
+    if len(parameters) != len(gradients):
+        raise ValueError(
+            f"Got {len(parameters)} parameters but {len(gradients)} gradients"
+        )
+    for param, grad in zip(parameters, gradients):
+        if param.shape != grad.shape:
+            raise ValueError(
+                f"Parameter/gradient shape mismatch: {param.shape} vs {grad.shape}"
+            )
+
+
+_REGISTRY: Dict[str, Type[Optimizer]] = {
+    "sgd": SGD,
+    "adam": Adam,
+    "rmsprop": RMSProp,
+}
+
+
+def get_optimizer(name: str, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by name with keyword overrides.
+
+    Raises:
+        KeyError: if ``name`` is not a registered optimizer.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"Unknown optimizer '{name}'. Available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key](**kwargs)
+
+
+def available_optimizers() -> List[str]:
+    """Return the names of all registered optimizers."""
+    return sorted(_REGISTRY)

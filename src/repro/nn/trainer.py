@@ -1,0 +1,286 @@
+"""Mini-batch trainer with early stopping and learning-rate scheduling.
+
+Training in this reproduction happens in three places, all through this
+module: the initial float training of each baseline classifier, the
+quantization-aware (re)training after fake-quantizers are attached, and the
+short fine-tuning passes after pruning or clustering. They differ only in the
+number of epochs and whether hooks are present on the Dense layers, so one
+trainer covers all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .losses import Loss, SoftmaxCrossEntropy, get_loss
+from .metrics import accuracy
+from .network import MLP
+from .optimizers import Adam, Optimizer, get_optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of losses and accuracies."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        return max(self.val_accuracy) if self.val_accuracy else float("nan")
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "train_loss": list(self.train_loss),
+            "train_accuracy": list(self.train_accuracy),
+            "val_loss": list(self.val_loss),
+            "val_accuracy": list(self.val_accuracy),
+        }
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters controlling :class:`Trainer.fit`."""
+
+    epochs: int = 100
+    batch_size: int = 32
+    shuffle: bool = True
+    #: Stop if the monitored quantity has not improved for this many epochs.
+    early_stopping_patience: Optional[int] = 15
+    #: ``"val_accuracy"`` or ``"val_loss"`` (falls back to train metrics when
+    #: no validation data is supplied).
+    monitor: str = "val_accuracy"
+    #: Multiply the learning rate by this factor when patience/2 epochs pass
+    #: without improvement (set to 1.0 to disable).
+    lr_decay_factor: float = 0.5
+    min_learning_rate: float = 1e-5
+    #: Restore the best-seen weights at the end of training.
+    restore_best_weights: bool = True
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.monitor not in ("val_accuracy", "val_loss"):
+            raise ValueError(f"monitor must be 'val_accuracy' or 'val_loss', got {self.monitor}")
+        if not 0.0 < self.lr_decay_factor <= 1.0:
+            raise ValueError("lr_decay_factor must be in (0, 1]")
+
+
+def _one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    labels = np.asarray(labels).reshape(-1).astype(int)
+    out = np.zeros((labels.size, n_classes), dtype=np.float64)
+    out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+class Trainer:
+    """Fits an :class:`~repro.nn.network.MLP` on labelled data.
+
+    Args:
+        model: the network to train (modified in place).
+        optimizer: optimizer instance or registered name (default Adam).
+        loss: loss instance or registered name (default fused softmax
+            cross-entropy on logits).
+        config: training hyper-parameters.
+        seed: seed for the shuffling generator.
+    """
+
+    def __init__(
+        self,
+        model: MLP,
+        optimizer: "Optimizer | str | None" = None,
+        loss: "Loss | str | None" = None,
+        config: Optional[TrainerConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.model = model
+        if optimizer is None:
+            optimizer = Adam(learning_rate=0.01)
+        elif isinstance(optimizer, str):
+            optimizer = get_optimizer(optimizer)
+        self.optimizer = optimizer
+        if loss is None:
+            loss = SoftmaxCrossEntropy()
+        elif isinstance(loss, str):
+            loss = get_loss(loss)
+        self.loss = loss
+        self.config = config if config is not None else TrainerConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # -- main loop ------------------------------------------------------------
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> TrainingHistory:
+        """Train the model; returns the per-epoch history.
+
+        ``y_train`` / ``y_val`` are integer class labels; they are one-hot
+        encoded internally against the model's output width.
+        """
+        x_train = np.asarray(x_train, dtype=np.float64)
+        y_train = np.asarray(y_train).reshape(-1).astype(int)
+        if x_train.shape[0] != y_train.shape[0]:
+            raise ValueError(
+                f"x_train has {x_train.shape[0]} rows but y_train has {y_train.shape[0]}"
+            )
+        n_classes = self.model.topology()[-1]
+        targets = _one_hot(y_train, n_classes)
+
+        has_val = x_val is not None and y_val is not None
+        if has_val:
+            x_val = np.asarray(x_val, dtype=np.float64)
+            y_val = np.asarray(y_val).reshape(-1).astype(int)
+
+        history = TrainingHistory()
+        cfg = self.config
+        best_metric = -np.inf
+        best_weights = None
+        epochs_without_improvement = 0
+
+        for epoch in range(cfg.epochs):
+            train_loss = self._run_epoch(x_train, targets)
+            train_acc = self.model.evaluate_accuracy(x_train, y_train)
+            history.train_loss.append(train_loss)
+            history.train_accuracy.append(train_acc)
+
+            if has_val:
+                val_scores = self.model.predict_scores(x_val)
+                val_loss = self.loss.forward(val_scores, _one_hot(y_val, n_classes))
+                val_acc = accuracy(y_val, np.argmax(val_scores, axis=-1))
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                monitored = val_acc if cfg.monitor == "val_accuracy" else -val_loss
+            else:
+                monitored = train_acc if cfg.monitor == "val_accuracy" else -train_loss
+
+            if cfg.verbose:  # pragma: no cover - console output
+                msg = f"epoch {epoch + 1}/{cfg.epochs} loss={train_loss:.4f} acc={train_acc:.4f}"
+                if has_val:
+                    msg += f" val_acc={history.val_accuracy[-1]:.4f}"
+                print(msg)
+
+            if monitored > best_metric + 1e-9:
+                best_metric = monitored
+                epochs_without_improvement = 0
+                if cfg.restore_best_weights:
+                    best_weights = self.model.get_weights()
+            else:
+                epochs_without_improvement += 1
+                self._maybe_decay_learning_rate(epochs_without_improvement)
+                if (
+                    cfg.early_stopping_patience is not None
+                    and epochs_without_improvement >= cfg.early_stopping_patience
+                ):
+                    break
+
+        if cfg.restore_best_weights and best_weights is not None:
+            self.model.set_weights(best_weights)
+        return history
+
+    def _run_epoch(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        cfg = self.config
+        n_samples = inputs.shape[0]
+        order = np.arange(n_samples)
+        if cfg.shuffle:
+            self._rng.shuffle(order)
+        total_loss = 0.0
+        n_batches = 0
+        for start in range(0, n_samples, cfg.batch_size):
+            batch_idx = order[start : start + cfg.batch_size]
+            x_batch = inputs[batch_idx]
+            y_batch = targets[batch_idx]
+            scores = self.model.forward(x_batch, training=True)
+            total_loss += self.loss.forward(scores, y_batch)
+            grad = self.loss.backward(scores, y_batch)
+            self.model.backward(grad)
+            self.optimizer.update(self.model.parameters, self.model.gradients)
+            n_batches += 1
+        return total_loss / max(n_batches, 1)
+
+    def _maybe_decay_learning_rate(self, epochs_without_improvement: int) -> None:
+        cfg = self.config
+        if cfg.lr_decay_factor >= 1.0 or cfg.early_stopping_patience is None:
+            return
+        if epochs_without_improvement == max(cfg.early_stopping_patience // 2, 1):
+            new_lr = max(
+                self.optimizer.learning_rate * cfg.lr_decay_factor,
+                cfg.min_learning_rate,
+            )
+            self.optimizer.learning_rate = new_lr
+
+
+def train_classifier(
+    model: MLP,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: Optional[np.ndarray] = None,
+    y_val: Optional[np.ndarray] = None,
+    epochs: int = 100,
+    batch_size: int = 32,
+    learning_rate: float = 0.01,
+    patience: Optional[int] = 15,
+    seed: Optional[int] = None,
+    verbose: bool = False,
+) -> TrainingHistory:
+    """One-call convenience wrapper used by examples and experiments."""
+    config = TrainerConfig(
+        epochs=epochs,
+        batch_size=batch_size,
+        early_stopping_patience=patience,
+        verbose=verbose,
+    )
+    trainer = Trainer(
+        model,
+        optimizer=Adam(learning_rate=learning_rate),
+        config=config,
+        seed=seed,
+    )
+    return trainer.fit(x_train, y_train, x_val, y_val)
+
+
+def finetune(
+    model: MLP,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: Optional[np.ndarray] = None,
+    y_val: Optional[np.ndarray] = None,
+    epochs: int = 20,
+    learning_rate: float = 0.003,
+    batch_size: int = 32,
+    seed: Optional[int] = None,
+) -> TrainingHistory:
+    """Short retraining pass after a minimization step (QAT / pruning / clustering).
+
+    Uses a smaller learning rate and fewer epochs than initial training, and
+    keeps early stopping aggressive — matching how QAT retraining is applied
+    in the paper's QKeras flow.
+    """
+    config = TrainerConfig(
+        epochs=epochs,
+        batch_size=batch_size,
+        early_stopping_patience=max(3, epochs // 3),
+        verbose=False,
+    )
+    trainer = Trainer(
+        model,
+        optimizer=Adam(learning_rate=learning_rate),
+        config=config,
+        seed=seed,
+    )
+    return trainer.fit(x_train, y_train, x_val, y_val)

@@ -1,0 +1,153 @@
+"""Unstructured magnitude pruning.
+
+The paper uses unstructured pruning with sparsity levels between 20 % and
+60 %: the smallest-magnitude weights are removed, which in a bespoke circuit
+deletes the corresponding constant multiplier and removes one operand from
+the neuron's adder tree. Pruning is implemented with binary masks on the
+Dense layers so that fine-tuning cannot resurrect removed connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..nn.layers import Dense
+from ..nn.network import MLP
+
+
+@dataclass(frozen=True)
+class PruningResult:
+    """Summary of one pruning application."""
+
+    target_sparsity: float
+    achieved_sparsity: float
+    per_layer_sparsity: List[float]
+    n_pruned: int
+    n_total: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "target_sparsity": self.target_sparsity,
+            "achieved_sparsity": self.achieved_sparsity,
+            "per_layer_sparsity": list(self.per_layer_sparsity),
+            "n_pruned": self.n_pruned,
+            "n_total": self.n_total,
+        }
+
+
+def _validate_sparsity(sparsity: float) -> float:
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    return float(sparsity)
+
+
+def prune_layer_by_magnitude(layer: Dense, sparsity: float) -> np.ndarray:
+    """Set the layer's mask so the ``sparsity`` fraction of smallest |w| is removed.
+
+    Existing masks are respected: already-pruned weights stay pruned and count
+    toward the target. Returns the new mask.
+    """
+    sparsity = _validate_sparsity(sparsity)
+    weights = layer.weights
+    existing_mask = layer.mask if layer.mask is not None else np.ones_like(weights)
+    magnitudes = np.abs(weights) * existing_mask
+    n_total = weights.size
+    n_prune = int(round(sparsity * n_total))
+    if n_prune == 0:
+        layer.mask = existing_mask
+        return existing_mask
+    # Rank all positions by (masked) magnitude; the n_prune smallest go to zero.
+    flat_order = np.argsort(magnitudes, axis=None, kind="stable")
+    new_mask = existing_mask.flatten()
+    new_mask[flat_order[:n_prune]] = 0.0
+    new_mask = new_mask.reshape(weights.shape)
+    layer.mask = new_mask
+    return new_mask
+
+
+def prune_by_magnitude(
+    model: MLP,
+    sparsity: Union[float, Sequence[float]],
+    global_ranking: bool = True,
+) -> PruningResult:
+    """Apply unstructured magnitude pruning to the whole model, in place.
+
+    Args:
+        model: network to prune (masks are set on its Dense layers).
+        sparsity: overall target sparsity, or a per-layer sequence.
+        global_ranking: when a single sparsity is given, rank weights across
+            all layers jointly (True, default) or prune each layer to the
+            same local sparsity (False).
+    """
+    dense_layers = model.dense_layers
+    if not dense_layers:
+        raise ValueError("Model has no Dense layers to prune")
+
+    if not isinstance(sparsity, (int, float)):
+        targets = [float(s) for s in sparsity]
+        if len(targets) != len(dense_layers):
+            raise ValueError(
+                f"Got {len(targets)} sparsity values for {len(dense_layers)} Dense layers"
+            )
+        for layer, target in zip(dense_layers, targets):
+            prune_layer_by_magnitude(layer, _validate_sparsity(target))
+        overall_target = float(np.mean(targets))
+    elif global_ranking:
+        overall_target = _validate_sparsity(float(sparsity))
+        all_magnitudes = []
+        for layer in dense_layers:
+            mask = layer.mask if layer.mask is not None else np.ones_like(layer.weights)
+            all_magnitudes.append((np.abs(layer.weights) * mask).flatten())
+        joined = np.concatenate(all_magnitudes)
+        n_prune = int(round(overall_target * joined.size))
+        if n_prune > 0:
+            threshold = np.partition(joined, n_prune - 1)[n_prune - 1]
+            for layer in dense_layers:
+                mask = layer.mask if layer.mask is not None else np.ones_like(layer.weights)
+                magnitudes = np.abs(layer.weights) * mask
+                new_mask = np.where(magnitudes <= threshold, 0.0, mask)
+                layer.mask = new_mask
+        else:
+            for layer in dense_layers:
+                if layer.mask is None:
+                    layer.mask = np.ones_like(layer.weights)
+    else:
+        overall_target = _validate_sparsity(float(sparsity))
+        for layer in dense_layers:
+            prune_layer_by_magnitude(layer, overall_target)
+
+    per_layer = [layer.sparsity() for layer in dense_layers]
+    n_total = model.n_connections()
+    n_active = model.n_active_connections()
+    return PruningResult(
+        target_sparsity=overall_target,
+        achieved_sparsity=1.0 - n_active / n_total if n_total else 0.0,
+        per_layer_sparsity=per_layer,
+        n_pruned=n_total - n_active,
+        n_total=n_total,
+    )
+
+
+def remove_pruning(model: MLP) -> None:
+    """Drop all pruning masks from the model, in place."""
+    for layer in model.dense_layers:
+        layer.mask = None
+
+
+def pruning_mask_summary(model: MLP) -> Dict[str, object]:
+    """Per-layer mask statistics (used by reports and tests)."""
+    layers = []
+    for index, layer in enumerate(model.dense_layers):
+        mask = layer.mask
+        layers.append(
+            {
+                "layer": index,
+                "has_mask": mask is not None,
+                "sparsity": layer.sparsity(),
+                "pruned": int(mask.size - np.count_nonzero(mask)) if mask is not None else 0,
+            }
+        )
+    return {"layers": layers, "model_sparsity": model.sparsity()}

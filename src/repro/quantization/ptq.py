@@ -1,0 +1,108 @@
+"""Post-training quantization (PTQ).
+
+PTQ quantizes an already-trained model without any retraining. The paper
+uses QAT (via QKeras) for its quantization Pareto fronts; PTQ is implemented
+as the cheaper alternative used by the QAT-vs-PTQ ablation benchmark and as
+the fallback inside the genetic search when fine-tuning is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..datasets.preprocessing import PreparedData
+from ..nn.network import MLP
+from .quantizers import SymmetricQuantizer
+
+
+@dataclass(frozen=True)
+class PTQResult:
+    """Outcome of a post-training quantization pass."""
+
+    model: MLP
+    weight_bits: List[int]
+    scales: List[float]
+    accuracy: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "weight_bits": list(self.weight_bits),
+            "scales": list(self.scales),
+            "accuracy": self.accuracy,
+        }
+
+
+def post_training_quantize(
+    model: MLP,
+    weight_bits: Union[int, Sequence[int]],
+    data: Optional[PreparedData] = None,
+    quantize_bias: bool = True,
+) -> PTQResult:
+    """Quantize a trained model's weights with calibrated, frozen scales.
+
+    Unlike QAT the scales are calibrated once from the trained weights and
+    frozen, and no retraining happens. Returns a new model (clone); the
+    original is untouched.
+
+    Args:
+        model: trained float model.
+        weight_bits: single bit-width or per-layer sequence.
+        data: optional prepared split used to report test accuracy.
+        quantize_bias: also quantize biases (at ``bits + 4``).
+    """
+    clone = model.clone()
+    dense_layers = clone.dense_layers
+    if isinstance(weight_bits, int):
+        per_layer = [weight_bits] * len(dense_layers)
+    else:
+        per_layer = [int(b) for b in weight_bits]
+        if len(per_layer) != len(dense_layers):
+            raise ValueError(
+                f"weight_bits has {len(per_layer)} entries but the model has "
+                f"{len(dense_layers)} Dense layers"
+            )
+
+    scales: List[float] = []
+    for layer, bits in zip(dense_layers, per_layer):
+        weights = layer.weights if layer.mask is None else layer.weights * layer.mask
+        quantizer = SymmetricQuantizer(bits=bits).calibrate(weights)
+        layer.weight_quantizer = quantizer
+        if quantize_bias:
+            layer.bias_quantizer = SymmetricQuantizer(bits=bits + 4).calibrate(layer.bias)
+        scales.append(float(quantizer.scale))
+
+    accuracy = None
+    if data is not None:
+        accuracy = clone.evaluate_accuracy(data.test.features, data.test.labels)
+    return PTQResult(model=clone, weight_bits=per_layer, scales=scales, accuracy=accuracy)
+
+
+def ptq_bitwidth_sensitivity(
+    model: MLP,
+    data: PreparedData,
+    bit_range: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+) -> Dict[int, float]:
+    """Test accuracy of PTQ at each bit-width (no retraining).
+
+    Used by the ablation benchmark to quantify how much accuracy QAT recovers
+    over plain PTQ at low precision.
+    """
+    results: Dict[int, float] = {}
+    for bits in bit_range:
+        result = post_training_quantize(model, bits, data=data)
+        results[int(bits)] = float(result.accuracy) if result.accuracy is not None else float("nan")
+    return results
+
+
+def layer_quantization_error(model: MLP, bits: int) -> List[float]:
+    """Per-layer RMS error a ``bits``-bit symmetric quantization would cause."""
+    errors: List[float] = []
+    for layer in model.dense_layers:
+        weights = layer.weights if layer.mask is None else layer.weights * layer.mask
+        quantizer = SymmetricQuantizer(bits=bits)
+        quantized = quantizer(weights)
+        errors.append(float(np.sqrt(np.mean((weights - quantized) ** 2))))
+    return errors

@@ -1,0 +1,145 @@
+"""Weight quantizers.
+
+A quantizer is a callable mapping a float tensor to its fake-quantized
+version (floats restricted to the representable grid). The same object also
+exposes the integer view used by the bespoke circuit generator, via the
+shared :mod:`repro.hardware.fixed_point` helpers, so training-time accuracy
+and hardware-time area are computed from identical coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..hardware.fixed_point import (
+    FixedPointFormat,
+    derive_format,
+    max_symmetric_level,
+)
+
+
+class Quantizer:
+    """Base quantizer interface."""
+
+    bits: int
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def integer_levels(self, values: np.ndarray) -> np.ndarray:
+        """Integer levels the circuit hard-wires for ``values``."""
+        raise NotImplementedError
+
+
+@dataclass
+class SymmetricQuantizer(Quantizer):
+    """Symmetric fixed-point quantizer with a frozen or dynamic scale.
+
+    Args:
+        bits: total bit-width (sign bit included).
+        scale: value of one integer step. When ``None`` the scale is derived
+            from each tensor it quantizes (dynamic, the QAT default); a fixed
+            scale is used when the quantizer is calibrated once
+            (:meth:`calibrate`) and then frozen for deployment.
+    """
+
+    bits: int
+    scale: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise ValueError(f"bits must be >= 2, got {self.bits}")
+        if self.scale is not None and self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    # -- calibration ------------------------------------------------------------
+
+    def calibrate(self, values: np.ndarray) -> "SymmetricQuantizer":
+        """Freeze the scale so the largest |value| maps to the top level."""
+        fmt = derive_format(np.asarray(values), self.bits)
+        self.scale = fmt.scale
+        return self
+
+    def format_for(self, values: np.ndarray) -> FixedPointFormat:
+        """The fixed-point format used for ``values`` under current settings."""
+        if self.scale is not None:
+            return FixedPointFormat(bits=self.bits, scale=self.scale)
+        return derive_format(np.asarray(values), self.bits)
+
+    # -- quantization -----------------------------------------------------------
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        fmt = self.format_for(values)
+        return fmt.to_floats(fmt.to_integers(values))
+
+    def integer_levels(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        fmt = self.format_for(values)
+        return fmt.to_integers(values)
+
+    @property
+    def max_level(self) -> int:
+        return max_symmetric_level(self.bits)
+
+
+@dataclass
+class PowerOfTwoQuantizer(Quantizer):
+    """Quantizer restricting weights to signed powers of two (and zero).
+
+    Power-of-two coefficients need no adders in a bespoke multiplier (pure
+    shifts), so this quantizer is the most hardware-friendly — and most
+    accuracy-hungry — point of the design space. It is provided for the
+    extension studies, not used by the paper's main sweeps.
+
+    Args:
+        bits: total bit-width budget; exponents range over
+            ``[0, 2**(bits-1) - 1]`` relative to the tensor's maximum.
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise ValueError(f"bits must be >= 2, got {self.bits}")
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return values.copy()
+        max_abs = float(np.max(np.abs(values)))
+        if max_abs == 0.0:
+            return np.zeros_like(values)
+        n_exponents = max_symmetric_level(self.bits)
+        # Exponent 0 corresponds to max_abs; smaller weights round to
+        # progressively smaller powers of two, the smallest to zero.
+        with np.errstate(divide="ignore"):
+            exponents = np.round(np.log2(np.abs(values) / max_abs))
+        exponents = np.where(np.isfinite(exponents), exponents, -np.inf)
+        quantized = np.where(
+            exponents < -(n_exponents - 1),
+            0.0,
+            np.sign(values) * max_abs * np.power(2.0, np.clip(exponents, -(n_exponents - 1), 0)),
+        )
+        return quantized
+
+    def integer_levels(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        quantized = self(values)
+        if quantized.size == 0:
+            return quantized.astype(np.int64)
+        max_abs = float(np.max(np.abs(quantized)))
+        if max_abs == 0.0:
+            return np.zeros(quantized.shape, dtype=np.int64)
+        # Smallest non-zero magnitude becomes 1; all levels are powers of two.
+        nonzero = np.abs(quantized[quantized != 0.0])
+        smallest = float(np.min(nonzero))
+        return np.round(quantized / smallest).astype(np.int64)
+
+
+def quantize_tensor(values: np.ndarray, bits: int) -> np.ndarray:
+    """Convenience function: symmetric fake-quantization with a dynamic scale."""
+    return SymmetricQuantizer(bits=bits)(values)

@@ -1,0 +1,21 @@
+"""Reliability analysis: defect/fault injection for hard-wired printed classifiers."""
+
+from .fault_injection import (
+    FAULT_MODELS,
+    FaultInjectionConfig,
+    FaultInjectionResult,
+    compare_fault_tolerance,
+    fault_rate_sweep,
+    inject_faults,
+    run_fault_injection,
+)
+
+__all__ = [
+    "FAULT_MODELS",
+    "FaultInjectionConfig",
+    "FaultInjectionResult",
+    "compare_fault_tolerance",
+    "fault_rate_sweep",
+    "inject_faults",
+    "run_fault_injection",
+]

@@ -1,0 +1,52 @@
+"""Hardware-aware search: genome encoding, NSGA-II, GA driver, exhaustive baselines."""
+
+from .exhaustive import front_of, grid_search, random_search
+from .ga import GAConfig, GAResult, HardwareAwareGA, run_combined_search
+from .genome import (
+    DEFAULT_BIT_CHOICES,
+    DEFAULT_CLUSTER_CHOICES,
+    DEFAULT_SPARSITY_CHOICES,
+    Genome,
+    GenomeSpace,
+)
+from .nsga2 import (
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    nsga2_rank,
+    select_survivors,
+    tournament_select,
+)
+from .objectives import (
+    CachedEvaluator,
+    EvaluationSettings,
+    apply_genome,
+    evaluate_genome,
+    objectives_of,
+)
+
+__all__ = [
+    "CachedEvaluator",
+    "DEFAULT_BIT_CHOICES",
+    "DEFAULT_CLUSTER_CHOICES",
+    "DEFAULT_SPARSITY_CHOICES",
+    "EvaluationSettings",
+    "GAConfig",
+    "GAResult",
+    "Genome",
+    "GenomeSpace",
+    "HardwareAwareGA",
+    "apply_genome",
+    "crowding_distance",
+    "dominates",
+    "evaluate_genome",
+    "fast_non_dominated_sort",
+    "front_of",
+    "grid_search",
+    "nsga2_rank",
+    "objectives_of",
+    "random_search",
+    "run_combined_search",
+    "select_survivors",
+    "tournament_select",
+]

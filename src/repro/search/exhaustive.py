@@ -1,0 +1,79 @@
+"""Exhaustive and random-sampling baselines for the combined search.
+
+The paper's GA is compared here (ablation benchmarks) against two simpler
+design-space exploration strategies over the same genome space:
+
+* :func:`random_search` — uniform random sampling with the same evaluation
+  budget as the GA.
+* :func:`grid_search` — an exhaustive sweep over a reduced grid (only
+  layer-uniform genomes), which is feasible because printed MLPs have very
+  few layers.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.pareto import pareto_front
+from ..core.pipeline import PreparedPipeline
+from ..core.results import DesignPoint
+from .genome import Genome, GenomeSpace
+from .objectives import CachedEvaluator, EvaluationSettings
+
+
+def random_search(
+    prepared: PreparedPipeline,
+    n_evaluations: int = 64,
+    settings: Optional[EvaluationSettings] = None,
+    seed: int = 0,
+    space: Optional[GenomeSpace] = None,
+) -> List[DesignPoint]:
+    """Uniform random sampling of the genome space.
+
+    Returns every evaluated design point (callers extract the front with
+    :func:`repro.core.pareto.pareto_front`).
+    """
+    if n_evaluations < 1:
+        raise ValueError(f"n_evaluations must be >= 1, got {n_evaluations}")
+    space = space if space is not None else GenomeSpace(
+        n_layers=len(prepared.baseline_model.dense_layers)
+    )
+    evaluator = CachedEvaluator(prepared, settings, seed=seed)
+    rng = np.random.default_rng(seed)
+    while evaluator.n_evaluations < n_evaluations:
+        evaluator(space.random_genome(rng))
+    return evaluator.all_points()
+
+
+def grid_search(
+    prepared: PreparedPipeline,
+    bit_choices: Sequence[int] = (2, 3, 4, 6, 8),
+    sparsity_choices: Sequence[float] = (0.0, 0.3, 0.6),
+    cluster_choices: Sequence[int] = (0, 3, 6),
+    settings: Optional[EvaluationSettings] = None,
+    seed: int = 0,
+) -> List[DesignPoint]:
+    """Exhaustive sweep over layer-uniform genomes.
+
+    Every layer receives the same (bits, sparsity, clusters) triple, so the
+    grid has ``len(bits) * len(sparsity) * len(clusters)`` points regardless
+    of depth — tractable for the coarse comparison grid used by the ablation.
+    """
+    n_layers = len(prepared.baseline_model.dense_layers)
+    evaluator = CachedEvaluator(prepared, settings, seed=seed)
+    for bits, sparsity, clusters in product(bit_choices, sparsity_choices, cluster_choices):
+        genome = Genome(
+            weight_bits=(int(bits),) * n_layers,
+            sparsity=(float(sparsity),) * n_layers,
+            clusters=(int(clusters),) * n_layers,
+        )
+        evaluator(genome)
+    return evaluator.all_points()
+
+
+def front_of(points: List[DesignPoint]) -> List[DesignPoint]:
+    """Convenience re-export: Pareto front of a point list."""
+    return pareto_front(points)

@@ -1,0 +1,194 @@
+"""The hardware-aware genetic algorithm (Figure 2).
+
+An NSGA-II loop over :class:`~repro.search.genome.Genome` candidates whose
+fitness is the pair (accuracy loss, normalized bespoke area) measured with
+the same evaluation flow as the standalone sweeps. The initial population is
+seeded with the baseline and the "pure technique" corners so the combined
+front starts from — and can only improve on — the standalone fronts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.pareto import pareto_front
+from ..core.pipeline import PreparedPipeline
+from ..core.results import DesignPoint
+from .genome import (
+    DEFAULT_BIT_CHOICES,
+    DEFAULT_CLUSTER_CHOICES,
+    DEFAULT_SPARSITY_CHOICES,
+    Genome,
+    GenomeSpace,
+)
+from .nsga2 import select_survivors, tournament_select
+from .objectives import CachedEvaluator, EvaluationSettings, objectives_of
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Hyper-parameters of the hardware-aware GA.
+
+    Attributes:
+        population_size: individuals per generation.
+        n_generations: evolution steps.
+        mutation_rate: per-gene mutation probability.
+        crossover_rate: probability that an offspring is produced by
+            crossover (otherwise a mutated copy of one parent).
+        finetune_epochs: fine-tuning epochs inside each evaluation.
+        seed: RNG seed for the evolutionary operators.
+        bit_choices / sparsity_choices / cluster_choices: gene alphabets.
+    """
+
+    population_size: int = 16
+    n_generations: int = 10
+    mutation_rate: float = 0.25
+    crossover_rate: float = 0.9
+    finetune_epochs: int = 8
+    seed: int = 0
+    bit_choices: Sequence[int] = DEFAULT_BIT_CHOICES
+    sparsity_choices: Sequence[float] = DEFAULT_SPARSITY_CHOICES
+    cluster_choices: Sequence[int] = DEFAULT_CLUSTER_CHOICES
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4:
+            raise ValueError(f"population_size must be >= 4, got {self.population_size}")
+        if self.n_generations < 1:
+            raise ValueError(f"n_generations must be >= 1, got {self.n_generations}")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+
+
+@dataclass
+class GAResult:
+    """Outcome of one GA run."""
+
+    front: List[DesignPoint]
+    all_points: List[DesignPoint]
+    generations: List[Dict[str, float]] = field(default_factory=list)
+    n_evaluations: int = 0
+
+    def best_area_within_loss(self, baseline: DesignPoint, max_loss: float = 0.05):
+        """Best combined design within a relative accuracy-loss budget (or None)."""
+        eligible = [
+            p
+            for p in self.front
+            if 1.0 - p.accuracy / baseline.accuracy <= max_loss + 1e-12
+        ]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda p: p.area)
+
+
+class HardwareAwareGA:
+    """NSGA-II search over combined quantization/pruning/clustering configs.
+
+    Args:
+        prepared: prepared pipeline (trained baseline, data, technology).
+        config: GA hyper-parameters.
+        settings: per-genome evaluation settings (defaults derived from
+            ``config.finetune_epochs``).
+    """
+
+    def __init__(
+        self,
+        prepared: PreparedPipeline,
+        config: Optional[GAConfig] = None,
+        settings: Optional[EvaluationSettings] = None,
+    ) -> None:
+        self.prepared = prepared
+        self.config = config if config is not None else GAConfig()
+        self.settings = (
+            settings
+            if settings is not None
+            else EvaluationSettings(finetune_epochs=self.config.finetune_epochs)
+        )
+        self.space = GenomeSpace(
+            n_layers=len(prepared.baseline_model.dense_layers),
+            bit_choices=self.config.bit_choices,
+            sparsity_choices=self.config.sparsity_choices,
+            cluster_choices=self.config.cluster_choices,
+        )
+        self.evaluator = CachedEvaluator(
+            prepared, self.settings, seed=self.config.seed
+        )
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # -- population handling ------------------------------------------------------
+
+    def _initial_population(self) -> List[Genome]:
+        population = self.space.seed_genomes()
+        while len(population) < self.config.population_size:
+            population.append(self.space.random_genome(self._rng))
+        return population[: self.config.population_size]
+
+    def _make_offspring(self, population: List[Genome], objectives) -> List[Genome]:
+        offspring: List[Genome] = []
+        while len(offspring) < self.config.population_size:
+            parent_a = population[tournament_select(objectives, self._rng)]
+            if self._rng.random() < self.config.crossover_rate:
+                parent_b = population[tournament_select(objectives, self._rng)]
+                child = self.space.crossover(parent_a, parent_b, self._rng)
+            else:
+                child = parent_a
+            child = self.space.mutate_gene(child, self._rng, self.config.mutation_rate)
+            offspring.append(child)
+        return offspring
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> GAResult:
+        """Run the evolutionary search and return the combined Pareto front."""
+        baseline = self.prepared.baseline_point
+        population = self._initial_population()
+        points = [self.evaluator(genome) for genome in population]
+        generations: List[Dict[str, float]] = []
+
+        for generation in range(self.config.n_generations):
+            objectives = [objectives_of(p, baseline) for p in points]
+            offspring = self._make_offspring(population, objectives)
+            offspring_points = [self.evaluator(genome) for genome in offspring]
+
+            combined_population = population + offspring
+            combined_points = points + offspring_points
+            combined_objectives = [objectives_of(p, baseline) for p in combined_points]
+            survivors = select_survivors(
+                combined_objectives, self.config.population_size
+            )
+            population = [combined_population[i] for i in survivors]
+            points = [combined_points[i] for i in survivors]
+
+            front = pareto_front(points)
+            best_gain = max(
+                (baseline.area / p.area for p in front if p.area > 0), default=0.0
+            )
+            generations.append(
+                {
+                    "generation": float(generation),
+                    "front_size": float(len(front)),
+                    "best_area_gain": float(best_gain),
+                    "best_accuracy": float(max(p.accuracy for p in points)),
+                    "evaluations": float(self.evaluator.n_evaluations),
+                }
+            )
+
+        all_points = self.evaluator.all_points()
+        return GAResult(
+            front=pareto_front(all_points),
+            all_points=all_points,
+            generations=generations,
+            n_evaluations=self.evaluator.n_evaluations,
+        )
+
+
+def run_combined_search(
+    prepared: PreparedPipeline,
+    config: Optional[GAConfig] = None,
+) -> GAResult:
+    """Convenience wrapper used by the Figure-2 experiment and examples."""
+    return HardwareAwareGA(prepared, config=config).run()

@@ -1,0 +1,215 @@
+"""Genome encoding for the hardware-aware genetic algorithm.
+
+The paper combines quantization, pruning and weight clustering through a
+hardware-aware GA (Figure 2). The genome here encodes, for every Dense
+layer of the classifier:
+
+* the weight bit-width (quantization),
+* the unstructured sparsity level (pruning),
+* the per-input-position cluster budget (weight clustering, 0 = disabled).
+
+Gene values are drawn from small discrete alphabets, which keeps the search
+space finite and lets evaluations be cached by genome identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Allowed gene values (class attributes of :class:`GenomeSpace` use these defaults).
+DEFAULT_BIT_CHOICES: Tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8)
+DEFAULT_SPARSITY_CHOICES: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
+DEFAULT_CLUSTER_CHOICES: Tuple[int, ...] = (0, 2, 3, 4, 6, 8)
+
+
+@dataclass(frozen=True)
+class Genome:
+    """One candidate configuration of the combined minimization.
+
+    Attributes:
+        weight_bits: per-layer weight bit-widths.
+        sparsity: per-layer unstructured sparsity levels.
+        clusters: per-layer cluster budgets (0 disables clustering).
+    """
+
+    weight_bits: Tuple[int, ...]
+    sparsity: Tuple[float, ...]
+    clusters: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        # Coerce to plain Python scalars so genomes print and serialize
+        # cleanly regardless of whether genes came from NumPy RNG choices.
+        object.__setattr__(self, "weight_bits", tuple(int(b) for b in self.weight_bits))
+        object.__setattr__(self, "sparsity", tuple(float(s) for s in self.sparsity))
+        object.__setattr__(self, "clusters", tuple(int(c) for c in self.clusters))
+        n = len(self.weight_bits)
+        if not (len(self.sparsity) == len(self.clusters) == n):
+            raise ValueError("Genome fields must all have the same per-layer length")
+        if n == 0:
+            raise ValueError("Genome must cover at least one layer")
+        if any(b < 2 for b in self.weight_bits):
+            raise ValueError("weight_bits genes must be >= 2")
+        if any(not 0.0 <= s < 1.0 for s in self.sparsity):
+            raise ValueError("sparsity genes must be in [0, 1)")
+        if any(c < 0 for c in self.clusters):
+            raise ValueError("cluster genes must be >= 0")
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.weight_bits)
+
+    def key(self) -> Tuple:
+        """Hashable identity used for evaluation caching."""
+        return (self.weight_bits, tuple(round(s, 6) for s in self.sparsity), self.clusters)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "weight_bits": list(self.weight_bits),
+            "sparsity": list(self.sparsity),
+            "clusters": list(self.clusters),
+        }
+
+
+class GenomeSpace:
+    """The discrete search space the GA explores.
+
+    Args:
+        n_layers: number of Dense layers in the classifier.
+        bit_choices: allowed weight bit-widths.
+        sparsity_choices: allowed sparsity levels.
+        cluster_choices: allowed cluster budgets (0 = clustering off).
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        bit_choices: Sequence[int] = DEFAULT_BIT_CHOICES,
+        sparsity_choices: Sequence[float] = DEFAULT_SPARSITY_CHOICES,
+        cluster_choices: Sequence[int] = DEFAULT_CLUSTER_CHOICES,
+    ) -> None:
+        if n_layers < 1:
+            raise ValueError(f"n_layers must be >= 1, got {n_layers}")
+        if not bit_choices or not sparsity_choices or not cluster_choices:
+            raise ValueError("All gene alphabets must be non-empty")
+        self.n_layers = int(n_layers)
+        self.bit_choices = tuple(sorted(set(int(b) for b in bit_choices)))
+        self.sparsity_choices = tuple(sorted(set(float(s) for s in sparsity_choices)))
+        self.cluster_choices = tuple(sorted(set(int(c) for c in cluster_choices)))
+
+    # -- sampling ---------------------------------------------------------------
+
+    def random_genome(self, rng: np.random.Generator) -> Genome:
+        """Sample a uniformly random genome."""
+        return Genome(
+            weight_bits=tuple(rng.choice(self.bit_choices) for _ in range(self.n_layers)),
+            sparsity=tuple(rng.choice(self.sparsity_choices) for _ in range(self.n_layers)),
+            clusters=tuple(rng.choice(self.cluster_choices) for _ in range(self.n_layers)),
+        )
+
+    def baseline_genome(self) -> Genome:
+        """The genome equivalent to the un-minimized baseline (8-bit, dense, no clustering)."""
+        bits = max(self.bit_choices)
+        return Genome(
+            weight_bits=(bits,) * self.n_layers,
+            sparsity=(min(self.sparsity_choices),) * self.n_layers,
+            clusters=(0,) * self.n_layers if 0 in self.cluster_choices else (min(self.cluster_choices),) * self.n_layers,
+        )
+
+    def seed_genomes(self) -> List[Genome]:
+        """Hand-picked starting points covering the standalone techniques.
+
+        Seeding the initial population with "pure quantization", "pure
+        pruning" and "pure clustering" corners accelerates convergence and
+        guarantees the combined front can only improve on the standalone ones.
+        """
+        genomes = [self.baseline_genome()]
+        low_bits = min(b for b in self.bit_choices if b >= 3) if any(
+            b >= 3 for b in self.bit_choices
+        ) else min(self.bit_choices)
+        max_bits = max(self.bit_choices)
+        mid_sparsity = self.sparsity_choices[len(self.sparsity_choices) // 2]
+        small_clusters = min((c for c in self.cluster_choices if c > 0), default=0)
+        genomes.append(
+            Genome(
+                weight_bits=(low_bits,) * self.n_layers,
+                sparsity=(min(self.sparsity_choices),) * self.n_layers,
+                clusters=(0 if 0 in self.cluster_choices else small_clusters,) * self.n_layers,
+            )
+        )
+        genomes.append(
+            Genome(
+                weight_bits=(max_bits,) * self.n_layers,
+                sparsity=(mid_sparsity,) * self.n_layers,
+                clusters=(0 if 0 in self.cluster_choices else small_clusters,) * self.n_layers,
+            )
+        )
+        if small_clusters > 0:
+            genomes.append(
+                Genome(
+                    weight_bits=(max_bits,) * self.n_layers,
+                    sparsity=(min(self.sparsity_choices),) * self.n_layers,
+                    clusters=(small_clusters,) * self.n_layers,
+                )
+            )
+        return genomes
+
+    # -- neighbourhood ----------------------------------------------------------
+
+    def mutate_gene(
+        self, genome: Genome, rng: np.random.Generator, mutation_rate: float = 0.25
+    ) -> Genome:
+        """Mutate each gene independently with probability ``mutation_rate``.
+
+        Mutation moves a gene to a random neighbouring value in its alphabet
+        (local move) or, with small probability, to any value (jump).
+        """
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
+
+        def _mutate_value(value, choices):
+            choices = list(choices)
+            index = choices.index(value)
+            if rng.random() < 0.2:
+                return choices[rng.integers(len(choices))]
+            step = -1 if rng.random() < 0.5 else 1
+            return choices[int(np.clip(index + step, 0, len(choices) - 1))]
+
+        bits = list(genome.weight_bits)
+        sparsity = list(genome.sparsity)
+        clusters = list(genome.clusters)
+        for layer in range(self.n_layers):
+            if rng.random() < mutation_rate:
+                bits[layer] = int(_mutate_value(bits[layer], self.bit_choices))
+            if rng.random() < mutation_rate:
+                sparsity[layer] = float(_mutate_value(sparsity[layer], self.sparsity_choices))
+            if rng.random() < mutation_rate:
+                clusters[layer] = int(_mutate_value(clusters[layer], self.cluster_choices))
+        return Genome(tuple(bits), tuple(sparsity), tuple(clusters))
+
+    def crossover(
+        self, parent_a: Genome, parent_b: Genome, rng: np.random.Generator
+    ) -> Genome:
+        """Uniform crossover: each per-layer gene comes from either parent."""
+        if parent_a.n_layers != self.n_layers or parent_b.n_layers != self.n_layers:
+            raise ValueError("Parents do not match this genome space")
+        bits = []
+        sparsity = []
+        clusters = []
+        for layer in range(self.n_layers):
+            take_a = rng.random() < 0.5
+            bits.append(parent_a.weight_bits[layer] if take_a else parent_b.weight_bits[layer])
+            take_a = rng.random() < 0.5
+            sparsity.append(parent_a.sparsity[layer] if take_a else parent_b.sparsity[layer])
+            take_a = rng.random() < 0.5
+            clusters.append(parent_a.clusters[layer] if take_a else parent_b.clusters[layer])
+        return Genome(tuple(bits), tuple(sparsity), tuple(clusters))
+
+    def size(self) -> int:
+        """Cardinality of the search space."""
+        per_layer = (
+            len(self.bit_choices) * len(self.sparsity_choices) * len(self.cluster_choices)
+        )
+        return per_layer**self.n_layers

@@ -1,0 +1,128 @@
+"""NSGA-II primitives: non-dominated sorting, crowding distance, selection.
+
+The hardware-aware GA of the paper is implemented as an NSGA-II over two
+minimized objectives (accuracy loss, normalized area). The functions here
+are generic over objective vectors so they can be unit- and property-tested
+independently of the neural/hardware evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimization)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"Objective vectors differ in length: {a.shape} vs {b.shape}")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def fast_non_dominated_sort(objectives: Sequence[Sequence[float]]) -> List[List[int]]:
+    """Sort indices into Pareto fronts (front 0 is non-dominated).
+
+    Implements the O(MN²) algorithm of Deb et al. (2002). Returns a list of
+    fronts, each a list of indices into ``objectives``.
+    """
+    n = len(objectives)
+    if n == 0:
+        return []
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+            elif dominates(objectives[j], objectives[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    fronts.pop()  # the last front is always empty
+    return fronts
+
+
+def crowding_distance(objectives: Sequence[Sequence[float]]) -> np.ndarray:
+    """Crowding distance of each solution within one front.
+
+    Boundary solutions get infinite distance so they are always preferred,
+    preserving the extremes of the front.
+    """
+    n = len(objectives)
+    if n == 0:
+        return np.array([])
+    matrix = np.asarray(objectives, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("objectives must be a 2-D structure (n_solutions x n_objectives)")
+    distances = np.zeros(n, dtype=np.float64)
+    for m in range(matrix.shape[1]):
+        order = np.argsort(matrix[:, m], kind="stable")
+        distances[order[0]] = np.inf
+        distances[order[-1]] = np.inf
+        span = matrix[order[-1], m] - matrix[order[0], m]
+        if span == 0.0 or n <= 2:
+            continue
+        for rank in range(1, n - 1):
+            previous_value = matrix[order[rank - 1], m]
+            next_value = matrix[order[rank + 1], m]
+            distances[order[rank]] += (next_value - previous_value) / span
+    return distances
+
+
+def nsga2_rank(objectives: Sequence[Sequence[float]]) -> List[tuple]:
+    """Return ``(front_index, -crowding_distance)`` sort keys per solution.
+
+    Lower keys are better: earlier front first, then larger crowding distance.
+    """
+    fronts = fast_non_dominated_sort(objectives)
+    keys: List[tuple] = [(0, 0.0)] * len(objectives)
+    for front_index, front in enumerate(fronts):
+        front_objectives = [objectives[i] for i in front]
+        distances = crowding_distance(front_objectives)
+        for position, solution_index in enumerate(front):
+            keys[solution_index] = (front_index, -float(distances[position]))
+    return keys
+
+
+def select_survivors(
+    objectives: Sequence[Sequence[float]], n_survivors: int
+) -> List[int]:
+    """Environmental selection: keep the best ``n_survivors`` by NSGA-II ranking."""
+    if n_survivors < 0:
+        raise ValueError(f"n_survivors must be >= 0, got {n_survivors}")
+    keys = nsga2_rank(objectives)
+    order = sorted(range(len(objectives)), key=lambda i: keys[i])
+    return order[:n_survivors]
+
+
+def tournament_select(
+    objectives: Sequence[Sequence[float]],
+    rng: np.random.Generator,
+    tournament_size: int = 2,
+) -> int:
+    """Binary (or k-ary) tournament selection by NSGA-II ranking."""
+    if not objectives:
+        raise ValueError("Cannot select from an empty population")
+    if tournament_size < 1:
+        raise ValueError(f"tournament_size must be >= 1, got {tournament_size}")
+    keys = nsga2_rank(objectives)
+    contenders = rng.integers(0, len(objectives), size=tournament_size)
+    return int(min(contenders, key=lambda i: keys[i]))

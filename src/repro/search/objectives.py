@@ -1,0 +1,164 @@
+"""Objective evaluation: genome → minimized classifier → (accuracy, area).
+
+Evaluating one genome applies all three techniques to a clone of the trained
+baseline in the order pruning → clustering → quantization-aware fine-tuning
+(a single joint fine-tuning pass recovers accuracy for all of them at once),
+then synthesizes the bespoke circuit at the genome's bit-widths. The result
+is returned as a ``combined`` :class:`~repro.core.results.DesignPoint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..bespoke.circuit import BespokeConfig
+from ..bespoke.synthesis import synthesize
+from ..clustering.weight_clustering import cluster_model_weights, reproject_clusters
+from ..core.pipeline import PreparedPipeline
+from ..core.results import DesignPoint
+from ..nn.trainer import finetune
+from ..pruning.magnitude import prune_by_magnitude
+from ..quantization.qat import attach_quantizers
+from .genome import Genome
+
+
+@dataclass(frozen=True)
+class EvaluationSettings:
+    """Knobs of the per-genome evaluation.
+
+    Attributes:
+        finetune_epochs: joint fine-tuning epochs (0 = no retraining, pure
+            post-training evaluation — used by the GA ablation).
+        finetune_learning_rate: learning rate of the joint fine-tuning pass.
+        per_position_clustering: cluster per input position (paper scheme).
+    """
+
+    finetune_epochs: int = 8
+    finetune_learning_rate: float = 0.003
+    per_position_clustering: bool = True
+
+
+def apply_genome(
+    genome: Genome,
+    prepared: PreparedPipeline,
+    settings: Optional[EvaluationSettings] = None,
+    seed: Optional[int] = None,
+):
+    """Apply a genome's minimizations to a clone of the prepared baseline.
+
+    Returns the minimized model (the prepared baseline itself is untouched).
+    """
+    settings = settings if settings is not None else EvaluationSettings()
+    model = prepared.baseline_model.clone()
+    dense_layers = model.dense_layers
+    if genome.n_layers != len(dense_layers):
+        raise ValueError(
+            f"Genome covers {genome.n_layers} layers but the model has {len(dense_layers)}"
+        )
+    data = prepared.data
+
+    # 1. Pruning (masks stay in place for the rest of the flow).
+    if any(s > 0.0 for s in genome.sparsity):
+        prune_by_magnitude(model, list(genome.sparsity), global_ranking=False)
+
+    # 2. Weight clustering on the surviving weights.
+    clustering_result = None
+    if any(c > 0 for c in genome.clusters):
+        budgets = [c if c > 0 else 10**6 for c in genome.clusters]
+        clustering_result = cluster_model_weights(
+            model,
+            budgets,
+            seed=seed,
+            per_position=settings.per_position_clustering,
+        )
+
+    # 3. Quantization-aware joint fine-tuning.
+    attach_quantizers(model, list(genome.weight_bits))
+    if settings.finetune_epochs > 0:
+        finetune(
+            model,
+            data.train.features,
+            data.train.labels,
+            data.validation.features,
+            data.validation.labels,
+            epochs=settings.finetune_epochs,
+            learning_rate=settings.finetune_learning_rate,
+            seed=seed,
+        )
+        if clustering_result is not None:
+            reproject_clusters(model, clustering_result)
+    return model
+
+
+def evaluate_genome(
+    genome: Genome,
+    prepared: PreparedPipeline,
+    settings: Optional[EvaluationSettings] = None,
+    seed: Optional[int] = None,
+) -> DesignPoint:
+    """Full evaluation of one genome: minimized accuracy and synthesized area."""
+    settings = settings if settings is not None else EvaluationSettings()
+    model = apply_genome(genome, prepared, settings, seed=seed)
+    data = prepared.data
+    accuracy = model.evaluate_accuracy(data.test.features, data.test.labels)
+    report = synthesize(
+        model,
+        config=BespokeConfig(
+            input_bits=prepared.config.input_bits,
+            weight_bits=list(genome.weight_bits),
+        ),
+        tech=prepared.technology,
+        name=f"{prepared.metadata.get('dataset', 'mlp')}_combined",
+    )
+    return DesignPoint(
+        technique="combined",
+        accuracy=float(accuracy),
+        area=report.area,
+        power=report.power,
+        delay=report.delay,
+        parameters=genome.as_dict(),
+        report=report,
+    )
+
+
+def objectives_of(point: DesignPoint, baseline: DesignPoint) -> Tuple[float, float]:
+    """The two minimized objectives: (relative accuracy loss, normalized area)."""
+    if baseline.accuracy <= 0 or baseline.area <= 0:
+        raise ValueError("Baseline accuracy and area must be positive")
+    loss = max(1.0 - point.accuracy / baseline.accuracy, 0.0)
+    normalized_area = point.area / baseline.area
+    return (loss, normalized_area)
+
+
+class CachedEvaluator:
+    """Memoizes genome evaluations (the GA revisits genomes frequently)."""
+
+    def __init__(
+        self,
+        prepared: PreparedPipeline,
+        settings: Optional[EvaluationSettings] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.prepared = prepared
+        self.settings = settings if settings is not None else EvaluationSettings()
+        self.seed = seed
+        self._cache: Dict[Tuple, DesignPoint] = {}
+        self.n_evaluations = 0
+
+    def __call__(self, genome: Genome) -> DesignPoint:
+        key = genome.key()
+        if key not in self._cache:
+            self._cache[key] = evaluate_genome(
+                genome, self.prepared, self.settings, seed=self.seed
+            )
+            self.n_evaluations += 1
+        return self._cache[key]
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def all_points(self):
+        """Every distinct design point evaluated so far."""
+        return list(self._cache.values())

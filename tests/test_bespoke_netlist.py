@@ -1,0 +1,105 @@
+"""Unit tests for repro.bespoke.netlist."""
+
+import pytest
+
+from repro.bespoke.netlist import CircuitComponent, Netlist
+from repro.hardware.cost import HardwareCost
+
+
+def component(name, kind="multiplier", area=1.0, layer=0):
+    return CircuitComponent(
+        name=name,
+        kind=kind,
+        cost=HardwareCost(area=area, power=area / 10, delay=5.0, gate_counts={"FA": 1}),
+        layer_index=layer,
+    )
+
+
+class TestCircuitComponent:
+    def test_valid_kinds_accepted(self):
+        for kind in CircuitComponent.VALID_KINDS:
+            CircuitComponent(name=f"c_{kind}", kind=kind, cost=HardwareCost.zero())
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitComponent(name="bad", kind="alu", cost=HardwareCost.zero())
+
+
+class TestNetlist:
+    def test_add_and_len(self):
+        netlist = Netlist()
+        netlist.add(component("a"))
+        netlist.add(component("b"))
+        assert len(netlist) == 2
+
+    def test_duplicate_names_rejected(self):
+        netlist = Netlist([component("a")])
+        with pytest.raises(ValueError):
+            netlist.add(component("a"))
+
+    def test_duplicate_names_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Netlist([component("a"), component("a")])
+
+    def test_extend(self):
+        netlist = Netlist()
+        netlist.extend([component("a"), component("b"), component("c")])
+        assert len(netlist) == 3
+
+    def test_by_kind_filters(self):
+        netlist = Netlist(
+            [component("m0"), component("t0", kind="adder_tree"), component("m1")]
+        )
+        assert len(netlist.by_kind("multiplier")) == 2
+        assert len(netlist.by_kind("adder_tree")) == 1
+        assert netlist.by_kind("argmax") == []
+
+    def test_by_layer_filters(self):
+        netlist = Netlist(
+            [component("a", layer=0), component("b", layer=1), component("c", layer=1)]
+        )
+        assert len(netlist.by_layer(1)) == 2
+        assert len(netlist.by_layer(5)) == 0
+
+    def test_total_cost_sums_area(self):
+        netlist = Netlist([component("a", area=1.0), component("b", area=2.5)])
+        assert netlist.total_cost().area == pytest.approx(3.5)
+        assert netlist.total_cost().gate_counts == {"FA": 2}
+
+    def test_cost_by_kind(self):
+        netlist = Netlist(
+            [
+                component("m0", area=1.0),
+                component("m1", area=2.0),
+                component("t0", kind="adder_tree", area=4.0),
+            ]
+        )
+        breakdown = netlist.cost_by_kind()
+        assert breakdown["multiplier"].area == pytest.approx(3.0)
+        assert breakdown["adder_tree"].area == pytest.approx(4.0)
+
+    def test_cost_by_layer_none_key_for_global(self):
+        global_component = CircuitComponent(
+            name="argmax", kind="argmax", cost=HardwareCost(area=1.0), layer_index=None
+        )
+        netlist = Netlist([component("a", layer=0), global_component])
+        breakdown = netlist.cost_by_layer()
+        assert None in breakdown
+        assert breakdown[None].area == 1.0
+
+    def test_count_by_kind(self):
+        netlist = Netlist(
+            [component("m0"), component("m1"), component("r", kind="register")]
+        )
+        assert netlist.count_by_kind() == {"multiplier": 2, "register": 1}
+
+    def test_components_returns_copy(self):
+        netlist = Netlist([component("a")])
+        items = netlist.components
+        items.append(component("b"))
+        assert len(netlist) == 1
+
+    def test_empty_netlist_totals(self):
+        netlist = Netlist()
+        assert netlist.total_cost().is_zero()
+        assert netlist.cost_by_kind() == {}

@@ -1,0 +1,123 @@
+"""Tests for the bit-accurate fixed-point circuit simulator."""
+
+import numpy as np
+import pytest
+
+from repro.bespoke import BespokeConfig, FixedPointSimulator, verify_circuit
+from repro.nn import MLP, build_mlp
+from repro.pruning import prune_by_magnitude
+from repro.quantization import attach_quantizers
+
+
+class TestConstructionAndInputs:
+    def test_requires_dense_layers(self):
+        with pytest.raises(ValueError):
+            FixedPointSimulator(MLP([]))
+
+    def test_layer_views_match_model(self, seeds_model):
+        simulator = FixedPointSimulator(seeds_model, BespokeConfig(weight_bits=6))
+        assert len(simulator.layers) == 2
+        assert simulator.layers[0].n_inputs == 7
+        assert simulator.layers[0].n_neurons == 4
+        assert simulator.layers[0].relu is True
+        assert simulator.layers[1].relu is False
+
+    def test_quantize_inputs_levels(self, seeds_model):
+        simulator = FixedPointSimulator(seeds_model, BespokeConfig(input_bits=4))
+        levels = simulator.quantize_inputs(np.array([[0.0, 0.5, 1.0, 0.2, 0.8, 0.4, 0.6]]))
+        assert levels.dtype.kind == "i"
+        assert levels.min() >= 0
+        assert levels.max() <= 15
+
+    def test_out_of_range_inputs_rejected(self, seeds_model):
+        simulator = FixedPointSimulator(seeds_model)
+        with pytest.raises(ValueError):
+            simulator.quantize_inputs(np.array([[2.0] * 7]))
+
+    def test_wrong_feature_count_rejected(self, seeds_model):
+        simulator = FixedPointSimulator(seeds_model)
+        with pytest.raises(ValueError):
+            simulator.forward_integer(np.zeros((1, 5)))
+
+
+class TestFunctionalEquivalence:
+    def test_agreement_with_float_model_at_8_bits(self, seeds_model, seeds_data):
+        simulator = FixedPointSimulator(seeds_model, BespokeConfig(input_bits=4, weight_bits=8))
+        agreement = simulator.agreement_with_model(seeds_model, seeds_data.test.features)
+        assert agreement >= 0.95
+
+    def test_exact_agreement_with_quantized_model(self, seeds_model, seeds_data):
+        quantized = seeds_model.clone()
+        attach_quantizers(quantized, 4)
+        simulator = FixedPointSimulator(quantized, BespokeConfig(input_bits=4, weight_bits=4))
+        agreement = simulator.agreement_with_model(quantized, seeds_data.test.features)
+        assert agreement >= 0.98
+
+    def test_simulated_accuracy_close_to_model_accuracy(self, seeds_model, seeds_data):
+        simulator = FixedPointSimulator(seeds_model, BespokeConfig(weight_bits=8))
+        circuit_accuracy = simulator.evaluate_accuracy(
+            seeds_data.test.features, seeds_data.test.labels
+        )
+        model_accuracy = seeds_model.evaluate_accuracy(
+            seeds_data.test.features, seeds_data.test.labels
+        )
+        assert abs(circuit_accuracy - model_accuracy) <= 0.05
+
+    def test_pruned_model_simulation(self, seeds_model, seeds_data):
+        pruned = seeds_model.clone()
+        prune_by_magnitude(pruned, 0.4)
+        simulator = FixedPointSimulator(pruned, BespokeConfig(weight_bits=8))
+        agreement = simulator.agreement_with_model(pruned, seeds_data.test.features)
+        assert agreement >= 0.9
+
+    def test_predict_scores_scaled_floats(self, seeds_model, seeds_data):
+        simulator = FixedPointSimulator(seeds_model, BespokeConfig(weight_bits=8))
+        scores = simulator.predict_scores(seeds_data.test.features[:5])
+        assert scores.shape == (5, 3)
+        assert scores.dtype == np.float64
+        # The argmax of the scaled scores matches the integer argmax.
+        np.testing.assert_array_equal(
+            np.argmax(scores, axis=1), simulator.predict(seeds_data.test.features[:5])
+        )
+
+    def test_verify_circuit_verdict(self, seeds_model, seeds_data):
+        quantized = seeds_model.clone()
+        attach_quantizers(quantized, 5)
+        verdict = verify_circuit(
+            quantized,
+            seeds_data.test.features,
+            BespokeConfig(input_bits=4, weight_bits=5),
+        )
+        assert verdict["passed"] is True
+        assert verdict["n_samples"] == seeds_data.test.n_samples
+        assert 0.0 <= verdict["agreement"] <= 1.0
+
+    def test_untrained_random_model_still_consistent(self, seeds_data):
+        model = build_mlp(7, (5,), 3, seed=3)
+        simulator = FixedPointSimulator(model, BespokeConfig(weight_bits=8))
+        agreement = simulator.agreement_with_model(model, seeds_data.test.features)
+        assert agreement >= 0.9
+
+
+class TestDatapathTrace:
+    def test_datapath_report_fields(self, seeds_model, seeds_data):
+        simulator = FixedPointSimulator(seeds_model, BespokeConfig(weight_bits=6))
+        report = simulator.datapath_report(seeds_data.test.features)
+        assert len(report["accumulator_bits"]) == 2
+        assert report["configured_weight_bits"] == [6, 6]
+        assert report["input_bits"] == 4
+        assert report["n_samples"] == seeds_data.test.n_samples
+
+    def test_accumulator_bits_positive_and_bounded(self, seeds_model, seeds_data):
+        simulator = FixedPointSimulator(seeds_model, BespokeConfig(weight_bits=8))
+        report = simulator.datapath_report(seeds_data.test.features)
+        for bits in report["accumulator_bits"]:
+            assert 1 <= bits <= 32
+
+    def test_relu_clamps_hidden_accumulators(self, seeds_model, seeds_data):
+        simulator = FixedPointSimulator(seeds_model, BespokeConfig(weight_bits=8))
+        scores = simulator.forward_integer(seeds_data.test.features)
+        # Hidden ReLU guarantees the last layer's inputs were non-negative, so
+        # final scores are bounded by sum of |weights| * max activation; just
+        # check they are finite integers.
+        assert scores.dtype.kind == "i"

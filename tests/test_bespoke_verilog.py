@@ -1,0 +1,122 @@
+"""Tests for the structural Verilog export."""
+
+import numpy as np
+import pytest
+
+from repro.bespoke import BespokeConfig, count_verilog_adders, export_verilog
+from repro.bespoke.verilog import _csd_expression, _identifier
+from repro.hardware.csd import from_csd, to_csd
+from repro.nn import MLP, build_mlp
+from repro.pruning import prune_by_magnitude
+from repro.quantization import attach_quantizers
+
+
+@pytest.fixture
+def model():
+    return build_mlp(5, (4,), 3, seed=0)
+
+
+class TestCSDExpression:
+    @pytest.mark.parametrize("coefficient", [1, 2, 3, 5, 7, 12, 100, -3, -17])
+    def test_expression_evaluates_to_product(self, coefficient):
+        expression = _csd_expression("x", coefficient)
+        # Evaluate the expression in Python: <<< behaves like << for ints.
+        value = eval(expression.replace("<<<", "<<"), {"x": 13})
+        assert value == 13 * coefficient
+
+    def test_zero_coefficient(self):
+        assert _csd_expression("x", 0) == "0"
+
+    def test_identifier_sanitization(self):
+        assert _identifier("my module-1") == "my_module_1"
+        assert _identifier("123abc").startswith("m_")
+        assert _identifier("") .startswith("m_")
+
+
+class TestExportStructure:
+    def test_module_header_and_ports(self, model):
+        source = export_verilog(model, BespokeConfig(input_bits=4, weight_bits=6), "toy")
+        assert "module toy (" in source
+        assert "input  wire [19:0] features," in source            # 5 inputs x 4 bits
+        assert "output wire [1:0] predicted_class" in source       # 3 classes -> 2 bits
+        assert source.strip().endswith("endmodule")
+
+    def test_requires_dense_layers(self):
+        with pytest.raises(ValueError):
+            export_verilog(MLP([]))
+
+    def test_invalid_accumulator_width(self, model):
+        with pytest.raises(ValueError):
+            export_verilog(model, accumulator_width=4)
+
+    def test_one_sum_wire_per_neuron(self, model):
+        source = export_verilog(model)
+        assert source.count("wire signed [31:0] sum_0_") == 4
+        assert source.count("wire signed [31:0] sum_1_") == 3
+
+    def test_relu_only_on_hidden_layer(self, model):
+        source = export_verilog(model)
+        hidden_relu = [line for line in source.splitlines() if "? 32'sd0 :" in line]
+        assert len(hidden_relu) == 4  # one per hidden neuron, none on the output layer
+
+    def test_argmax_chain_length(self, model):
+        source = export_verilog(model)
+        assert source.count("best_value_") >= 3
+        assert "assign predicted_class = best_index_2;" in source
+
+    def test_topology_comment(self, model):
+        source = export_verilog(model, BespokeConfig(weight_bits=5))
+        assert "topology: 5-4-3" in source
+        assert "weight_bits=[5, 5]" in source
+
+
+class TestMinimizationReflectedInNetlist:
+    def test_pruning_removes_terms(self, model):
+        dense_source = export_verilog(model)
+        pruned = model.clone()
+        prune_by_magnitude(pruned, 0.6)
+        pruned_source = export_verilog(pruned)
+        assert count_verilog_adders(pruned_source) < count_verilog_adders(dense_source)
+
+    def test_lower_precision_reduces_adders(self, model):
+        wide = export_verilog(model, BespokeConfig(weight_bits=8))
+        narrow_model = model.clone()
+        attach_quantizers(narrow_model, 2)
+        narrow = export_verilog(narrow_model, BespokeConfig(weight_bits=2))
+        assert count_verilog_adders(narrow) < count_verilog_adders(wide)
+
+    def test_zero_weight_produces_no_reference(self):
+        mlp = build_mlp(3, (2,), 2, seed=0)
+        layer = mlp.dense_layers[0]
+        layer.weights[0, :] = 0.0
+        mask = np.ones_like(layer.weights)
+        mask[0, :] = 0.0
+        layer.mask = mask
+        source = export_verilog(mlp)
+        # act_0_0 (the zeroed input) is declared but never used in a sum.
+        sum_lines = [line for line in source.splitlines() if "sum_0_" in line]
+        assert all("act_0_0" not in line for line in sum_lines)
+
+
+class TestNumericalConsistencyWithSimulator:
+    def test_first_layer_sums_match_simulator(self, seeds_model, seeds_data):
+        """Evaluate the generated layer-0 expressions in Python and compare
+        against the fixed-point simulator's integer accumulators."""
+        from repro.bespoke import FixedPointSimulator
+
+        config = BespokeConfig(input_bits=4, weight_bits=6)
+        simulator = FixedPointSimulator(seeds_model, config)
+        source = export_verilog(seeds_model, config)
+
+        sample = seeds_data.test.features[0]
+        levels = simulator.quantize_inputs(sample.reshape(1, -1))[0]
+        namespace = {f"act_0_{i}": int(levels[i]) for i in range(len(levels))}
+
+        expected = levels @ simulator.layers[0].weights + simulator.layers[0].bias
+        for line in source.splitlines():
+            line = line.strip()
+            if line.startswith("wire signed [31:0] sum_0_"):
+                name, expression = line[len("wire signed [31:0] "):].rstrip(";").split(" = ", 1)
+                neuron = int(name.split("_")[-1])
+                value = eval(expression.replace("<<<", "<<"), dict(namespace))
+                assert value == int(expected[neuron])

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("baseline", "figure1", "figure2", "ablations", "synth"):
+            args = parser.parse_args([command] if command != "synth" else ["synth"])
+            assert args.command == command
+
+    def test_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure2"])
+        assert args.dataset == "whitewine"
+        assert args.population == 16
+        args = parser.parse_args(["figure1"])
+        assert args.dataset == "all"
+        args = parser.parse_args(["synth", "--weight-bits", "4"])
+        assert args.weight_bits == 4
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+
+class TestCommands:
+    """End-to-end CLI runs with the smallest usable settings (seeds + --fast)."""
+
+    def test_baseline_command(self, capsys):
+        exit_code = main(["baseline", "--dataset", "seeds", "--fast"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "seeds" in output
+        assert "mm^2" in output
+
+    def test_figure1_command_with_export_and_plot(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "figure1",
+                "--dataset",
+                "seeds",
+                "--fast",
+                "--plot",
+                "--output",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "norm_area" in output
+        assert "normalized area" in output            # the ASCII plot legend
+        assert (tmp_path / "out" / "seeds_sweep.json").exists()
+        assert (tmp_path / "out" / "seeds_points.csv").exists()
+
+    def test_figure2_command_small_ga(self, capsys):
+        exit_code = main(
+            [
+                "figure2",
+                "--dataset",
+                "seeds",
+                "--fast",
+                "--population",
+                "4",
+                "--generations",
+                "1",
+                "--finetune-epochs",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "combined" in output
+
+    def test_synth_command_with_verilog(self, capsys, tmp_path):
+        verilog_path = tmp_path / "seeds.v"
+        exit_code = main(
+            [
+                "synth",
+                "--dataset",
+                "seeds",
+                "--fast",
+                "--weight-bits",
+                "4",
+                "--finetune-epochs",
+                "2",
+                "--verilog",
+                str(verilog_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Normalized area" in output
+        assert "agreement" in output
+        assert verilog_path.exists()
+        assert "module seeds_mlp" in verilog_path.read_text()
+
+    def test_synth_command_without_quantization(self, capsys):
+        exit_code = main(["synth", "--dataset", "seeds", "--fast"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "test accuracy" in output

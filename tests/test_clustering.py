@@ -1,0 +1,191 @@
+"""Tests for repro.clustering: 1-D k-means, weight sharing, and the sweep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import (
+    cluster_and_finetune,
+    cluster_and_replace,
+    cluster_layer_weights,
+    cluster_model_weights,
+    clustering_sweep,
+    distinct_products,
+    kmeans_1d,
+    reproject_clusters,
+)
+from repro.nn import build_mlp
+from repro.pruning import prune_by_magnitude
+
+
+class TestKMeans1D:
+    def test_well_separated_clusters_found(self):
+        values = np.concatenate([np.full(20, -5.0), np.full(20, 0.0), np.full(20, 5.0)])
+        result = kmeans_1d(values, 3, seed=0)
+        np.testing.assert_allclose(sorted(result.centroids), [-5.0, 0.0, 5.0], atol=1e-9)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_centroids_sorted_and_assignments_consistent(self):
+        values = np.random.default_rng(0).normal(size=200)
+        result = kmeans_1d(values, 4, seed=0)
+        assert np.all(np.diff(result.centroids) >= 0)
+        reconstructed = result.centroids[result.assignments]
+        assert np.all(np.abs(values - reconstructed) <= np.ptp(values))
+
+    def test_more_clusters_than_distinct_values(self):
+        values = np.array([1.0, 1.0, 2.0, 2.0])
+        result = kmeans_1d(values, 10, seed=0)
+        assert len(result.centroids) == 2
+
+    def test_single_cluster_is_mean(self):
+        values = np.array([1.0, 3.0, 5.0])
+        result = kmeans_1d(values, 1, seed=0)
+        assert result.centroids[0] == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("init", ["kmeans++", "linear", "quantile"])
+    def test_all_initializations_work(self, init):
+        values = np.random.default_rng(1).normal(size=100)
+        result = kmeans_1d(values, 4, seed=0, init=init)
+        assert len(result.centroids) == 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([]), 2)
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0]), 2, init="random_partition")
+
+    def test_cluster_and_replace_shape_preserved(self):
+        values = np.random.default_rng(2).normal(size=(6, 4))
+        replaced, result = cluster_and_replace(values, 3, seed=0)
+        assert replaced.shape == values.shape
+        assert len(np.unique(replaced)) <= 3
+
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=60),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_kmeans_properties(self, values, n_clusters):
+        values = np.array(values)
+        result = kmeans_1d(values, n_clusters, seed=0)
+        # Inertia never exceeds the variance around the global mean (k=1 solution).
+        assert result.inertia <= np.sum((values - values.mean()) ** 2) + 1e-6
+        # Centroids lie within the data range.
+        assert result.centroids.min() >= values.min() - 1e-9
+        assert result.centroids.max() <= values.max() + 1e-9
+
+
+class TestLayerAndModelClustering:
+    def test_per_position_limits_distinct_values_per_row(self):
+        model = build_mlp(6, (8,), 4, seed=0)
+        layer = model.dense_layers[0]
+        cluster_layer_weights(layer, 3, seed=0, per_position=True)
+        for row in layer.weights:
+            assert len(np.unique(row)) <= 3
+
+    def test_whole_layer_codebook(self):
+        model = build_mlp(6, (8,), 4, seed=0)
+        layer = model.dense_layers[0]
+        cluster_layer_weights(layer, 4, seed=0, per_position=False)
+        assert len(np.unique(layer.weights)) <= 4
+
+    def test_zero_weights_stay_zero(self):
+        model = build_mlp(6, (8,), 4, seed=0)
+        prune_by_magnitude(model, 0.5)
+        cluster_model_weights(model, 3, seed=0)
+        assert model.sparsity() == pytest.approx(0.5, abs=0.1)
+
+    def test_cluster_model_per_layer_budgets(self):
+        model = build_mlp(6, (8,), 4, seed=0)
+        cluster_model_weights(model, (2, 5), seed=0)
+        first, second = model.dense_layers
+        assert max(len(np.unique(row)) for row in first.weights) <= 2
+        assert max(len(np.unique(row)) for row in second.weights) <= 5
+
+    def test_wrong_budget_length(self):
+        model = build_mlp(6, (8,), 4, seed=0)
+        with pytest.raises(ValueError):
+            cluster_model_weights(model, (2, 3, 4), seed=0)
+
+    def test_result_counts_products(self):
+        model = build_mlp(6, (8,), 4, seed=0)
+        result = cluster_model_weights(model, 2, seed=0)
+        assert result.total_distinct_products <= (6 + 8) * 2
+        assert result.total_connections == model.n_active_connections()
+        assert result.sharing_ratio() > 1.0
+
+    def test_distinct_products_decreases_with_clustering(self):
+        model = build_mlp(6, (8,), 4, seed=0)
+        before = distinct_products(model)
+        cluster_model_weights(model, 2, seed=0)
+        after = distinct_products(model)
+        assert after < before
+
+    def test_invalid_cluster_count(self):
+        model = build_mlp(4, (3,), 2, seed=0)
+        with pytest.raises(ValueError):
+            cluster_layer_weights(model.dense_layers[0], 0)
+
+
+class TestReprojectAndFinetune:
+    @pytest.fixture(scope="class")
+    def data(self):
+        from repro.datasets import load_dataset, prepare_split, train_val_test_split
+
+        return prepare_split(train_val_test_split(load_dataset("seeds"), seed=0), input_bits=4)
+
+    @pytest.fixture(scope="class")
+    def trained(self, data):
+        from repro.nn import train_classifier
+
+        model = build_mlp(7, (4,), 3, seed=0)
+        train_classifier(
+            model, data.train.features, data.train.labels,
+            data.validation.features, data.validation.labels, epochs=60, seed=0,
+        )
+        return model
+
+    def test_reproject_restores_cluster_structure(self, trained):
+        model = trained.clone()
+        result = cluster_model_weights(model, 2, seed=0)
+        # Perturb weights (simulating unconstrained fine-tuning).
+        for layer in model.dense_layers:
+            layer.weights += np.random.default_rng(0).normal(scale=0.01, size=layer.weights.shape)
+        reproject_clusters(model, result)
+        for layer in model.dense_layers:
+            for row in layer.weights:
+                nonzero = row[row != 0.0]
+                if nonzero.size:
+                    assert len(np.unique(nonzero)) <= 2
+
+    def test_reproject_mismatched_result_rejected(self, trained):
+        model = trained.clone()
+        result = cluster_model_weights(model.clone(), 2, seed=0)
+        result.per_layer.pop()
+        with pytest.raises(ValueError):
+            reproject_clusters(model, result)
+
+    def test_cluster_and_finetune_keeps_structure_and_accuracy(self, trained, data):
+        model = trained.clone()
+        baseline_accuracy = trained.evaluate_accuracy(data.test.features, data.test.labels)
+        cluster_and_finetune(model, data, 3, epochs=6, seed=0)
+        accuracy = model.evaluate_accuracy(data.test.features, data.test.labels)
+        for layer in model.dense_layers:
+            for row in layer.weights:
+                nonzero = row[row != 0.0]
+                if nonzero.size:
+                    assert len(np.unique(nonzero)) <= 3
+        assert accuracy >= baseline_accuracy - 0.2
+
+    def test_clustering_sweep_points(self, trained, data):
+        points = clustering_sweep(
+            trained, data, cluster_range=(2, 6), finetune_epochs=3, seed=0
+        )
+        assert [p.parameters["n_clusters"] for p in points] == [2, 6]
+        assert all(p.technique == "clustering" for p in points)
+        # Fewer clusters -> more sharing -> smaller area.
+        assert points[0].area <= points[1].area + 1e-9
+        # Baseline untouched.
+        assert trained.dense_layers[0].mask is None

@@ -1,0 +1,138 @@
+"""Integration tests for the end-to-end minimization pipeline (fast settings)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MinimizationPipeline,
+    PipelineConfig,
+    evaluate_dataset,
+    fast_config,
+    pareto_front,
+)
+from repro.core.config import (
+    DEFAULT_BIT_RANGE,
+    DEFAULT_CLUSTER_RANGE,
+    DEFAULT_SPARSITY_RANGE,
+)
+
+
+class TestPipelineConfig:
+    def test_defaults_match_paper_ranges(self):
+        config = PipelineConfig(dataset="whitewine")
+        assert tuple(config.bit_range) == (2, 3, 4, 5, 6, 7)
+        assert tuple(config.sparsity_range) == (0.2, 0.3, 0.4, 0.5, 0.6)
+        assert config.baseline_weight_bits == 8
+        assert config.input_bits == 4
+        assert config.max_accuracy_loss == 0.05
+
+    def test_module_level_defaults_consistent(self):
+        config = PipelineConfig(dataset="seeds")
+        assert tuple(config.bit_range) == DEFAULT_BIT_RANGE
+        assert tuple(config.sparsity_range) == DEFAULT_SPARSITY_RANGE
+        assert tuple(config.cluster_range) == DEFAULT_CLUSTER_RANGE
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"input_bits": 0},
+            {"baseline_weight_bits": 1},
+            {"finetune_epochs": -1},
+            {"max_accuracy_loss": 0.0},
+            {"bit_range": (1, 4)},
+            {"sparsity_range": (0.5, 1.0)},
+            {"cluster_range": (0,)},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PipelineConfig(dataset="seeds", **kwargs)
+
+    def test_fast_config_reduces_cost(self):
+        config = fast_config("whitewine")
+        reference = PipelineConfig(dataset="whitewine")
+        assert config.finetune_epochs < reference.finetune_epochs
+        assert len(config.bit_range) < len(reference.bit_range)
+        assert config.n_samples is not None
+
+
+class TestPreparation:
+    def test_prepare_builds_trained_baseline(self, prepared_pipeline):
+        prepared = prepared_pipeline.prepare()
+        assert prepared.baseline_accuracy > 0.7     # seeds is an easy dataset
+        assert prepared.baseline_point.technique == "baseline"
+        assert prepared.baseline_point.area > 0
+        assert prepared.metadata["dataset"] == "seeds"
+        assert prepared.baseline_model.topology() == [7, 4, 3]
+
+    def test_prepare_is_cached(self, prepared_pipeline):
+        first = prepared_pipeline.prepare()
+        second = prepared_pipeline.prepare()
+        assert first is second
+
+    def test_config_dataset_mismatch_rejected(self, fast_pipeline_config):
+        with pytest.raises(ValueError):
+            evaluate_dataset("whitewine", config=fast_pipeline_config)
+
+
+class TestSweeps:
+    def test_unknown_technique_rejected(self, prepared_pipeline):
+        with pytest.raises(ValueError):
+            prepared_pipeline.run_technique("distillation")
+
+    def test_run_produces_points_for_each_technique(self, prepared_pipeline):
+        sweep = prepared_pipeline.run()
+        config = prepared_pipeline.config
+        assert len(sweep.by_technique("quantization")) == len(config.bit_range)
+        assert len(sweep.by_technique("pruning")) == len(config.sparsity_range)
+        assert len(sweep.by_technique("clustering")) == len(config.cluster_range)
+        assert sweep.dataset == "seeds"
+
+    def test_all_points_have_positive_area_and_valid_accuracy(self, prepared_pipeline):
+        sweep = prepared_pipeline.run()
+        for point in sweep.points:
+            assert point.area > 0
+            assert 0.0 <= point.accuracy <= 1.0
+
+    def test_minimized_designs_are_smaller_than_baseline(self, prepared_pipeline):
+        sweep = prepared_pipeline.run()
+        baseline_area = sweep.baseline.area
+        assert all(p.area <= baseline_area * 1.01 for p in sweep.points)
+
+    def test_quantization_dominates_on_area(self, prepared_pipeline):
+        # The headline qualitative claim of the paper: the quantization front
+        # reaches smaller areas than pruning or clustering at modest loss.
+        sweep = prepared_pipeline.run()
+        gains = prepared_pipeline.area_gains(sweep)
+        assert gains["quantization"] is not None
+        if gains["pruning"] is not None:
+            assert gains["quantization"] >= gains["pruning"]
+
+    def test_pareto_helper_filters_by_technique(self, prepared_pipeline):
+        sweep = prepared_pipeline.run()
+        quantization_front = prepared_pipeline.pareto(sweep, "quantization")
+        overall_front = prepared_pipeline.pareto(sweep)
+        assert all(p.technique == "quantization" for p in quantization_front)
+        assert len(overall_front) >= 1
+        assert overall_front == pareto_front(sweep.points)
+
+    def test_area_gains_keys(self, prepared_pipeline):
+        sweep = prepared_pipeline.run()
+        gains = prepared_pipeline.area_gains(sweep)
+        assert set(gains) == {"quantization", "pruning", "clustering"}
+
+
+class TestDeterminism:
+    def test_same_seed_same_baseline(self):
+        config = PipelineConfig(
+            dataset="seeds", seed=3, train_epochs=20, finetune_epochs=2,
+            bit_range=(4,), sparsity_range=(0.3,), cluster_range=(2,),
+        )
+        first = MinimizationPipeline(config).prepare()
+        second = MinimizationPipeline(config).prepare()
+        assert first.baseline_accuracy == pytest.approx(second.baseline_accuracy)
+        assert first.baseline_point.area == pytest.approx(second.baseline_point.area)
+        np.testing.assert_array_equal(
+            first.baseline_model.dense_layers[0].weights,
+            second.baseline_model.dense_layers[0].weights,
+        )

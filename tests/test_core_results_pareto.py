@@ -1,0 +1,200 @@
+"""Tests for repro.core.results and repro.core.pareto."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pareto import (
+    area_gain_table,
+    average_area_gain,
+    best_area_gain_at_loss,
+    dominates,
+    front_as_arrays,
+    hypervolume,
+    normalize_points,
+    pareto_front,
+)
+from repro.core.results import DesignPoint, NormalizedPoint, SweepResult
+
+
+def point(accuracy, area, technique="quantization", **params):
+    return DesignPoint(
+        technique=technique, accuracy=accuracy, area=area, parameters=params
+    )
+
+
+BASELINE = point(0.90, 100.0, technique="baseline")
+
+
+class TestDesignPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignPoint(technique="distillation", accuracy=0.5, area=1.0)
+        with pytest.raises(ValueError):
+            DesignPoint(technique="pruning", accuracy=1.5, area=1.0)
+        with pytest.raises(ValueError):
+            DesignPoint(technique="pruning", accuracy=0.5, area=-1.0)
+
+    def test_normalization_values(self):
+        normalized = point(0.855, 25.0).normalized(BASELINE)
+        assert normalized.normalized_accuracy == pytest.approx(0.95)
+        assert normalized.normalized_area == pytest.approx(0.25)
+        assert normalized.accuracy_loss == pytest.approx(0.05)
+        assert normalized.area_gain == pytest.approx(4.0)
+
+    def test_normalization_requires_positive_baseline(self):
+        zero_area_baseline = point(0.9, 0.0, technique="baseline")
+        with pytest.raises(ValueError):
+            point(0.8, 10.0).normalized(zero_area_baseline)
+
+    def test_as_dict_roundtrip(self):
+        data = point(0.8, 10.0, weight_bits=4).as_dict()
+        rebuilt = DesignPoint(**data)
+        assert rebuilt.accuracy == 0.8
+        assert rebuilt.parameters == {"weight_bits": 4}
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        points = [point(0.9, 50.0), point(0.85, 60.0), point(0.88, 40.0)]
+        front = pareto_front(points)
+        assert point(0.85, 60.0) not in front
+        assert len(front) == 2
+
+    def test_front_sorted_by_area(self):
+        points = [point(0.9, 50.0), point(0.8, 10.0), point(0.85, 30.0)]
+        front = pareto_front(points)
+        areas = [p.area for p in front]
+        assert areas == sorted(areas)
+
+    def test_duplicates_collapsed(self):
+        points = [point(0.9, 50.0), point(0.9, 50.0)]
+        assert len(pareto_front(points)) == 1
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_dominates_helper(self):
+        assert dominates(point(0.9, 10.0), point(0.8, 20.0))
+        assert not dominates(point(0.9, 30.0), point(0.8, 20.0))
+        assert not dominates(point(0.9, 10.0), point(0.9, 10.0))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=1.0),
+                st.floats(min_value=1.0, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_front_members_are_mutually_non_dominated(self, pairs):
+        points = [point(accuracy, area) for accuracy, area in pairs]
+        front = pareto_front(points)
+        assert front  # never empty for non-empty input
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not dominates(a, b)
+        # Every original point is dominated by or equal to some front member.
+        for p in points:
+            assert any(
+                (f.accuracy >= p.accuracy and f.area <= p.area) for f in front
+            )
+
+
+class TestAreaGainQueries:
+    def test_best_gain_within_budget(self):
+        points = [point(0.89, 50.0), point(0.87, 20.0), point(0.70, 5.0)]
+        best = best_area_gain_at_loss(points, BASELINE, max_accuracy_loss=0.05)
+        assert best is not None
+        assert best.area_gain == pytest.approx(5.0)
+
+    def test_relative_budget_semantics(self):
+        # 5% of 0.90 = 0.045 absolute; a point at 0.86 (abs loss 0.04, rel loss
+        # 0.0444) is inside, a point at 0.85 (rel loss 0.0556) is outside.
+        inside = best_area_gain_at_loss([point(0.86, 10.0)], BASELINE, 0.05)
+        outside = best_area_gain_at_loss([point(0.85, 10.0)], BASELINE, 0.05)
+        assert inside is not None
+        assert outside is None
+
+    def test_none_when_budget_never_met(self):
+        assert best_area_gain_at_loss([point(0.5, 1.0)], BASELINE, 0.05) is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            best_area_gain_at_loss([point(0.9, 1.0)], BASELINE, -0.1)
+
+    def test_area_gain_table_and_average(self):
+        sweep = SweepResult(dataset="toy", baseline=BASELINE)
+        sweep.add([point(0.89, 25.0, technique="quantization")])
+        sweep.add([point(0.89, 50.0, technique="pruning")])
+        sweep.add([point(0.5, 10.0, technique="clustering")])
+        table = area_gain_table(sweep, max_accuracy_loss=0.05)
+        assert table["quantization"] == pytest.approx(4.0)
+        assert table["pruning"] == pytest.approx(2.0)
+        assert table["clustering"] is None
+
+        other = SweepResult(dataset="toy2", baseline=BASELINE)
+        other.add([point(0.9, 10.0, technique="quantization")])
+        mean_gain = average_area_gain([sweep, other], "quantization", 0.05)
+        assert mean_gain == pytest.approx(np.sqrt(4.0 * 10.0))
+
+    def test_average_gain_nan_when_never_met(self):
+        sweep = SweepResult(dataset="toy", baseline=BASELINE)
+        sweep.add([point(0.2, 1.0, technique="clustering")])
+        assert np.isnan(average_area_gain([sweep], "clustering"))
+
+
+class TestHypervolumeAndArrays:
+    def test_hypervolume_zero_for_baseline_only(self):
+        assert hypervolume([point(0.9, 100.0)], BASELINE) == pytest.approx(0.0)
+
+    def test_hypervolume_increases_with_better_points(self):
+        small = hypervolume([point(0.88, 80.0)], BASELINE)
+        large = hypervolume([point(0.88, 80.0), point(0.89, 30.0)], BASELINE)
+        assert large > small
+
+    def test_hypervolume_bounded_by_reference_box(self):
+        value = hypervolume([point(0.9, 1.0)], BASELINE, reference_loss=0.2)
+        assert value <= 0.2 + 1e-12
+
+    def test_hypervolume_invalid_reference(self):
+        with pytest.raises(ValueError):
+            hypervolume([point(0.9, 1.0)], BASELINE, reference_loss=0.0)
+
+    def test_front_as_arrays_normalized(self):
+        arrays = front_as_arrays([point(0.88, 25.0), point(0.7, 80.0)], BASELINE)
+        assert set(arrays) == {"accuracy", "area"}
+        assert arrays["area"].max() <= 1.0
+
+    def test_normalize_points_helper(self):
+        normalized = normalize_points([point(0.45, 50.0)], BASELINE)
+        assert isinstance(normalized[0], NormalizedPoint)
+        assert normalized[0].normalized_accuracy == pytest.approx(0.5)
+
+
+class TestSweepResult:
+    def test_by_technique_and_techniques(self):
+        sweep = SweepResult(dataset="toy", baseline=BASELINE)
+        sweep.add([point(0.8, 10.0, technique="pruning"), point(0.9, 20.0)])
+        assert len(sweep.by_technique("pruning")) == 1
+        assert sweep.techniques() == ["quantization", "pruning"]
+
+    def test_normalized_points_filtered(self):
+        sweep = SweepResult(dataset="toy", baseline=BASELINE)
+        sweep.add([point(0.8, 10.0, technique="pruning"), point(0.9, 20.0)])
+        assert len(sweep.normalized_points("pruning")) == 1
+        assert len(sweep.normalized_points()) == 2
+
+    def test_json_roundtrip(self, tmp_path):
+        sweep = SweepResult(dataset="toy", baseline=BASELINE, metadata={"seed": 1})
+        sweep.add([point(0.8, 10.0, weight_bits=3)])
+        path = sweep.save_json(tmp_path / "sweep.json")
+        loaded = SweepResult.load_json(path)
+        assert loaded.dataset == "toy"
+        assert loaded.baseline.accuracy == pytest.approx(0.9)
+        assert loaded.points[0].parameters == {"weight_bits": 3}
+        assert loaded.metadata == {"seed": 1}

@@ -1,0 +1,108 @@
+"""Unit tests for repro.datasets.base (Dataset container and splitting)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, train_test_split, train_val_test_split
+
+
+@pytest.fixture
+def dataset():
+    generator = np.random.default_rng(0)
+    features = generator.normal(size=(100, 4))
+    labels = np.repeat([0, 1, 2, 3], 25)
+    return Dataset(features=features, labels=labels, name="toy")
+
+
+class TestDatasetContainer:
+    def test_basic_properties(self, dataset):
+        assert dataset.n_samples == 100
+        assert dataset.n_features == 4
+        assert dataset.n_classes == 4
+        assert len(dataset) == 100
+
+    def test_class_counts_and_balance(self, dataset):
+        np.testing.assert_array_equal(dataset.class_counts(), [25, 25, 25, 25])
+        np.testing.assert_allclose(dataset.class_balance(), [0.25] * 4)
+
+    def test_subset_preserves_metadata(self, dataset):
+        subset = dataset.subset(np.arange(10))
+        assert subset.n_samples == 10
+        assert subset.name == "toy"
+
+    def test_with_features_replaces_matrix(self, dataset):
+        replaced = dataset.with_features(np.zeros((100, 4)))
+        assert np.all(replaced.features == 0.0)
+        np.testing.assert_array_equal(replaced.labels, dataset.labels)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            Dataset(features=np.zeros((3,)), labels=np.zeros(3))
+        with pytest.raises(ValueError):
+            Dataset(features=np.zeros((3, 2)), labels=np.zeros(4))
+        with pytest.raises(ValueError):
+            Dataset(features=np.zeros((2, 2)), labels=np.array([-1, 0]))
+
+    def test_labels_cast_to_int(self):
+        data = Dataset(features=np.zeros((2, 1)), labels=np.array([0.0, 1.0]))
+        assert data.labels.dtype.kind == "i"
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, dataset):
+        train, test = train_test_split(dataset, test_fraction=0.3, seed=0)
+        assert train.n_samples + test.n_samples == dataset.n_samples
+        assert abs(test.n_samples - 30) <= 4
+
+    def test_no_overlap_and_full_coverage(self, dataset):
+        # Tag each sample with a unique feature value to track identity.
+        tagged = dataset.with_features(
+            np.arange(dataset.n_samples, dtype=float).reshape(-1, 1) @ np.ones((1, 4))
+        )
+        train, test = train_test_split(tagged, test_fraction=0.25, seed=1)
+        train_ids = set(train.features[:, 0].astype(int))
+        test_ids = set(test.features[:, 0].astype(int))
+        assert train_ids.isdisjoint(test_ids)
+        assert len(train_ids | test_ids) == dataset.n_samples
+
+    def test_stratification_keeps_all_classes(self, dataset):
+        _, test = train_test_split(dataset, test_fraction=0.2, seed=2, stratify=True)
+        assert set(np.unique(test.labels)) == {0, 1, 2, 3}
+
+    def test_stratified_split_on_imbalanced_data(self):
+        labels = np.array([0] * 96 + [1] * 4)
+        data = Dataset(features=np.random.default_rng(0).normal(size=(100, 2)), labels=labels)
+        train, test = train_test_split(data, test_fraction=0.3, seed=0, stratify=True)
+        # The rare class appears on both sides.
+        assert (train.labels == 1).sum() >= 1
+        assert (test.labels == 1).sum() >= 1
+
+    def test_deterministic_given_seed(self, dataset):
+        a_train, _ = train_test_split(dataset, seed=5)
+        b_train, _ = train_test_split(dataset, seed=5)
+        np.testing.assert_array_equal(a_train.features, b_train.features)
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=1.0)
+
+
+class TestThreeWaySplit:
+    def test_partition_sizes(self, dataset):
+        split = train_val_test_split(dataset, val_fraction=0.2, test_fraction=0.2, seed=0)
+        total = split.train.n_samples + split.validation.n_samples + split.test.n_samples
+        assert total == dataset.n_samples
+        assert split.test.n_samples >= 15
+        assert split.validation.n_samples >= 15
+
+    def test_properties(self, dataset):
+        split = train_val_test_split(dataset, seed=0)
+        assert split.name == "toy"
+        assert split.n_features == 4
+        assert split.n_classes == 4
+
+    def test_invalid_fractions(self, dataset):
+        with pytest.raises(ValueError):
+            train_val_test_split(dataset, val_fraction=0.6, test_fraction=0.5)

@@ -1,0 +1,143 @@
+"""Unit tests for repro.datasets.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, train_val_test_split
+from repro.datasets.preprocessing import (
+    MinMaxScaler,
+    StandardScaler,
+    one_hot,
+    prepare_split,
+    quantize_inputs,
+)
+
+
+class TestMinMaxScaler:
+    def test_transform_range(self):
+        data = np.random.default_rng(0).normal(size=(50, 3)) * 10
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() >= 0.0
+        assert scaled.max() <= 1.0
+
+    def test_training_extremes_map_to_bounds(self):
+        data = np.array([[0.0], [5.0], [10.0]])
+        scaled = MinMaxScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.reshape(-1), [0.0, 0.5, 1.0])
+
+    def test_out_of_range_values_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        scaled = scaler.transform(np.array([[-5.0], [3.0]]))
+        np.testing.assert_allclose(scaled.reshape(-1), [0.0, 1.0])
+
+    def test_constant_column_handled(self):
+        data = np.ones((10, 2))
+        scaled = MinMaxScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.zeros(5))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        data = np.random.default_rng(1).normal(loc=5.0, scale=3.0, size=(500, 2))
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), [0.0, 0.0], atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), [1.0, 1.0], atol=1e-9)
+
+    def test_constant_column_handled(self):
+        scaled = StandardScaler().fit_transform(np.ones((10, 1)))
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+class TestQuantizeInputs:
+    def test_values_on_grid(self):
+        data = np.random.default_rng(2).random((100, 3))
+        quantized = quantize_inputs(data, bits=4)
+        levels = quantized * 15
+        np.testing.assert_allclose(levels, np.round(levels), atol=1e-9)
+
+    def test_number_of_distinct_levels(self):
+        data = np.linspace(0, 1, 1000).reshape(-1, 1)
+        quantized = quantize_inputs(data, bits=3)
+        assert len(np.unique(quantized)) == 8
+
+    def test_idempotent(self):
+        data = np.random.default_rng(3).random((20, 2))
+        once = quantize_inputs(data, bits=5)
+        np.testing.assert_array_equal(once, quantize_inputs(once, bits=5))
+
+    def test_error_bounded_by_half_lsb(self):
+        data = np.random.default_rng(4).random((200, 1))
+        quantized = quantize_inputs(data, bits=4)
+        assert np.max(np.abs(quantized - data)) <= 0.5 / 15 + 1e-12
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_inputs(np.array([[1.5]]), bits=4)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_inputs(np.zeros((2, 2)), bits=0)
+
+
+class TestOneHot:
+    def test_shape_and_values(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_infers_class_count(self):
+        assert one_hot(np.array([0, 3])).shape == (2, 4)
+
+    def test_empty_input(self):
+        assert one_hot(np.array([]), 3).shape == (0, 3)
+
+
+class TestPrepareSplit:
+    @pytest.fixture
+    def split(self):
+        generator = np.random.default_rng(5)
+        data = Dataset(
+            features=generator.normal(size=(120, 4)) * 7 + 3,
+            labels=generator.integers(0, 3, size=120),
+            name="prep",
+        )
+        return train_val_test_split(data, seed=0)
+
+    def test_all_subsets_in_unit_range(self, split):
+        prepared = prepare_split(split, input_bits=4)
+        for subset in (prepared.train, prepared.validation, prepared.test):
+            assert subset.features.min() >= 0.0
+            assert subset.features.max() <= 1.0
+
+    def test_scaler_fitted_on_train_only(self, split):
+        prepared = prepare_split(split, input_bits=None)
+        # The training subset must span the full [0, 1] range in every column.
+        assert np.allclose(prepared.train.features.min(axis=0), 0.0)
+        assert np.allclose(prepared.train.features.max(axis=0), 1.0)
+
+    def test_input_bits_none_skips_quantization(self, split):
+        prepared = prepare_split(split, input_bits=None)
+        distinct = len(np.unique(prepared.train.features))
+        assert distinct > 16  # not collapsed to a 4-bit grid
+
+    def test_input_bits_limits_levels(self, split):
+        prepared = prepare_split(split, input_bits=3)
+        assert len(np.unique(prepared.train.features)) <= 8
+        assert prepared.input_bits == 3
+
+    def test_labels_untouched(self, split):
+        prepared = prepare_split(split)
+        np.testing.assert_array_equal(prepared.train.labels, split.train.labels)

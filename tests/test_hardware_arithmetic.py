@@ -1,0 +1,177 @@
+"""Unit tests for the arithmetic cost models (repro.hardware.arithmetic)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.arithmetic import (
+    adder_tree,
+    adder_tree_from_widths,
+    argmax_unit,
+    comparator,
+    constant_multiplier,
+    neuron_output_width,
+    register_bank,
+    relu_unit,
+    ripple_carry_adder,
+    subtractor,
+)
+from repro.hardware.technology import egt_library
+
+TECH = egt_library()
+
+
+class TestRippleCarryAdder:
+    def test_area_scales_linearly_with_width(self):
+        assert ripple_carry_adder(8, TECH).area == pytest.approx(
+            2 * ripple_carry_adder(4, TECH).area
+        )
+
+    def test_delay_scales_with_width(self):
+        assert ripple_carry_adder(8, TECH).delay == pytest.approx(
+            2 * ripple_carry_adder(4, TECH).delay
+        )
+
+    def test_gate_counts(self):
+        assert ripple_carry_adder(6, TECH).gate_counts == {"FA": 6}
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0, TECH)
+
+    def test_subtractor_costs_more_than_adder(self):
+        assert subtractor(8, TECH).area > ripple_carry_adder(8, TECH).area
+
+
+class TestConstantMultiplier:
+    def test_zero_coefficient_is_free(self):
+        assert constant_multiplier(0, 4, TECH).is_zero()
+
+    def test_positive_power_of_two_is_free(self):
+        for coefficient in (1, 2, 4, 64):
+            assert constant_multiplier(coefficient, 4, TECH).is_zero()
+
+    def test_negative_power_of_two_costs_only_inverters(self):
+        cost = constant_multiplier(-4, 4, TECH)
+        assert set(cost.gate_counts) == {"INV"}
+
+    def test_cost_grows_with_nonzero_digits(self):
+        cheap = constant_multiplier(3, 4, TECH)    # 1 CSD stage
+        expensive = constant_multiplier(0b1010101, 4, TECH)  # many stages
+        assert expensive.area > cheap.area
+
+    def test_cost_grows_with_input_bits(self):
+        assert (
+            constant_multiplier(11, 8, TECH).area > constant_multiplier(11, 4, TECH).area
+        )
+
+    def test_csd_never_more_area_than_binary(self):
+        for coefficient in range(1, 256):
+            csd = constant_multiplier(coefficient, 4, TECH, method="csd")
+            binary = constant_multiplier(coefficient, 4, TECH, method="binary")
+            assert csd.area <= binary.area + 1e-12
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            constant_multiplier(5, 4, TECH, method="booth")
+
+    def test_invalid_input_bits(self):
+        with pytest.raises(ValueError):
+            constant_multiplier(5, 0, TECH)
+
+    @given(st.integers(min_value=-255, max_value=255), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_cost_always_non_negative_and_finite(self, coefficient, input_bits):
+        cost = constant_multiplier(coefficient, input_bits, TECH)
+        assert cost.area >= 0.0
+        assert cost.power >= 0.0
+        assert cost.delay >= 0.0
+
+
+class TestAdderTrees:
+    def test_zero_or_one_operand_free(self):
+        assert adder_tree(0, 8, TECH).is_zero()
+        assert adder_tree(1, 8, TECH).is_zero()
+
+    def test_n_minus_one_adders(self):
+        for n_operands in (2, 3, 5, 9):
+            cost = adder_tree(n_operands, 4, TECH)
+            # Widths grow along the tree, so gate count >= (n-1) * width.
+            assert cost.gate_counts["FA"] >= (n_operands - 1) * 4
+
+    def test_area_monotone_in_operands(self):
+        areas = [adder_tree(n, 8, TECH).area for n in range(2, 12)]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            adder_tree(-1, 8, TECH)
+        with pytest.raises(ValueError):
+            adder_tree(4, 0, TECH)
+
+    def test_width_aware_tree_cheaper_for_narrow_operands(self):
+        uniform = adder_tree_from_widths([12] * 8, TECH)
+        narrow = adder_tree_from_widths([5, 5, 6, 6, 7, 7, 8, 8], TECH)
+        assert narrow.area < uniform.area
+
+    def test_width_aware_tree_single_operand_free(self):
+        assert adder_tree_from_widths([7], TECH).is_zero()
+
+    def test_width_aware_tree_invalid_width(self):
+        with pytest.raises(ValueError):
+            adder_tree_from_widths([4, 0], TECH)
+
+    def test_width_aware_matches_uniform_for_equal_widths(self):
+        uniform = adder_tree(6, 10, TECH)
+        width_aware = adder_tree_from_widths([10] * 6, TECH)
+        # Same number of adders; widths may differ slightly by construction,
+        # so allow a modest tolerance.
+        assert width_aware.area == pytest.approx(uniform.area, rel=0.2)
+
+    @given(st.lists(st.integers(min_value=1, max_value=20), min_size=2, max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_width_aware_tree_properties(self, widths):
+        cost = adder_tree_from_widths(widths, TECH)
+        assert cost.area > 0.0
+        assert cost.gate_counts["FA"] >= (len(widths) - 1) * min(widths)
+
+
+class TestAuxiliaryUnits:
+    def test_relu_unit_scales_with_width(self):
+        assert relu_unit(16, TECH).area > relu_unit(8, TECH).area
+        with pytest.raises(ValueError):
+            relu_unit(0, TECH)
+
+    def test_comparator_is_a_subtractor(self):
+        assert comparator(8, TECH).area == pytest.approx(subtractor(8, TECH).area)
+
+    def test_argmax_single_class_free(self):
+        assert argmax_unit(1, 8, 1, TECH).is_zero()
+
+    def test_argmax_cost_grows_with_classes(self):
+        areas = [argmax_unit(n, 10, 4, TECH).area for n in range(2, 11)]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+
+    def test_argmax_invalid(self):
+        with pytest.raises(ValueError):
+            argmax_unit(0, 8, 3, TECH)
+
+    def test_register_bank(self):
+        assert register_bank(0, TECH).is_zero()
+        assert register_bank(12, TECH).gate_counts == {"DFF": 12}
+        with pytest.raises(ValueError):
+            register_bank(-1, TECH)
+
+
+class TestNeuronOutputWidth:
+    def test_single_operand(self):
+        assert neuron_output_width(4, 8, 1) == 13
+
+    def test_growth_with_operands(self):
+        assert neuron_output_width(4, 8, 8) == 4 + 8 + 3 + 1
+
+    def test_zero_operands_defaults(self):
+        assert neuron_output_width(4, 8, 0) == 13
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            neuron_output_width(0, 8, 2)

@@ -1,0 +1,150 @@
+"""Unit tests for repro.hardware.cost and repro.hardware.technology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.cost import HardwareCost
+from repro.hardware.technology import (
+    CellSpec,
+    TechnologyLibrary,
+    egt_library,
+    get_technology,
+    silicon_library,
+)
+
+
+class TestHardwareCostAlgebra:
+    def test_zero_is_identity(self):
+        cost = HardwareCost(area=1.0, power=2.0, delay=3.0, gate_counts={"FA": 4})
+        combined = cost + HardwareCost.zero()
+        assert combined.area == cost.area
+        assert combined.power == cost.power
+        assert combined.delay == cost.delay
+        assert combined.gate_counts == cost.gate_counts
+
+    def test_parallel_addition(self):
+        a = HardwareCost(area=1.0, power=0.5, delay=10.0, gate_counts={"FA": 1})
+        b = HardwareCost(area=2.0, power=0.25, delay=4.0, gate_counts={"FA": 2, "INV": 1})
+        combined = a + b
+        assert combined.area == 3.0
+        assert combined.power == 0.75
+        assert combined.delay == 10.0  # max, not sum
+        assert combined.gate_counts == {"FA": 3, "INV": 1}
+
+    def test_serial_addition_sums_delay(self):
+        a = HardwareCost(area=1.0, delay=10.0)
+        b = HardwareCost(area=2.0, delay=4.0)
+        assert a.serial(b).delay == 14.0
+
+    def test_sum_builtin_works(self):
+        costs = [HardwareCost(area=1.0), HardwareCost(area=2.0), HardwareCost(area=3.0)]
+        assert sum(costs).area == 6.0
+
+    def test_scaled(self):
+        cost = HardwareCost(area=1.5, power=1.0, delay=7.0, gate_counts={"FA": 2})
+        scaled = cost.scaled(3)
+        assert scaled.area == 4.5
+        assert scaled.gate_counts == {"FA": 6}
+        assert scaled.delay == 7.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareCost(area=1.0).scaled(-1)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareCost(area=-1.0)
+
+    def test_total_gates_and_is_zero(self):
+        assert HardwareCost.zero().is_zero()
+        cost = HardwareCost(area=0.1, gate_counts={"INV": 2, "FA": 3})
+        assert cost.total_gates == 5
+        assert not cost.is_zero()
+
+    def test_as_dict_roundtrip_fields(self):
+        cost = HardwareCost(area=1.0, power=2.0, delay=3.0, gate_counts={"FA": 1})
+        data = cost.as_dict()
+        assert data["area"] == 1.0 and data["gate_counts"] == {"FA": 1}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e3),
+                st.floats(min_value=0, max_value=1e3),
+                st.floats(min_value=0, max_value=1e3),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_parallel_composition_properties(self, triples):
+        costs = [HardwareCost(area=a, power=p, delay=d) for a, p, d in triples]
+        total = sum(costs)
+        assert total.area == pytest.approx(sum(c.area for c in costs))
+        assert total.power == pytest.approx(sum(c.power for c in costs))
+        assert total.delay == pytest.approx(max(c.delay for c in costs))
+
+
+class TestCellSpec:
+    def test_cost_scales_with_count(self):
+        cell = CellSpec("NAND2", area=0.006, power=0.028, delay=25.0)
+        cost = cell.cost(10)
+        assert cost.area == pytest.approx(0.06)
+        assert cost.gate_counts == {"NAND2": 10}
+        assert cost.delay == 25.0
+
+    def test_zero_count_is_zero_cost(self):
+        cell = CellSpec("INV", area=0.004, power=0.02, delay=20.0)
+        assert cell.cost(0).is_zero()
+
+    def test_negative_count_rejected(self):
+        cell = CellSpec("INV", area=0.004, power=0.02, delay=20.0)
+        with pytest.raises(ValueError):
+            cell.cost(-1)
+
+    def test_invalid_characterization_rejected(self):
+        with pytest.raises(ValueError):
+            CellSpec("BAD", area=0.0, power=0.1, delay=1.0)
+
+
+class TestTechnologyLibraries:
+    def test_egt_contains_required_cells(self):
+        tech = egt_library()
+        for name in TechnologyLibrary.REQUIRED_CELLS:
+            assert name in tech
+
+    def test_missing_cell_rejected_at_construction(self):
+        cells = {"INV": CellSpec("INV", 0.004, 0.02, 20.0)}
+        with pytest.raises(ValueError):
+            TechnologyLibrary("broken", cells)
+
+    def test_unknown_cell_lookup_raises(self):
+        with pytest.raises(KeyError):
+            egt_library().cell("NAND8")
+
+    def test_egt_relative_cell_sizes(self):
+        tech = egt_library()
+        # Printed full adders and flip-flops are much larger than inverters.
+        assert tech.cell("FA").area > 5 * tech.cell("INV").area
+        assert tech.cell("DFF").area > 5 * tech.cell("INV").area
+        assert tech.cell("XOR2").area > tech.cell("NAND2").area
+
+    def test_silicon_is_orders_of_magnitude_smaller(self):
+        egt = egt_library()
+        silicon = silicon_library()
+        assert egt.cell("FA").area / silicon.cell("FA").area > 1e3
+
+    def test_get_technology_lookup(self):
+        assert get_technology("egt").name == "EGT"
+        assert get_technology("SILICON").name == "SILICON"
+        with pytest.raises(KeyError):
+            get_technology("tsmc7")
+
+    def test_cost_helper_matches_cell_cost(self):
+        tech = egt_library()
+        assert tech.cost("FA", 3).area == pytest.approx(tech.cell("FA").area * 3)
+
+    def test_cell_names_sorted(self):
+        names = egt_library().cell_names()
+        assert list(names) == sorted(names)

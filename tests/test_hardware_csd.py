@@ -1,0 +1,108 @@
+"""Tests for the CSD encoding, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.csd import (
+    binary_adder_stages,
+    binary_nonzero_digits,
+    coefficient_bit_length,
+    csd_adder_stages,
+    csd_nonzero_digits,
+    from_csd,
+    is_power_of_two,
+    to_csd,
+)
+
+
+class TestKnownValues:
+    @pytest.mark.parametrize(
+        "value, expected_nonzero",
+        [
+            (0, 0),
+            (1, 1),
+            (2, 1),
+            (3, 2),       # 4 - 1
+            (7, 2),       # 8 - 1
+            (15, 2),      # 16 - 1
+            (5, 2),
+            (170, 4),     # 10101010 alternating pattern (CSD cannot improve isolated 1s)
+            (-7, 2),
+            (127, 2),     # 128 - 1
+            (255, 2),     # 256 - 1
+        ],
+    )
+    def test_csd_nonzero_digit_counts(self, value, expected_nonzero):
+        assert csd_nonzero_digits(value) == expected_nonzero
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, 3, 7, 12, 100, 255, -255, 1023])
+    def test_roundtrip(self, value):
+        assert from_csd(to_csd(value)) == value
+
+    def test_adder_stages_for_powers_of_two(self):
+        for exponent in range(8):
+            assert csd_adder_stages(1 << exponent) == 0
+
+    def test_adder_stages_zero(self):
+        assert csd_adder_stages(0) == 0
+
+    def test_adder_stages_examples(self):
+        assert csd_adder_stages(3) == 1
+        assert csd_adder_stages(7) == 1
+        assert csd_adder_stages(11) == 2   # 8 + 4 - 1 or 8 + 2 + 1
+        assert binary_adder_stages(7) == 2  # 4 + 2 + 1
+
+    def test_binary_nonzero_digits(self):
+        assert binary_nonzero_digits(7) == 3
+        assert binary_nonzero_digits(-7) == 3
+        assert binary_nonzero_digits(8) == 1
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert is_power_of_two(-4)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(6)
+
+    def test_coefficient_bit_length(self):
+        assert coefficient_bit_length(0) == 0
+        assert coefficient_bit_length(1) == 1
+        assert coefficient_bit_length(-8) == 4
+        assert coefficient_bit_length(255) == 8
+
+    def test_invalid_digit_rejected_by_from_csd(self):
+        with pytest.raises(ValueError):
+            from_csd([2])
+
+
+class TestCSDProperties:
+    @given(st.integers(min_value=-(2**16), max_value=2**16))
+    def test_roundtrip_property(self, value):
+        assert from_csd(to_csd(value)) == value
+
+    @given(st.integers(min_value=-(2**16), max_value=2**16))
+    def test_digits_in_alphabet(self, value):
+        assert set(to_csd(value)).issubset({-1, 0, 1})
+
+    @given(st.integers(min_value=-(2**16), max_value=2**16))
+    def test_no_adjacent_nonzero_digits(self, value):
+        digits = to_csd(value)
+        for first, second in zip(digits, digits[1:]):
+            assert not (first != 0 and second != 0)
+
+    @given(st.integers(min_value=-(2**16), max_value=2**16))
+    def test_csd_never_worse_than_binary(self, value):
+        assert csd_nonzero_digits(value) <= binary_nonzero_digits(value) + (
+            1 if value < 0 else 0
+        )
+
+    @given(st.integers(min_value=1, max_value=2**16))
+    def test_csd_at_most_half_plus_one_digits(self, value):
+        # A classic CSD bound: at most ceil((bit_length + 1) / 2) non-zero digits.
+        bound = (value.bit_length() + 2) // 2
+        assert csd_nonzero_digits(value) <= bound
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    def test_stage_counts_non_negative(self, value):
+        assert csd_adder_stages(value) >= 0
+        assert binary_adder_stages(value) >= 0

@@ -1,0 +1,121 @@
+"""Tests for repro.hardware.fixed_point (shared weight/circuit number format)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hardware.fixed_point import (
+    FixedPointFormat,
+    derive_format,
+    max_symmetric_level,
+    quantization_error,
+    quantize_to_fixed_point,
+    weights_to_integers,
+)
+
+
+class TestMaxLevelAndFormat:
+    @pytest.mark.parametrize("bits, expected", [(2, 1), (3, 3), (4, 7), (8, 127)])
+    def test_max_symmetric_level(self, bits, expected):
+        assert max_symmetric_level(bits) == expected
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(ValueError):
+            max_symmetric_level(1)
+        with pytest.raises(ValueError):
+            FixedPointFormat(bits=1, scale=1.0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(bits=4, scale=0.0)
+
+    def test_derive_format_scale(self):
+        weights = np.array([-0.5, 0.25, 0.5])
+        fmt = derive_format(weights, bits=4)
+        assert fmt.scale == pytest.approx(0.5 / 7)
+
+    def test_all_zero_weights_get_unit_scale(self):
+        fmt = derive_format(np.zeros(5), bits=4)
+        assert fmt.scale == 1.0
+        np.testing.assert_array_equal(fmt.to_integers(np.zeros(5)), np.zeros(5, dtype=int))
+
+
+class TestQuantization:
+    def test_max_weight_maps_to_max_level(self):
+        weights = np.array([0.1, -0.8, 0.4])
+        integers, fmt = weights_to_integers(weights, bits=5)
+        assert integers[np.argmax(np.abs(weights))] in (-fmt.max_level, fmt.max_level)
+
+    def test_levels_within_range(self):
+        weights = np.random.default_rng(0).normal(size=200)
+        integers, fmt = weights_to_integers(weights, bits=4)
+        assert integers.max() <= fmt.max_level
+        assert integers.min() >= -fmt.max_level
+
+    def test_fake_quantized_consistent_with_integers(self):
+        weights = np.random.default_rng(1).normal(size=50)
+        quantized, fmt = quantize_to_fixed_point(weights, bits=6)
+        np.testing.assert_allclose(quantized, fmt.to_floats(fmt.to_integers(weights)))
+
+    def test_error_decreases_with_bits(self):
+        weights = np.random.default_rng(2).normal(size=500)
+        errors = [quantization_error(weights, bits) for bits in (2, 3, 4, 6, 8)]
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_error_zero_for_representable_values(self):
+        fmt = FixedPointFormat(bits=4, scale=0.25)
+        values = fmt.to_floats(np.array([-7, -2, 0, 3, 7]))
+        assert quantization_error(values, 4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_array(self):
+        quantized, fmt = quantize_to_fixed_point(np.array([]), bits=4)
+        assert quantized.size == 0
+        assert quantization_error(np.array([]), 4) == 0.0
+
+
+class TestQuantizationProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=20),
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        ),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_error_bounded_by_half_step(self, weights, bits):
+        quantized, fmt = quantize_to_fixed_point(weights, bits)
+        assert np.all(np.abs(weights - quantized) <= fmt.scale / 2 + 1e-9)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=30),
+            elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        ),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_idempotence(self, weights, bits):
+        quantized, _ = quantize_to_fixed_point(weights, bits)
+        twice, _ = quantize_to_fixed_point(quantized, bits)
+        np.testing.assert_allclose(twice, quantized, atol=1e-12)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=30),
+            elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        ),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sign_preserved(self, weights, bits):
+        integers, _ = weights_to_integers(weights, bits)
+        products = integers * weights
+        assert np.all(products >= -1e-12)
+
+    @given(st.integers(min_value=2, max_value=8))
+    def test_distinct_levels_bounded(self, bits):
+        weights = np.random.default_rng(0).normal(size=2000)
+        integers, _ = weights_to_integers(weights, bits)
+        assert len(np.unique(integers)) <= 2 ** bits - 1

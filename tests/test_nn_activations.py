@@ -1,0 +1,126 @@
+"""Unit tests for repro.nn.activations, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    available_activations,
+    get_activation,
+)
+
+
+def numerical_gradient(activation, x, grad_output, epsilon=1e-6):
+    """Central-difference gradient of sum(forward(x) * grad_output)."""
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for index in range(flat_x.size):
+        original = flat_x[index]
+        flat_x[index] = original + epsilon
+        plus = np.sum(activation.forward(x) * grad_output)
+        flat_x[index] = original - epsilon
+        minus = np.sum(activation.forward(x) * grad_output)
+        flat_x[index] = original
+        flat_grad[index] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+class TestForwardValues:
+    def test_identity_passthrough(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(Identity().forward(x), x)
+
+    def test_relu_clamps_negatives(self):
+        x = np.array([-1.0, -0.1, 0.0, 0.5, 2.0])
+        np.testing.assert_array_equal(
+            ReLU().forward(x), np.array([0.0, 0.0, 0.0, 0.5, 2.0])
+        )
+
+    def test_leaky_relu_negative_slope(self):
+        x = np.array([-2.0, 4.0])
+        out = LeakyReLU(alpha=0.1).forward(x)
+        np.testing.assert_allclose(out, [-0.2, 4.0])
+
+    def test_leaky_relu_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=-0.5)
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-10, 10, 101)
+        out = Sigmoid().forward(x)
+        assert np.all((out > 0) & (out < 1))
+        np.testing.assert_allclose(out + out[::-1], np.ones_like(out), atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_tanh_matches_numpy(self):
+        x = np.linspace(-3, 3, 20)
+        np.testing.assert_allclose(Tanh().forward(x), np.tanh(x))
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(8, 5))
+        out = Softmax().forward(x)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(8), atol=1e-12)
+
+    def test_softmax_shift_invariance(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(
+            Softmax().forward(x), Softmax().forward(x + 100.0), atol=1e-12
+        )
+
+    def test_softmax_large_logits_stable(self):
+        out = Softmax().forward(np.array([[1000.0, 1000.0, -1000.0]]))
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[0, :2], [0.5, 0.5], atol=1e-9)
+
+
+class TestBackwardGradients:
+    @pytest.mark.parametrize(
+        "activation",
+        [Identity(), LeakyReLU(0.05), Sigmoid(), Tanh(), Softmax()],
+        ids=lambda a: type(a).__name__,
+    )
+    def test_backward_matches_numerical_gradient(self, activation):
+        generator = np.random.default_rng(11)
+        x = generator.normal(size=(4, 6))
+        grad_output = generator.normal(size=(4, 6))
+        analytic = activation.backward(x, grad_output)
+        numeric = numerical_gradient(activation, x.copy(), grad_output)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_relu_gradient_away_from_kink(self):
+        # ReLU's subgradient at exactly 0 is implementation-defined, so check
+        # only points away from the kink.
+        x = np.array([[-2.0, -0.5, 0.5, 2.0]])
+        grad_output = np.ones_like(x)
+        analytic = ReLU().backward(x, grad_output)
+        np.testing.assert_array_equal(analytic, [[0.0, 0.0, 1.0, 1.0]])
+
+
+class TestRegistry:
+    def test_every_name_instantiates(self):
+        for name in available_activations():
+            activation = get_activation(name)
+            out = activation(np.array([0.1, -0.2]))
+            assert out.shape == (2,)
+
+    def test_linear_is_alias_for_identity(self):
+        assert isinstance(get_activation("linear"), Identity)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_activation("swishify")
+
+    def test_names_used_by_circuit_generator_exist(self):
+        # The bespoke generator special-cases these names.
+        assert get_activation("relu").name == "relu"
+        assert get_activation("leaky_relu").name == "leaky_relu"

@@ -1,0 +1,99 @@
+"""Unit tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    available_initializers,
+    get_initializer,
+    glorot_normal,
+    glorot_uniform,
+    he_normal,
+    he_uniform,
+    normal,
+    ones,
+    uniform,
+    zeros,
+)
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(7)
+
+
+class TestBasicInitializers:
+    def test_zeros_shape_and_value(self, gen):
+        out = zeros((3, 5), gen)
+        assert out.shape == (3, 5)
+        assert np.all(out == 0.0)
+
+    def test_ones_shape_and_value(self, gen):
+        out = ones((4,), gen)
+        assert out.shape == (4,)
+        assert np.all(out == 1.0)
+
+    def test_uniform_respects_bounds(self, gen):
+        out = uniform((200, 10), gen, low=-0.25, high=0.25)
+        assert out.min() >= -0.25
+        assert out.max() < 0.25
+
+    def test_normal_moments(self, gen):
+        out = normal((50, 400), gen, mean=2.0, std=0.5)
+        assert abs(out.mean() - 2.0) < 0.05
+        assert abs(out.std() - 0.5) < 0.05
+
+
+class TestGlorotAndHe:
+    def test_glorot_uniform_limit(self, gen):
+        shape = (30, 20)
+        limit = np.sqrt(6.0 / (shape[0] + shape[1]))
+        out = glorot_uniform(shape, gen)
+        assert np.all(np.abs(out) <= limit + 1e-12)
+
+    def test_glorot_normal_std(self, gen):
+        shape = (400, 400)
+        out = glorot_normal(shape, gen)
+        expected_std = np.sqrt(2.0 / (shape[0] + shape[1]))
+        assert abs(out.std() - expected_std) / expected_std < 0.1
+
+    def test_he_uniform_limit(self, gen):
+        shape = (50, 10)
+        limit = np.sqrt(6.0 / shape[0])
+        out = he_uniform(shape, gen)
+        assert np.all(np.abs(out) <= limit + 1e-12)
+
+    def test_he_normal_std(self, gen):
+        shape = (500, 100)
+        out = he_normal(shape, gen)
+        expected_std = np.sqrt(2.0 / shape[0])
+        assert abs(out.std() - expected_std) / expected_std < 0.1
+
+    def test_1d_shape_supported(self, gen):
+        out = glorot_uniform((12,), gen)
+        assert out.shape == (12,)
+
+
+class TestRegistry:
+    def test_all_registered_names_resolve(self, gen):
+        for name in available_initializers():
+            fn = get_initializer(name)
+            out = fn((3, 3), gen)
+            assert out.shape == (3, 3)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_initializer("Glorot_Uniform") is glorot_uniform
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_initializer("does_not_exist")
+
+    def test_determinism_with_same_seed(self):
+        a = glorot_uniform((6, 6), np.random.default_rng(3))
+        b = glorot_uniform((6, 6), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = glorot_uniform((6, 6), np.random.default_rng(3))
+        b = glorot_uniform((6, 6), np.random.default_rng(4))
+        assert not np.array_equal(a, b)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.nn.losses (values and gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    CategoricalCrossEntropy,
+    HingeLoss,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+    available_losses,
+    get_loss,
+)
+
+
+def one_hot(labels, n_classes):
+    out = np.zeros((len(labels), n_classes))
+    out[np.arange(len(labels)), labels] = 1.0
+    return out
+
+
+def numerical_gradient(loss, predictions, targets, epsilon=1e-6):
+    grad = np.zeros_like(predictions)
+    flat_p = predictions.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for index in range(flat_p.size):
+        original = flat_p[index]
+        flat_p[index] = original + epsilon
+        plus = loss.forward(predictions, targets)
+        flat_p[index] = original - epsilon
+        minus = loss.forward(predictions, targets)
+        flat_p[index] = original
+        flat_g[index] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+class TestMeanSquaredError:
+    def test_zero_for_perfect_prediction(self):
+        predictions = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert MeanSquaredError().forward(predictions, predictions) == 0.0
+
+    def test_known_value(self):
+        loss = MeanSquaredError().forward(np.array([1.0, 3.0]), np.array([0.0, 1.0]))
+        assert loss == pytest.approx((1.0 + 4.0) / 2.0)
+
+    def test_gradient_matches_numerical(self):
+        generator = np.random.default_rng(0)
+        predictions = generator.normal(size=(5, 3))
+        targets = generator.normal(size=(5, 3))
+        analytic = MeanSquaredError().backward(predictions, targets)
+        numeric = numerical_gradient(MeanSquaredError(), predictions.copy(), targets)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+class TestMeanAbsoluteError:
+    def test_known_value(self):
+        loss = MeanAbsoluteError().forward(np.array([2.0, -1.0]), np.array([0.0, 0.0]))
+        assert loss == pytest.approx(1.5)
+
+    def test_gradient_sign(self):
+        predictions = np.array([2.0, -3.0])
+        targets = np.array([0.0, 0.0])
+        grad = MeanAbsoluteError().backward(predictions, targets)
+        assert grad[0] > 0 and grad[1] < 0
+
+
+class TestCrossEntropyLosses:
+    def test_categorical_cross_entropy_perfect_prediction(self):
+        targets = one_hot([0, 1], 2)
+        loss = CategoricalCrossEntropy().forward(targets, targets)
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_categorical_cross_entropy_uniform_prediction(self):
+        predictions = np.full((4, 4), 0.25)
+        targets = one_hot([0, 1, 2, 3], 4)
+        loss = CategoricalCrossEntropy().forward(predictions, targets)
+        assert loss == pytest.approx(np.log(4.0))
+
+    def test_softmax_cross_entropy_matches_composition(self):
+        generator = np.random.default_rng(1)
+        logits = generator.normal(size=(6, 5))
+        targets = one_hot(generator.integers(0, 5, size=6), 5)
+        fused = SoftmaxCrossEntropy().forward(logits, targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probabilities = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        composed = CategoricalCrossEntropy().forward(probabilities, targets)
+        assert fused == pytest.approx(composed, rel=1e-9)
+
+    def test_softmax_cross_entropy_gradient(self):
+        generator = np.random.default_rng(2)
+        logits = generator.normal(size=(4, 3))
+        targets = one_hot(generator.integers(0, 3, size=4), 3)
+        analytic = SoftmaxCrossEntropy().backward(logits, targets)
+        numeric = numerical_gradient(SoftmaxCrossEntropy(), logits.copy(), targets)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_softmax_cross_entropy_stable_for_large_logits(self):
+        logits = np.array([[1e4, -1e4, 0.0]])
+        targets = one_hot([0], 3)
+        loss = SoftmaxCrossEntropy().forward(logits, targets)
+        assert np.isfinite(loss)
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+
+class TestHingeLoss:
+    def test_zero_when_margin_satisfied(self):
+        scores = np.array([[5.0, 0.0, 0.0]])
+        targets = one_hot([0], 3)
+        assert HingeLoss().forward(scores, targets) == pytest.approx(0.0)
+
+    def test_positive_when_margin_violated(self):
+        scores = np.array([[0.0, 0.5, 0.0]])
+        targets = one_hot([0], 3)
+        assert HingeLoss().forward(scores, targets) > 0.0
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(ValueError):
+            HingeLoss(margin=0.0)
+
+    def test_gradient_matches_numerical(self):
+        generator = np.random.default_rng(3)
+        scores = generator.normal(size=(5, 4))
+        targets = one_hot(generator.integers(0, 4, size=5), 4)
+        analytic = HingeLoss().backward(scores, targets)
+        numeric = numerical_gradient(HingeLoss(), scores.copy(), targets)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestRegistry:
+    def test_every_name_instantiates(self):
+        for name in available_losses():
+            assert get_loss(name) is not None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_loss("focal")
+
+    def test_aliases_map_to_same_class(self):
+        assert type(get_loss("mse")) is type(get_loss("mean_squared_error"))

@@ -1,0 +1,112 @@
+"""Unit tests for repro.nn.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import (
+    accuracy,
+    accuracy_drop,
+    confusion_matrix,
+    per_class_accuracy,
+    precision_recall_f1,
+    top_k_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_half(self):
+        assert accuracy([0, 1, 1, 0], [0, 1, 0, 1]) == 0.5
+
+    def test_accepts_one_hot_targets(self):
+        targets = np.array([[1, 0], [0, 1]])
+        assert accuracy(targets, [0, 1]) == 1.0
+
+    def test_accepts_probability_predictions(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert accuracy([0, 1], scores) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0, 1, 2])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_prediction(self):
+        matrix = confusion_matrix([0, 1, 2, 2], [0, 1, 2, 2])
+        np.testing.assert_array_equal(matrix, np.diag([1, 1, 2]))
+
+    def test_off_diagonal_entries(self):
+        matrix = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert matrix[0, 1] == 1
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+
+    def test_explicit_class_count(self):
+        matrix = confusion_matrix([0], [0], n_classes=5)
+        assert matrix.shape == (5, 5)
+
+    def test_rows_sum_to_true_counts(self):
+        y_true = [0, 0, 1, 2, 2, 2]
+        y_pred = [0, 1, 1, 0, 2, 2]
+        matrix = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(matrix.sum(axis=1), [2, 1, 3])
+
+
+class TestPerClassAndF1:
+    def test_per_class_accuracy_values(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 1, 1, 1]
+        values = per_class_accuracy(y_true, y_pred)
+        np.testing.assert_allclose(values, [0.5, 1.0])
+
+    def test_per_class_nan_for_absent_class(self):
+        values = per_class_accuracy([0, 0], [0, 1])
+        assert np.isnan(values[1])
+
+    def test_micro_f1_equals_accuracy(self):
+        y_true = [0, 1, 2, 1, 0]
+        y_pred = [0, 2, 2, 1, 1]
+        metrics = precision_recall_f1(y_true, y_pred, average="micro")
+        assert metrics["f1"] == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_macro_perfect(self):
+        metrics = precision_recall_f1([0, 1, 2], [0, 1, 2], average="macro")
+        assert metrics == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_invalid_average_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([0], [0], average="weighted")
+
+
+class TestTopKAndDrop:
+    def test_top_1_equals_accuracy(self):
+        scores = np.array([[0.6, 0.4], [0.3, 0.7], [0.8, 0.2]])
+        labels = [0, 1, 1]
+        assert top_k_accuracy(labels, scores, k=1) == accuracy(labels, np.argmax(scores, axis=1))
+
+    def test_top_k_monotone_in_k(self):
+        generator = np.random.default_rng(0)
+        scores = generator.normal(size=(50, 5))
+        labels = generator.integers(0, 5, size=50)
+        values = [top_k_accuracy(labels, scores, k=k) for k in range(1, 6)]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_top_k_requires_2d_scores(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy([0], np.array([0.5]), k=1)
+
+    def test_top_k_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy([0], np.array([[0.5, 0.5]]), k=0)
+
+    def test_accuracy_drop_sign(self):
+        assert accuracy_drop(0.9, 0.85) == pytest.approx(0.05)
+        assert accuracy_drop(0.9, 0.95) == pytest.approx(-0.05)

@@ -1,0 +1,209 @@
+"""Tests for repro.pruning: magnitude, structured, schedules and the sweep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import build_mlp
+from repro.pruning import (
+    PruningScheduleConfig,
+    active_neurons_per_layer,
+    gradual_magnitude_pruning,
+    neuron_importance,
+    one_shot_pruning,
+    prune_by_magnitude,
+    prune_layer_by_magnitude,
+    prune_neurons,
+    pruning_mask_summary,
+    pruning_sweep,
+    remove_pruning,
+    sparsity_accuracy_curve,
+)
+
+
+@pytest.fixture
+def model():
+    return build_mlp(6, (5,), 3, seed=0)
+
+
+class TestLayerPruning:
+    def test_target_sparsity_achieved(self, model):
+        layer = model.dense_layers[0]
+        prune_layer_by_magnitude(layer, 0.4)
+        assert layer.sparsity() == pytest.approx(0.4, abs=0.05)
+
+    def test_smallest_magnitudes_removed_first(self, model):
+        layer = model.dense_layers[0]
+        magnitudes = np.abs(layer.weights)
+        prune_layer_by_magnitude(layer, 0.3)
+        pruned_magnitudes = magnitudes[layer.mask == 0.0]
+        kept_magnitudes = magnitudes[layer.mask == 1.0]
+        assert pruned_magnitudes.max() <= kept_magnitudes.min() + 1e-12
+
+    def test_zero_sparsity_keeps_everything(self, model):
+        layer = model.dense_layers[0]
+        prune_layer_by_magnitude(layer, 0.0)
+        assert layer.sparsity() == 0.0
+
+    def test_repruning_respects_existing_mask(self, model):
+        layer = model.dense_layers[0]
+        prune_layer_by_magnitude(layer, 0.3)
+        first_mask = layer.mask.copy()
+        prune_layer_by_magnitude(layer, 0.5)
+        # Everything pruned in the first pass stays pruned.
+        assert np.all(layer.mask[first_mask == 0.0] == 0.0)
+
+    def test_invalid_sparsity(self, model):
+        with pytest.raises(ValueError):
+            prune_layer_by_magnitude(model.dense_layers[0], 1.0)
+
+
+class TestModelPruning:
+    def test_global_ranking_overall_sparsity(self, model):
+        result = prune_by_magnitude(model, 0.5, global_ranking=True)
+        assert result.achieved_sparsity == pytest.approx(0.5, abs=0.1)
+        assert result.n_pruned + model.n_active_connections() == result.n_total
+
+    def test_per_layer_sparsity_list(self, model):
+        result = prune_by_magnitude(model, [0.2, 0.6])
+        assert result.per_layer_sparsity[0] == pytest.approx(0.2, abs=0.05)
+        assert result.per_layer_sparsity[1] == pytest.approx(0.6, abs=0.1)
+
+    def test_wrong_sparsity_list_length(self, model):
+        with pytest.raises(ValueError):
+            prune_by_magnitude(model, [0.2, 0.3, 0.4])
+
+    def test_local_ranking_uniform_sparsity(self, model):
+        prune_by_magnitude(model, 0.4, global_ranking=False)
+        for layer in model.dense_layers:
+            assert layer.sparsity() == pytest.approx(0.4, abs=0.1)
+
+    def test_remove_pruning_restores_density(self, model):
+        prune_by_magnitude(model, 0.5)
+        remove_pruning(model)
+        assert model.sparsity() == 0.0
+
+    def test_mask_summary(self, model):
+        prune_by_magnitude(model, 0.3)
+        summary = pruning_mask_summary(model)
+        assert summary["model_sparsity"] == pytest.approx(0.3, abs=0.1)
+        assert all(entry["has_mask"] for entry in summary["layers"])
+
+    def test_pruned_weights_stay_zero_in_effective(self, model):
+        prune_by_magnitude(model, 0.5)
+        for layer in model.dense_layers:
+            assert np.count_nonzero(layer.effective_weights()) == np.count_nonzero(layer.mask)
+
+    @given(st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_achieved_sparsity_close_to_target(self, sparsity):
+        mlp = build_mlp(8, (6,), 4, seed=1)
+        result = prune_by_magnitude(mlp, sparsity)
+        assert abs(result.achieved_sparsity - sparsity) < 0.08
+
+
+class TestStructuredPruning:
+    def test_removes_requested_fraction(self):
+        mlp = build_mlp(6, (8,), 3, seed=0)
+        result = prune_neurons(mlp, 0.5)
+        assert result.removed_neurons_per_layer == [4]
+        assert active_neurons_per_layer(mlp)[0] == 4
+
+    def test_outgoing_connections_also_removed(self):
+        mlp = build_mlp(6, (8,), 3, seed=0)
+        prune_neurons(mlp, 0.5)
+        second = mlp.dense_layers[1]
+        removed_rows = np.all(second.effective_weights() == 0.0, axis=1)
+        assert removed_rows.sum() == 4
+
+    def test_min_remaining_respected(self):
+        mlp = build_mlp(4, (3,), 2, seed=0)
+        result = prune_neurons(mlp, 0.9, min_remaining=2)
+        assert active_neurons_per_layer(mlp)[0] >= 2
+        assert result.total_removed <= 1
+
+    def test_importance_scores_positive(self):
+        mlp = build_mlp(5, (6,), 3, seed=0)
+        scores = neuron_importance(mlp, 0)
+        assert scores.shape == (6,)
+        assert np.all(scores >= 0.0)
+
+    def test_importance_invalid_layer(self):
+        mlp = build_mlp(5, (6,), 3, seed=0)
+        with pytest.raises(ValueError):
+            neuron_importance(mlp, 1)
+
+    def test_needs_hidden_layer(self):
+        mlp = build_mlp(5, (), 3, seed=0)
+        with pytest.raises(ValueError):
+            prune_neurons(mlp, 0.5)
+
+    def test_invalid_fraction(self):
+        mlp = build_mlp(5, (4,), 3, seed=0)
+        with pytest.raises(ValueError):
+            prune_neurons(mlp, 1.0)
+
+
+class TestSchedulesAndSweep:
+    @pytest.fixture(scope="class")
+    def data(self):
+        from repro.datasets import load_dataset, prepare_split, train_val_test_split
+
+        return prepare_split(train_val_test_split(load_dataset("seeds"), seed=0), input_bits=4)
+
+    @pytest.fixture(scope="class")
+    def trained(self, data):
+        from repro.nn import train_classifier
+
+        model = build_mlp(7, (4,), 3, seed=0)
+        train_classifier(
+            model, data.train.features, data.train.labels,
+            data.validation.features, data.validation.labels, epochs=60, seed=0,
+        )
+        return model
+
+    def test_schedule_config_validation(self):
+        with pytest.raises(ValueError):
+            PruningScheduleConfig(target_sparsity=1.0)
+        with pytest.raises(ValueError):
+            PruningScheduleConfig(target_sparsity=0.5, n_steps=0)
+
+    def test_schedule_ramp_monotone_and_reaches_target(self):
+        config = PruningScheduleConfig(target_sparsity=0.6, n_steps=5)
+        values = [config.sparsity_at_step(step) for step in range(1, 6)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(0.6)
+
+    def test_cubic_ramp_front_loads_pruning(self):
+        cubic = PruningScheduleConfig(target_sparsity=0.6, n_steps=4, cubic=True)
+        linear = PruningScheduleConfig(target_sparsity=0.6, n_steps=4, cubic=False)
+        assert cubic.sparsity_at_step(1) > linear.sparsity_at_step(1)
+
+    def test_one_shot_pruning_with_finetune(self, trained, data):
+        candidate = trained.clone()
+        baseline_accuracy = trained.evaluate_accuracy(data.test.features, data.test.labels)
+        result = one_shot_pruning(candidate, 0.4, data=data, finetune_epochs=8, seed=0)
+        accuracy = candidate.evaluate_accuracy(data.test.features, data.test.labels)
+        assert result.achieved_sparsity == pytest.approx(0.4, abs=0.08)
+        assert accuracy >= baseline_accuracy - 0.15
+
+    def test_gradual_pruning_reaches_target(self, trained, data):
+        candidate = trained.clone()
+        config = PruningScheduleConfig(target_sparsity=0.5, n_steps=3, epochs_per_step=3)
+        results = gradual_magnitude_pruning(candidate, data, config, seed=0)
+        assert len(results) == 3
+        assert results[-1].achieved_sparsity == pytest.approx(0.5, abs=0.08)
+
+    def test_sparsity_accuracy_curve_independent_levels(self, trained, data):
+        curve = sparsity_accuracy_curve(trained, data, [0.2, 0.6], finetune_epochs=3, seed=0)
+        assert len(curve) == 2
+        assert curve[0]["target_sparsity"] == 0.2
+        assert trained.sparsity() == 0.0  # original untouched
+
+    def test_pruning_sweep_points(self, trained, data):
+        points = pruning_sweep(
+            trained, data, sparsity_range=(0.2, 0.6), finetune_epochs=3, seed=0
+        )
+        assert [p.parameters["target_sparsity"] for p in points] == [0.2, 0.6]
+        assert points[1].area < points[0].area
+        assert all(p.technique == "pruning" for p in points)

@@ -1,0 +1,216 @@
+"""Tests for the NSGA-II primitives and the genome encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.search.genome import Genome, GenomeSpace
+from repro.search.nsga2 import (
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    nsga2_rank,
+    select_survivors,
+    tournament_select,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+        assert dominates([1.0, 2.0], [1.0, 3.0])
+
+    def test_no_dominance_when_tradeoff(self):
+        assert not dominates([1.0, 3.0], [2.0, 2.0])
+        assert not dominates([2.0, 2.0], [1.0, 3.0])
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates([1.0, 1.0], [1.0, 1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates([1.0], [1.0, 2.0])
+
+
+class TestNonDominatedSort:
+    def test_known_fronts(self):
+        objectives = [
+            [1.0, 5.0],   # front 0
+            [5.0, 1.0],   # front 0
+            [2.0, 6.0],   # dominated by [1,5] -> front 1
+            [6.0, 6.0],   # dominated by several -> front 2 or later
+        ]
+        fronts = fast_non_dominated_sort(objectives)
+        assert set(fronts[0]) == {0, 1}
+        assert 2 in fronts[1]
+        assert 3 in fronts[-1]
+
+    def test_all_non_dominated(self):
+        objectives = [[1.0, 4.0], [2.0, 3.0], [3.0, 2.0], [4.0, 1.0]]
+        fronts = fast_non_dominated_sort(objectives)
+        assert len(fronts) == 1
+        assert set(fronts[0]) == {0, 1, 2, 3}
+
+    def test_empty_input(self):
+        assert fast_non_dominated_sort([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 10), st.floats(0, 10)), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fronts_partition_population(self, objectives):
+        objectives = [list(o) for o in objectives]
+        fronts = fast_non_dominated_sort(objectives)
+        flattened = [i for front in fronts for i in front]
+        assert sorted(flattened) == list(range(len(objectives)))
+        # No solution in front k is dominated by a solution in a later front.
+        for earlier_index, front in enumerate(fronts):
+            for later_front in fronts[earlier_index + 1 :]:
+                for i in front:
+                    for j in later_front:
+                        assert not dominates(objectives[j], objectives[i])
+
+
+class TestCrowdingAndSelection:
+    def test_boundary_points_infinite_distance(self):
+        objectives = [[0.0, 4.0], [1.0, 3.0], [2.0, 2.0], [4.0, 0.0]]
+        distances = crowding_distance(objectives)
+        assert np.isinf(distances[0])
+        assert np.isinf(distances[3])
+        assert np.isfinite(distances[1])
+
+    def test_single_solution(self):
+        distances = crowding_distance([[1.0, 2.0]])
+        assert np.isinf(distances[0])
+
+    def test_empty(self):
+        assert crowding_distance([]).size == 0
+
+    def test_rank_prefers_earlier_front(self):
+        objectives = [[1.0, 1.0], [2.0, 2.0]]
+        keys = nsga2_rank(objectives)
+        assert keys[0] < keys[1]
+
+    def test_select_survivors_keeps_front_zero_first(self):
+        objectives = [[1.0, 5.0], [5.0, 1.0], [6.0, 6.0], [2.0, 2.0]]
+        survivors = select_survivors(objectives, 3)
+        assert 2 not in survivors
+        assert len(survivors) == 3
+
+    def test_select_survivors_validation(self):
+        with pytest.raises(ValueError):
+            select_survivors([[1.0, 1.0]], -1)
+
+    def test_tournament_select_returns_valid_index(self):
+        generator = np.random.default_rng(0)
+        objectives = [[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]]
+        for _ in range(20):
+            index = tournament_select(objectives, generator)
+            assert 0 <= index < 3
+
+    def test_tournament_prefers_dominating_solution(self):
+        generator = np.random.default_rng(0)
+        objectives = [[0.0, 0.0], [10.0, 10.0]]
+        picks = [tournament_select(objectives, generator, tournament_size=2) for _ in range(50)]
+        assert picks.count(0) > picks.count(1)
+
+    def test_tournament_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tournament_select([], np.random.default_rng(0))
+
+
+class TestGenome:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Genome(weight_bits=(4,), sparsity=(0.2, 0.3), clusters=(2,))
+        with pytest.raises(ValueError):
+            Genome(weight_bits=(1,), sparsity=(0.0,), clusters=(0,))
+        with pytest.raises(ValueError):
+            Genome(weight_bits=(4,), sparsity=(1.0,), clusters=(0,))
+        with pytest.raises(ValueError):
+            Genome(weight_bits=(), sparsity=(), clusters=())
+
+    def test_key_hashable_and_stable(self):
+        a = Genome((4, 4), (0.2, 0.0), (0, 2))
+        b = Genome((4, 4), (0.2, 0.0), (0, 2))
+        assert a.key() == b.key()
+        assert hash(a.key()) == hash(b.key())
+
+    def test_as_dict(self):
+        genome = Genome((4,), (0.3,), (2,))
+        assert genome.as_dict() == {
+            "weight_bits": [4],
+            "sparsity": [0.3],
+            "clusters": [2],
+        }
+
+
+class TestGenomeSpace:
+    @pytest.fixture
+    def space(self):
+        return GenomeSpace(n_layers=2)
+
+    def test_random_genomes_within_alphabets(self, space):
+        generator = np.random.default_rng(0)
+        for _ in range(30):
+            genome = space.random_genome(generator)
+            assert all(b in space.bit_choices for b in genome.weight_bits)
+            assert all(s in space.sparsity_choices for s in genome.sparsity)
+            assert all(c in space.cluster_choices for c in genome.clusters)
+
+    def test_baseline_genome_is_do_nothing(self, space):
+        genome = space.baseline_genome()
+        assert all(b == max(space.bit_choices) for b in genome.weight_bits)
+        assert all(s == 0.0 for s in genome.sparsity)
+        assert all(c == 0 for c in genome.clusters)
+
+    def test_seed_genomes_cover_standalone_corners(self, space):
+        seeds = space.seed_genomes()
+        assert len(seeds) >= 3
+        assert any(any(s > 0 for s in g.sparsity) for g in seeds)       # pruning corner
+        assert any(any(c > 0 for c in g.clusters) for g in seeds)       # clustering corner
+        assert any(any(b < 8 for b in g.weight_bits) for g in seeds)    # quantization corner
+
+    def test_mutation_stays_in_space(self, space):
+        generator = np.random.default_rng(1)
+        genome = space.baseline_genome()
+        for _ in range(50):
+            genome = space.mutate_gene(genome, generator, mutation_rate=0.8)
+            assert all(b in space.bit_choices for b in genome.weight_bits)
+            assert all(s in space.sparsity_choices for s in genome.sparsity)
+            assert all(c in space.cluster_choices for c in genome.clusters)
+
+    def test_crossover_genes_come_from_parents(self, space):
+        generator = np.random.default_rng(2)
+        parent_a = space.random_genome(generator)
+        parent_b = space.random_genome(generator)
+        child = space.crossover(parent_a, parent_b, generator)
+        for layer in range(2):
+            assert child.weight_bits[layer] in (
+                parent_a.weight_bits[layer],
+                parent_b.weight_bits[layer],
+            )
+
+    def test_crossover_layer_mismatch_rejected(self, space):
+        other = GenomeSpace(n_layers=3)
+        generator = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            space.crossover(
+                other.random_genome(generator), space.random_genome(generator), generator
+            )
+
+    def test_mutation_rate_validation(self, space):
+        with pytest.raises(ValueError):
+            space.mutate_gene(space.baseline_genome(), np.random.default_rng(0), 1.5)
+
+    def test_space_size(self):
+        space = GenomeSpace(n_layers=1, bit_choices=(2, 4), sparsity_choices=(0.0, 0.5), cluster_choices=(0, 2))
+        assert space.size() == 8
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GenomeSpace(n_layers=0)
+        with pytest.raises(ValueError):
+            GenomeSpace(n_layers=1, bit_choices=())
