@@ -92,6 +92,33 @@ def test_bench_genome_evaluation(benchmark, prepared_whitewine):
 
 
 @pytest.mark.benchmark(group="components")
+def test_bench_simulate_batch(benchmark, whitewine_model, whitewine_data):
+    """Vectorized fixed-point simulation of the whole WhiteWine test split.
+
+    The batched integer datapath is the evaluation hot path of the parallel
+    search engine; this tracks its throughput (and `extra_info` records the
+    speedup over the scalar golden model on a small slice).
+    """
+    import time
+
+    from repro.bespoke import FixedPointSimulator
+
+    simulator = FixedPointSimulator(whitewine_model, BespokeConfig(input_bits=4, weight_bits=8))
+    features = whitewine_data.test.features
+    benchmark(simulator.simulate_batch, features)
+
+    slice_features = features[:64]
+    start = time.perf_counter()
+    scalar_scores = [simulator.simulate_sample(sample) for sample in slice_features]
+    scalar_time = time.perf_counter() - start
+    start = time.perf_counter()
+    batch_scores = simulator.simulate_batch(slice_features)
+    batch_time = time.perf_counter() - start
+    assert [list(row) for row in batch_scores] == scalar_scores
+    benchmark.extra_info["batch_vs_scalar_speedup"] = scalar_time / max(batch_time, 1e-9)
+
+
+@pytest.mark.benchmark(group="components")
 def test_bench_kmeans_1d(benchmark):
     """1-D k-means on a layer-sized weight vector."""
     values = np.random.default_rng(0).normal(size=512)

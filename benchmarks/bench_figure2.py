@@ -7,18 +7,29 @@ The paper reports up to 8x area gain at the 5 % accuracy-loss budget.
 
 import pytest
 
-from benchlib import FULL, bench_config
+from benchlib import FULL, SMOKE, WORKERS, bench_config
 from repro.experiments import run_figure2
 from repro.search import GAConfig
 
 
-def _run_figure2():
-    ga_config = (
-        GAConfig()
-        if FULL
-        else GAConfig(population_size=12, n_generations=6, finetune_epochs=6, seed=0)
+def _ga_config() -> GAConfig:
+    if FULL:
+        return GAConfig(n_workers=WORKERS)
+    if SMOKE:
+        return GAConfig(
+            population_size=6, n_generations=3, finetune_epochs=3, seed=0,
+            n_workers=WORKERS,
+        )
+    return GAConfig(
+        population_size=12, n_generations=6, finetune_epochs=6, seed=0,
+        n_workers=WORKERS,
     )
-    return run_figure2("whitewine", config=bench_config("whitewine"), ga_config=ga_config)
+
+
+def _run_figure2():
+    return run_figure2(
+        "whitewine", config=bench_config("whitewine"), ga_config=_ga_config()
+    )
 
 
 @pytest.mark.benchmark(group="figure2", min_rounds=1, max_time=1.0, warmup=False)
@@ -36,6 +47,7 @@ def test_fig2_whitewine_combined(benchmark, print_rows):
         if technique != "combined" and gain is not None
     ]
     # The paper's qualitative claim: the combined front is at least as good as
-    # every standalone front (small tolerance for the reduced GA budget).
+    # every standalone front (small tolerance for the reduced GA budget, a
+    # larger one for the CI smoke budget).
     assert combined is not None
-    assert combined >= max(standalone) * 0.85
+    assert combined >= max(standalone) * (0.7 if SMOKE else 0.85)

@@ -13,11 +13,30 @@ from repro.core import PipelineConfig
 #: Set REPRO_FULL_BENCH=1 to run the paper-faithful (slower) settings.
 FULL = os.environ.get("REPRO_FULL_BENCH", "0") == "1"
 
+#: Set REPRO_BENCH_SMOKE=1 for the minimal CI configuration: tiny data and
+#: search budgets, just enough signal to catch gross perf/quality regressions.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+#: Worker processes for search benchmarks (REPRO_BENCH_WORKERS, default serial).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
 
 def bench_config(dataset: str) -> PipelineConfig:
     """Pipeline configuration used by the benchmark harness for one dataset."""
     if FULL:
-        return PipelineConfig(dataset=dataset)
+        return PipelineConfig(dataset=dataset, n_workers=WORKERS)
+    if SMOKE:
+        return PipelineConfig(
+            dataset=dataset,
+            seed=0,
+            train_epochs=25,
+            finetune_epochs=4,
+            bit_range=(2, 4, 6),
+            sparsity_range=(0.3, 0.5),
+            cluster_range=(2, 4),
+            n_samples=None if dataset == "seeds" else 500,
+            n_workers=WORKERS,
+        )
     return PipelineConfig(
         dataset=dataset,
         seed=0,
@@ -26,4 +45,5 @@ def bench_config(dataset: str) -> PipelineConfig:
         sparsity_range=(0.2, 0.3, 0.4, 0.5, 0.6),
         cluster_range=(2, 3, 4, 6, 8),
         n_samples=None if dataset == "seeds" else 1200,
+        n_workers=WORKERS,
     )

@@ -29,14 +29,25 @@ def main() -> None:
     parser.add_argument("--finetune-epochs", type=int, default=6,
                         help="fine-tuning epochs inside each fitness evaluation")
     parser.add_argument("--seed", type=int, default=0)
+    def workers_type(value: str) -> int:
+        workers = int(value)
+        if workers < 0:
+            raise argparse.ArgumentTypeError(f"must be >= 0, got {workers}")
+        return workers
+
+    parser.add_argument("--workers", type=workers_type, default=1,
+                        help="fitness-evaluation worker processes "
+                             "(1 = serial, 0 = all cores); any value gives "
+                             "bit-identical results")
     args = parser.parse_args()
 
-    config = PipelineConfig(dataset=args.dataset, seed=args.seed)
+    config = PipelineConfig(dataset=args.dataset, seed=args.seed, n_workers=args.workers)
     ga_config = GAConfig(
         population_size=args.population,
         n_generations=args.generations,
         finetune_epochs=args.finetune_epochs,
         seed=args.seed,
+        n_workers=args.workers,
     )
     result = run_figure2(args.dataset, config=config, ga_config=ga_config)
 

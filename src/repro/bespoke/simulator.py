@@ -135,8 +135,14 @@ class FixedPointSimulator:
 
     # -- simulation -----------------------------------------------------------------
 
-    def forward_integer(self, features: np.ndarray, record_trace: bool = False) -> np.ndarray:
-        """Run the integer datapath; returns the final-layer integer scores."""
+    def simulate_batch(self, features: np.ndarray, record_trace: bool = False) -> np.ndarray:
+        """Vectorized integer datapath over a whole ``(n_samples, n_features)`` batch.
+
+        This is the production path used by every accuracy evaluation: one
+        integer matrix multiply per layer instead of per-sample Python loops.
+        It is bit-identical to :meth:`simulate_sample` (the scalar golden
+        model) — the test suite asserts exact agreement between the two.
+        """
         activations = self.quantize_inputs(features)
         if activations.shape[1] != self.layers[0].n_inputs:
             raise ValueError(
@@ -158,6 +164,35 @@ class FixedPointSimulator:
                 accumulators = np.maximum(accumulators, 0)
             activations = accumulators
         return activations
+
+    def simulate_sample(self, sample: np.ndarray) -> List[int]:
+        """Scalar golden model: one sample through explicit per-neuron loops.
+
+        Mirrors the circuit structure operation by operation — one Python
+        integer multiply-accumulate per hard-wired weight, arbitrary
+        precision so no accumulator can silently wrap. Used to validate the
+        vectorized batch path, never in the evaluation hot loop.
+        """
+        levels = [int(v) for v in self.quantize_inputs(np.asarray(sample).reshape(1, -1))[0]]
+        if len(levels) != self.layers[0].n_inputs:
+            raise ValueError(
+                f"Expected {self.layers[0].n_inputs} features, got {len(levels)}"
+            )
+        for layer in self.layers:
+            outputs: List[int] = []
+            for neuron in range(layer.n_neurons):
+                accumulator = int(layer.bias[neuron])
+                for position in range(layer.n_inputs):
+                    accumulator += levels[position] * int(layer.weights[position, neuron])
+                if layer.relu and accumulator < 0:
+                    accumulator = 0
+                outputs.append(accumulator)
+            levels = outputs
+        return levels
+
+    def forward_integer(self, features: np.ndarray, record_trace: bool = False) -> np.ndarray:
+        """Run the integer datapath; returns the final-layer integer scores."""
+        return self.simulate_batch(features, record_trace=record_trace)
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predicted class indices of the circuit (argmax comparator tree)."""

@@ -36,8 +36,21 @@ from .quantization import QATConfig, quantize_aware_train
 from .search import GAConfig
 
 
-def _pipeline_config(dataset: str, fast: bool, seed: int) -> PipelineConfig:
-    return fast_config(dataset, seed=seed) if fast else PipelineConfig(dataset=dataset, seed=seed)
+def _pipeline_config(
+    dataset: str, fast: bool, seed: int, workers: int = 1
+) -> PipelineConfig:
+    if fast:
+        return fast_config(dataset, seed=seed, n_workers=workers)
+    return PipelineConfig(dataset=dataset, seed=seed, n_workers=workers)
+
+
+def _workers_argument(value: str) -> int:
+    workers = int(value)
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (1 = serial, 0 = all cores), got {workers}"
+        )
+    return workers
 
 
 def _datasets_argument(value: Optional[str]) -> List[str]:
@@ -51,7 +64,7 @@ def _datasets_argument(value: Optional[str]) -> List[str]:
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
     for dataset in _datasets_argument(args.dataset):
-        row = baseline_for(dataset, config=_pipeline_config(dataset, args.fast, args.seed))
+        row = baseline_for(dataset, config=_pipeline_config(dataset, args.fast, args.seed, args.workers))
         print(row.format())
     return 0
 
@@ -59,7 +72,7 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
 def _cmd_figure1(args: argparse.Namespace) -> int:
     gains_by_dataset = {}
     for dataset in _datasets_argument(args.dataset):
-        config = _pipeline_config(dataset, args.fast, args.seed)
+        config = _pipeline_config(dataset, args.fast, args.seed, args.workers)
         panel = run_figure1_panel(dataset, config=config)
         gains_by_dataset[dataset] = panel.area_gains
         print()
@@ -77,12 +90,13 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
-    config = _pipeline_config(args.dataset, args.fast, args.seed)
+    config = _pipeline_config(args.dataset, args.fast, args.seed, args.workers)
     ga_config = GAConfig(
         population_size=args.population,
         n_generations=args.generations,
         finetune_epochs=args.finetune_epochs,
         seed=args.seed,
+        n_workers=args.workers,
     )
     result = run_figure2(args.dataset, config=config, ga_config=ga_config)
     for row in result.format_rows():
@@ -105,7 +119,7 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
-    config = _pipeline_config(args.dataset, args.fast, args.seed)
+    config = _pipeline_config(args.dataset, args.fast, args.seed, args.workers)
     pipeline = MinimizationPipeline(config)
     prepared = pipeline.prepare()
     model = prepared.baseline_model.clone()
@@ -161,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--fast", action="store_true",
                          help="reduced-cost settings (smaller data, fewer epochs)")
         sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--workers", type=_workers_argument, default=1,
+                         help="worker processes for search fitness evaluation "
+                              "(1 = serial, 0 = all cores); used by figure2's "
+                              "GA — other subcommands only carry it in their "
+                              "pipeline config. Results are bit-identical at "
+                              "any worker count")
 
     baseline = subparsers.add_parser("baseline", help="train + synthesize the bespoke baselines")
     add_common(baseline, None)

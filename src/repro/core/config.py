@@ -30,6 +30,9 @@ class PipelineConfig:
         val_fraction / test_fraction: data split proportions.
         n_samples: optional dataset-size override (smaller = faster benches).
         max_accuracy_loss: accuracy budget for headline area-gain numbers.
+        n_workers: worker processes for search fitness evaluation
+            (1 = serial, 0 = every available core). Parallel runs produce
+            bit-identical results to serial ones.
     """
 
     dataset: str
@@ -46,8 +49,11 @@ class PipelineConfig:
     test_fraction: float = 0.25
     n_samples: Optional[int] = None
     max_accuracy_loss: float = 0.05
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
+        if self.n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
         if self.input_bits < 1:
             raise ValueError(f"input_bits must be >= 1, got {self.input_bits}")
         if self.baseline_weight_bits < 2:
@@ -68,7 +74,7 @@ class PipelineConfig:
             raise ValueError("cluster_range entries must be >= 1")
 
 
-def fast_config(dataset: str, seed: int = 0) -> PipelineConfig:
+def fast_config(dataset: str, seed: int = 0, n_workers: int = 1) -> PipelineConfig:
     """A reduced-cost configuration used by tests and quick examples.
 
     Smaller dataset realizations, fewer fine-tuning epochs and coarser sweep
@@ -84,4 +90,5 @@ def fast_config(dataset: str, seed: int = 0) -> PipelineConfig:
         sparsity_range=(0.2, 0.4, 0.6),
         cluster_range=(2, 4, 8),
         n_samples=600 if dataset.lower() != "seeds" else None,
+        n_workers=n_workers,
     )

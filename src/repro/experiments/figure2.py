@@ -9,7 +9,7 @@ accuracy-loss budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..core.config import PipelineConfig, fast_config
@@ -59,6 +59,7 @@ def run_figure2(
     ga_config: Optional[GAConfig] = None,
     techniques: Sequence[str] = STANDALONE_TECHNIQUES,
     fast: bool = False,
+    n_workers: Optional[int] = None,
 ) -> Figure2Result:
     """Reproduce Figure 2: standalone sweeps plus the GA-combined front.
 
@@ -69,6 +70,9 @@ def run_figure2(
         ga_config: GA hyper-parameters (a smaller budget is used when ``fast``).
         techniques: standalone techniques to overlay.
         fast: reduced-cost settings for tests and quick benchmarks.
+        n_workers: fitness-evaluation worker processes; overrides both
+            ``config.n_workers`` and ``ga_config.n_workers`` when given.
+            Any worker count yields a bit-identical combined front.
     """
     if config is None:
         config = fast_config(dataset) if fast else PipelineConfig(dataset=dataset)
@@ -78,6 +82,8 @@ def run_figure2(
             if fast
             else GAConfig()
         )
+    if n_workers is not None:
+        ga_config = replace(ga_config, n_workers=n_workers)
     pipeline = MinimizationPipeline(config)
     sweep = pipeline.run(techniques)
     prepared = pipeline.prepare()

@@ -20,7 +20,7 @@ literature (a few mWh of capacity, sub-mW harvesting).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..bespoke.report import SynthesisReport
 

@@ -64,6 +64,11 @@ def derive_format(weights: np.ndarray, bits: int) -> FixedPointFormat:
     max_level = max_symmetric_level(bits)
     max_abs = float(np.max(np.abs(weights))) if weights.size else 0.0
     scale = max_abs / max_level if max_abs > 0 else 1.0
+    if scale == 0.0:
+        # Subnormal max_abs can underflow the division to exactly 0; such
+        # weights quantize to all-zero levels at any scale, so treat them
+        # like the all-zero tensor.
+        scale = 1.0
     return FixedPointFormat(bits=bits, scale=scale)
 
 

@@ -10,7 +10,7 @@ Dense layers so that fine-tuning cannot resurrect removed connections.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
 
 from ..datasets.preprocessing import PreparedData
 from ..nn.network import MLP

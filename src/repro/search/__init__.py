@@ -1,5 +1,6 @@
-"""Hardware-aware search: genome encoding, NSGA-II, GA driver, exhaustive baselines."""
+"""Hardware-aware search: genome encoding, NSGA-II, GA driver, evaluation engine."""
 
+from .evaluator import EvaluationCache, SerialEvaluator, genome_seed
 from .exhaustive import front_of, grid_search, random_search
 from .ga import GAConfig, GAResult, HardwareAwareGA, run_combined_search
 from .genome import (
@@ -18,34 +19,47 @@ from .nsga2 import (
     tournament_select,
 )
 from .objectives import (
-    CachedEvaluator,
     EvaluationSettings,
     apply_genome,
     evaluate_genome,
     objectives_of,
 )
+from .parallel import ParallelEvaluator, create_evaluator, resolve_workers
+
+#: Backwards-compatible name for the serial engine (pre-engine API).
+#: Note one semantic change versus the legacy class: evaluations now use
+#: deterministic per-genome seeds derived from ``seed`` (default 0) instead
+#: of passing one shared seed (default None) to every evaluation, so design
+#: points differ numerically from pre-engine runs.
+CachedEvaluator = SerialEvaluator
 
 __all__ = [
     "CachedEvaluator",
     "DEFAULT_BIT_CHOICES",
     "DEFAULT_CLUSTER_CHOICES",
     "DEFAULT_SPARSITY_CHOICES",
+    "EvaluationCache",
     "EvaluationSettings",
     "GAConfig",
     "GAResult",
     "Genome",
     "GenomeSpace",
     "HardwareAwareGA",
+    "ParallelEvaluator",
+    "SerialEvaluator",
     "apply_genome",
+    "create_evaluator",
     "crowding_distance",
     "dominates",
     "evaluate_genome",
     "fast_non_dominated_sort",
     "front_of",
+    "genome_seed",
     "grid_search",
     "nsga2_rank",
     "objectives_of",
     "random_search",
+    "resolve_workers",
     "run_combined_search",
     "select_survivors",
     "tournament_select",

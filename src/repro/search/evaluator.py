@@ -1,0 +1,191 @@
+"""The evaluation engine behind every combined-search strategy.
+
+All search drivers (the hardware-aware GA, random/grid baselines, future
+distributed searches) funnel their fitness evaluations through one engine
+with three responsibilities:
+
+* **Caching** — genome evaluations are memoized by the genome's hashable
+  identity, shared across generations, so re-encountered genomes cost
+  nothing (:class:`EvaluationCache`).
+* **Determinism** — every genome gets its own RNG seed, derived with a
+  process-independent hash of the genome identity and the search's base
+  seed (:func:`genome_seed`). Evaluation therefore depends only on
+  ``(genome, prepared, settings, base_seed)`` — never on evaluation order
+  or on which worker process ran it — which is what makes parallel and
+  serial searches bit-identical.
+* **Batching** — drivers submit whole populations via
+  :meth:`SerialEvaluator.evaluate_population`, the natural unit for the
+  process-pool fan-out in :mod:`repro.search.parallel`.
+
+:class:`SerialEvaluator` is the in-process implementation (and the fallback
+when no worker pool is available); :class:`~repro.search.parallel.ParallelEvaluator`
+subclasses it to fan cache misses out over a ``ProcessPoolExecutor``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from ..core.pipeline import PreparedPipeline
+from ..core.results import DesignPoint
+from .genome import Genome
+from .objectives import EvaluationSettings, evaluate_genome
+
+#: Seeds are reduced modulo 2**32 so they are valid ``numpy`` seeds everywhere.
+_SEED_SPACE = 2**32
+
+
+def genome_seed(base_seed: Optional[int], genome: Genome) -> Optional[int]:
+    """Deterministic per-genome RNG seed.
+
+    Derived from a SHA-256 digest of the genome identity mixed with the
+    search's base seed, so it is stable across processes and Python runs
+    (unlike ``hash()``, which is salted by ``PYTHONHASHSEED``). ``None``
+    base seeds are passed through: the caller asked for unseeded evaluation.
+    """
+    if base_seed is None:
+        return None
+    digest = hashlib.sha256(
+        f"{int(base_seed)}|{genome.key()!r}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+class EvaluationCache:
+    """Genome-keyed memo of evaluated design points.
+
+    Insertion order is preserved (it matches the order genomes were first
+    submitted for evaluation), so :meth:`points` is deterministic and
+    identical between serial and parallel runs.
+    """
+
+    def __init__(self) -> None:
+        self._points: Dict[Tuple, DesignPoint] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, genome: Genome) -> bool:
+        return genome.key() in self._points
+
+    def get(self, genome: Genome) -> Optional[DesignPoint]:
+        """Cached point for ``genome``, or ``None``.
+
+        Pure lookup — the evaluator maintains ``hits``/``misses`` at the
+        population level, where intra-batch duplicates are visible.
+        """
+        return self._points.get(genome.key())
+
+    def peek(self, genome: Genome) -> DesignPoint:
+        """Cached point without touching the hit/miss counters (KeyError if absent)."""
+        return self._points[genome.key()]
+
+    def put(self, genome: Genome, point: DesignPoint) -> None:
+        self._points[genome.key()] = point
+
+    def points(self) -> List[DesignPoint]:
+        """Every distinct design point evaluated so far, in first-seen order."""
+        return list(self._points.values())
+
+
+class SerialEvaluator:
+    """In-process evaluation engine: cache + per-genome seeding, no fan-out.
+
+    Drop-in compatible with the legacy ``CachedEvaluator`` interface
+    (callable per genome, ``n_evaluations``, ``cache_size``, ``all_points()``)
+    while adding population-level evaluation.
+
+    Args:
+        prepared: prepared pipeline (trained baseline, data, technology).
+        settings: per-genome evaluation settings.
+        seed: base seed; each genome's evaluation seed is derived from it
+            via :func:`genome_seed`.
+    """
+
+    def __init__(
+        self,
+        prepared: PreparedPipeline,
+        settings: Optional[EvaluationSettings] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.prepared = prepared
+        self.settings = settings if settings is not None else EvaluationSettings()
+        self.seed = seed
+        self.cache = EvaluationCache()
+        self.n_evaluations = 0
+
+    # -- engine interface --------------------------------------------------------
+
+    def evaluate_population(self, genomes: List[Genome]) -> List[DesignPoint]:
+        """Evaluate a population, returning points aligned with ``genomes``.
+
+        Duplicates within the population and genomes already seen in earlier
+        generations are served from the cache; only distinct unseen genomes
+        are evaluated. ``cache.misses`` counts those fresh evaluations;
+        ``cache.hits`` counts every other request in the batch (including
+        intra-batch duplicates of a new genome).
+        """
+        missing = self._cache_misses(genomes)
+        self.cache.misses += len(missing)
+        self.cache.hits += len(genomes) - len(missing)
+        if missing:
+            evaluated = self._evaluate_missing(missing)
+            for genome, point in zip(missing, evaluated):
+                self.cache.put(genome, point)
+            self.n_evaluations += len(missing)
+        return [self.cache.peek(genome) for genome in genomes]
+
+    def evaluate(self, genome: Genome) -> DesignPoint:
+        """Evaluate a single genome through the cache."""
+        return self.evaluate_population([genome])[0]
+
+    __call__ = evaluate
+
+    def close(self) -> None:
+        """Release any evaluation resources (no-op for the serial engine)."""
+
+    def __enter__(self) -> "SerialEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _cache_misses(self, genomes: List[Genome]) -> List[Genome]:
+        """Distinct genomes of the batch that are not cached, in first-seen order."""
+        missing: List[Genome] = []
+        seen: set = set()
+        for genome in genomes:
+            key = genome.key()
+            if key in seen or genome in self.cache:
+                continue
+            missing.append(genome)
+            seen.add(key)
+        return missing
+
+    def _evaluate_missing(self, genomes: List[Genome]) -> List[DesignPoint]:
+        """Evaluate uncached genomes in-process. Overridden by the parallel engine."""
+        return [
+            evaluate_genome(
+                genome, self.prepared, self.settings, seed=genome_seed(self.seed, genome)
+            )
+            for genome in genomes
+        ]
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def cache_size(self) -> int:
+        return len(self.cache)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits
+
+    def all_points(self) -> List[DesignPoint]:
+        """Every distinct design point evaluated so far."""
+        return self.cache.points()

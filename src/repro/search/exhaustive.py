@@ -8,6 +8,12 @@ design-space exploration strategies over the same genome space:
 * :func:`grid_search` — an exhaustive sweep over a reduced grid (only
   layer-uniform genomes), which is feasible because printed MLPs have very
   few layers.
+
+Both route their evaluations through the shared engine
+(:func:`repro.search.parallel.create_evaluator`), so they inherit its
+caching, per-genome seeding and optional process-pool fan-out. The set of
+genomes evaluated depends only on the sampling RNG, never on the worker
+count, so parallel runs return the same points as serial ones.
 """
 
 from __future__ import annotations
@@ -21,7 +27,8 @@ from ..core.pareto import pareto_front
 from ..core.pipeline import PreparedPipeline
 from ..core.results import DesignPoint
 from .genome import Genome, GenomeSpace
-from .objectives import CachedEvaluator, EvaluationSettings
+from .objectives import EvaluationSettings
+from .parallel import create_evaluator
 
 
 def random_search(
@@ -30,6 +37,7 @@ def random_search(
     settings: Optional[EvaluationSettings] = None,
     seed: int = 0,
     space: Optional[GenomeSpace] = None,
+    n_workers: Optional[int] = None,
 ) -> List[DesignPoint]:
     """Uniform random sampling of the genome space.
 
@@ -41,11 +49,19 @@ def random_search(
     space = space if space is not None else GenomeSpace(
         n_layers=len(prepared.baseline_model.dense_layers)
     )
-    evaluator = CachedEvaluator(prepared, settings, seed=seed)
     rng = np.random.default_rng(seed)
-    while evaluator.n_evaluations < n_evaluations:
-        evaluator(space.random_genome(rng))
-    return evaluator.all_points()
+    with create_evaluator(prepared, settings, seed=seed, n_workers=n_workers) as evaluator:
+        # Draw until the budget of *distinct* genomes is reached, then batch-
+        # evaluate: the drawn sequence depends only on the RNG, so the engine
+        # (serial or parallel) sees exactly the genomes a serial loop would.
+        batch: List[Genome] = []
+        distinct: set = set()
+        while len(distinct) < n_evaluations:
+            genome = space.random_genome(rng)
+            batch.append(genome)
+            distinct.add(genome.key())
+        evaluator.evaluate_population(batch)
+        return evaluator.all_points()
 
 
 def grid_search(
@@ -55,6 +71,7 @@ def grid_search(
     cluster_choices: Sequence[int] = (0, 3, 6),
     settings: Optional[EvaluationSettings] = None,
     seed: int = 0,
+    n_workers: Optional[int] = None,
 ) -> List[DesignPoint]:
     """Exhaustive sweep over layer-uniform genomes.
 
@@ -63,15 +80,17 @@ def grid_search(
     of depth — tractable for the coarse comparison grid used by the ablation.
     """
     n_layers = len(prepared.baseline_model.dense_layers)
-    evaluator = CachedEvaluator(prepared, settings, seed=seed)
-    for bits, sparsity, clusters in product(bit_choices, sparsity_choices, cluster_choices):
-        genome = Genome(
+    genomes = [
+        Genome(
             weight_bits=(int(bits),) * n_layers,
             sparsity=(float(sparsity),) * n_layers,
             clusters=(int(clusters),) * n_layers,
         )
-        evaluator(genome)
-    return evaluator.all_points()
+        for bits, sparsity, clusters in product(bit_choices, sparsity_choices, cluster_choices)
+    ]
+    with create_evaluator(prepared, settings, seed=seed, n_workers=n_workers) as evaluator:
+        evaluator.evaluate_population(genomes)
+        return evaluator.all_points()
 
 
 def front_of(points: List[DesignPoint]) -> List[DesignPoint]:

@@ -9,7 +9,7 @@ front starts from — and can only improve on — the standalone fronts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -25,7 +25,8 @@ from .genome import (
     GenomeSpace,
 )
 from .nsga2 import select_survivors, tournament_select
-from .objectives import CachedEvaluator, EvaluationSettings, objectives_of
+from .objectives import EvaluationSettings, objectives_of
+from .parallel import create_evaluator
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,9 @@ class GAConfig:
             crossover (otherwise a mutated copy of one parent).
         finetune_epochs: fine-tuning epochs inside each evaluation.
         seed: RNG seed for the evolutionary operators.
+        n_workers: evaluation worker processes (``None`` inherits the
+            prepared pipeline's configuration, 1 = serial, 0 = all cores).
+            Parallel runs are bit-identical to serial ones.
         bit_choices / sparsity_choices / cluster_choices: gene alphabets.
     """
 
@@ -49,6 +53,7 @@ class GAConfig:
     crossover_rate: float = 0.9
     finetune_epochs: int = 8
     seed: int = 0
+    n_workers: Optional[int] = None
     bit_choices: Sequence[int] = DEFAULT_BIT_CHOICES
     sparsity_choices: Sequence[float] = DEFAULT_SPARSITY_CHOICES
     cluster_choices: Sequence[int] = DEFAULT_CLUSTER_CHOICES
@@ -114,8 +119,11 @@ class HardwareAwareGA:
             sparsity_choices=self.config.sparsity_choices,
             cluster_choices=self.config.cluster_choices,
         )
-        self.evaluator = CachedEvaluator(
-            prepared, self.settings, seed=self.config.seed
+        n_workers = self.config.n_workers
+        if n_workers is None:
+            n_workers = getattr(prepared.config, "n_workers", 1)
+        self.evaluator = create_evaluator(
+            prepared, self.settings, seed=self.config.seed, n_workers=n_workers
         )
         self._rng = np.random.default_rng(self.config.seed)
 
@@ -144,15 +152,21 @@ class HardwareAwareGA:
 
     def run(self) -> GAResult:
         """Run the evolutionary search and return the combined Pareto front."""
+        try:
+            return self._run()
+        finally:
+            self.evaluator.close()
+
+    def _run(self) -> GAResult:
         baseline = self.prepared.baseline_point
         population = self._initial_population()
-        points = [self.evaluator(genome) for genome in population]
+        points = self.evaluator.evaluate_population(population)
         generations: List[Dict[str, float]] = []
 
         for generation in range(self.config.n_generations):
             objectives = [objectives_of(p, baseline) for p in points]
             offspring = self._make_offspring(population, objectives)
-            offspring_points = [self.evaluator(genome) for genome in offspring]
+            offspring_points = self.evaluator.evaluate_population(offspring)
 
             combined_population = population + offspring
             combined_points = points + offspring_points
@@ -174,6 +188,7 @@ class HardwareAwareGA:
                     "best_area_gain": float(best_gain),
                     "best_accuracy": float(max(p.accuracy for p in points)),
                     "evaluations": float(self.evaluator.n_evaluations),
+                    "cache_hits": float(self.evaluator.cache_hits),
                 }
             )
 
@@ -189,6 +204,9 @@ class HardwareAwareGA:
 def run_combined_search(
     prepared: PreparedPipeline,
     config: Optional[GAConfig] = None,
+    n_workers: Optional[int] = None,
 ) -> GAResult:
     """Convenience wrapper used by the Figure-2 experiment and examples."""
+    if n_workers is not None:
+        config = replace(config if config is not None else GAConfig(), n_workers=n_workers)
     return HardwareAwareGA(prepared, config=config).run()

@@ -5,14 +5,19 @@ baseline in the order pruning → clustering → quantization-aware fine-tuning
 (a single joint fine-tuning pass recovers accuracy for all of them at once),
 then synthesizes the bespoke circuit at the genome's bit-widths. The result
 is returned as a ``combined`` :class:`~repro.core.results.DesignPoint`.
+
+These are pure functions of ``(genome, prepared, settings, seed)``; caching
+and parallel fan-out live in :mod:`repro.search.evaluator` and
+:mod:`repro.search.parallel`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..bespoke.circuit import BespokeConfig
+from ..bespoke.simulator import FixedPointSimulator
 from ..bespoke.synthesis import synthesize
 from ..clustering.weight_clustering import cluster_model_weights, reproject_clusters
 from ..core.pipeline import PreparedPipeline
@@ -32,11 +37,16 @@ class EvaluationSettings:
             post-training evaluation — used by the GA ablation).
         finetune_learning_rate: learning rate of the joint fine-tuning pass.
         per_position_clustering: cluster per input position (paper scheme).
+        simulate_accuracy: measure test accuracy on the bit-accurate
+            fixed-point simulator (batched integer datapath) instead of the
+            float software model, so the search optimizes the deployed
+            circuit's accuracy rather than its floating-point proxy.
     """
 
     finetune_epochs: int = 8
     finetune_learning_rate: float = 0.003
     per_position_clustering: bool = True
+    simulate_accuracy: bool = False
 
 
 def apply_genome(
@@ -101,13 +111,18 @@ def evaluate_genome(
     settings = settings if settings is not None else EvaluationSettings()
     model = apply_genome(genome, prepared, settings, seed=seed)
     data = prepared.data
-    accuracy = model.evaluate_accuracy(data.test.features, data.test.labels)
+    bespoke_config = BespokeConfig(
+        input_bits=prepared.config.input_bits,
+        weight_bits=list(genome.weight_bits),
+    )
+    if settings.simulate_accuracy:
+        simulator = FixedPointSimulator(model, bespoke_config)
+        accuracy = simulator.evaluate_accuracy(data.test.features, data.test.labels)
+    else:
+        accuracy = model.evaluate_accuracy(data.test.features, data.test.labels)
     report = synthesize(
         model,
-        config=BespokeConfig(
-            input_bits=prepared.config.input_bits,
-            weight_bits=list(genome.weight_bits),
-        ),
+        config=bespoke_config,
         tech=prepared.technology,
         name=f"{prepared.metadata.get('dataset', 'mlp')}_combined",
     )
@@ -129,36 +144,3 @@ def objectives_of(point: DesignPoint, baseline: DesignPoint) -> Tuple[float, flo
     loss = max(1.0 - point.accuracy / baseline.accuracy, 0.0)
     normalized_area = point.area / baseline.area
     return (loss, normalized_area)
-
-
-class CachedEvaluator:
-    """Memoizes genome evaluations (the GA revisits genomes frequently)."""
-
-    def __init__(
-        self,
-        prepared: PreparedPipeline,
-        settings: Optional[EvaluationSettings] = None,
-        seed: Optional[int] = None,
-    ) -> None:
-        self.prepared = prepared
-        self.settings = settings if settings is not None else EvaluationSettings()
-        self.seed = seed
-        self._cache: Dict[Tuple, DesignPoint] = {}
-        self.n_evaluations = 0
-
-    def __call__(self, genome: Genome) -> DesignPoint:
-        key = genome.key()
-        if key not in self._cache:
-            self._cache[key] = evaluate_genome(
-                genome, self.prepared, self.settings, seed=self.seed
-            )
-            self.n_evaluations += 1
-        return self._cache[key]
-
-    @property
-    def cache_size(self) -> int:
-        return len(self._cache)
-
-    def all_points(self):
-        """Every distinct design point evaluated so far."""
-        return list(self._cache.values())

@@ -1,0 +1,149 @@
+"""Process-pool fan-out of genome evaluations.
+
+NSGA-II fitness evaluations are embarrassingly parallel: each one retrains
+and re-synthesizes an independent clone of the baseline. The
+:class:`ParallelEvaluator` here fans the cache misses of each population out
+over a ``ProcessPoolExecutor`` while keeping the engine's guarantees:
+
+* **Bit-identical to serial** — every genome is evaluated with the same
+  derived seed (:func:`repro.search.evaluator.genome_seed`) regardless of
+  which worker runs it, and results are committed to the cache in
+  submission order, so Pareto fronts, ``all_points()`` order and every
+  downstream statistic match a serial run exactly.
+* **One-time state transfer** — the prepared pipeline and evaluation
+  settings are pickled once per worker (pool initializer), not once per
+  task.
+* **Graceful degradation** — with ``n_workers <= 1``, on platforms without
+  working process pools, or if the pool dies mid-run, evaluation falls back
+  to the in-process serial path.
+
+Worker processes hold module-level state (set by :func:`_init_worker`);
+tasks then only ship the genome and its seed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import List, Optional, Tuple
+
+from ..core.pipeline import PreparedPipeline
+from ..core.results import DesignPoint
+from .evaluator import SerialEvaluator, genome_seed
+from .genome import Genome
+from .objectives import EvaluationSettings, evaluate_genome
+
+#: Per-process evaluation state, populated by :func:`_init_worker`.
+_WORKER_STATE: dict = {}
+
+
+def resolve_workers(n_workers: Optional[int]) -> int:
+    """Normalize a worker-count request: ``None``/1 = serial, 0 = all cores."""
+    if n_workers is None:
+        return 1
+    n_workers = int(n_workers)
+    if n_workers < 0:
+        raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+    if n_workers == 0:
+        return os.cpu_count() or 1
+    return n_workers
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: install the prepared pipeline + settings in this process."""
+    prepared, settings = pickle.loads(payload)
+    _WORKER_STATE["prepared"] = prepared
+    _WORKER_STATE["settings"] = settings
+
+
+def _evaluate_task(genome: Genome, seed: Optional[int]) -> DesignPoint:
+    """One pool task: evaluate a single genome against the worker's state."""
+    return evaluate_genome(
+        genome, _WORKER_STATE["prepared"], _WORKER_STATE["settings"], seed=seed
+    )
+
+
+class ParallelEvaluator(SerialEvaluator):
+    """Evaluation engine that fans cache misses out over worker processes.
+
+    Args:
+        prepared: prepared pipeline (must be picklable — it is shipped to
+            each worker once).
+        settings: per-genome evaluation settings.
+        seed: base seed for derived per-genome seeds.
+        n_workers: worker processes. ``None``/1 evaluates in-process,
+            0 uses every available core.
+    """
+
+    def __init__(
+        self,
+        prepared: PreparedPipeline,
+        settings: Optional[EvaluationSettings] = None,
+        seed: Optional[int] = 0,
+        n_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(prepared, settings, seed=seed)
+        self.n_workers = resolve_workers(n_workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ----------------------------------------------------------
+
+    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+        if self.n_workers <= 1:
+            return None
+        if self._executor is None:
+            payload = pickle.dumps((self.prepared, self.settings))
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _evaluate_missing(self, genomes: List[Genome]) -> List[DesignPoint]:
+        tasks: List[Tuple[Genome, Optional[int]]] = [
+            (genome, genome_seed(self.seed, genome)) for genome in genomes
+        ]
+        if self.n_workers > 1 and len(tasks) > 1:
+            try:
+                executor = self._ensure_executor()
+                futures = [
+                    executor.submit(_evaluate_task, genome, seed)
+                    for genome, seed in tasks
+                ]
+                return [future.result() for future in futures]
+            except (BrokenExecutor, OSError, pickle.PicklingError) as error:
+                warnings.warn(
+                    f"Parallel evaluation unavailable ({error!r}); "
+                    "falling back to serial evaluation.",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.close()
+                self.n_workers = 1
+        return [
+            evaluate_genome(genome, self.prepared, self.settings, seed=seed)
+            for genome, seed in tasks
+        ]
+
+
+def create_evaluator(
+    prepared: PreparedPipeline,
+    settings: Optional[EvaluationSettings] = None,
+    seed: Optional[int] = 0,
+    n_workers: Optional[int] = None,
+) -> SerialEvaluator:
+    """Factory used by the search drivers: serial engine unless workers are requested."""
+    if resolve_workers(n_workers) > 1:
+        return ParallelEvaluator(prepared, settings, seed=seed, n_workers=n_workers)
+    return SerialEvaluator(prepared, settings, seed=seed)

@@ -79,6 +79,17 @@ def prepared_pipeline(fast_pipeline_config):
     return pipeline
 
 
+@pytest.fixture
+def tiny_problem():
+    """Fixture view of :func:`tiny_classification_problem` with the default seed.
+
+    Tests must use this fixture rather than ``from conftest import ...``:
+    a plain ``conftest`` import resolves to whichever conftest directory
+    (tests/ or benchmarks/) pytest put on ``sys.path`` first.
+    """
+    return tiny_classification_problem(seed=0)
+
+
 def tiny_classification_problem(seed: int = 0, n_samples: int = 120):
     """A small, well-separated 2-class problem usable for quick training tests."""
     generator = np.random.default_rng(seed)

@@ -121,3 +121,34 @@ class TestDatapathTrace:
         # final scores are bounded by sum of |weights| * max activation; just
         # check they are finite integers.
         assert scores.dtype.kind == "i"
+
+
+class TestBatchedSimulation:
+    def test_simulate_batch_matches_per_sample_golden_model(self, seeds_model, seeds_data):
+        simulator = FixedPointSimulator(seeds_model, BespokeConfig(input_bits=4, weight_bits=6))
+        features = seeds_data.test.features[:32]
+        batch_scores = simulator.simulate_batch(features)
+        for row, sample in enumerate(features):
+            assert list(batch_scores[row]) == simulator.simulate_sample(sample)
+
+    def test_batch_matches_golden_model_after_minimization(self, seeds_model, seeds_data):
+        minimized = seeds_model.clone()
+        prune_by_magnitude(minimized, 0.4)
+        attach_quantizers(minimized, 3)
+        simulator = FixedPointSimulator(minimized, BespokeConfig(input_bits=4, weight_bits=3))
+        features = seeds_data.test.features[:16]
+        batch_scores = simulator.simulate_batch(features)
+        for row, sample in enumerate(features):
+            assert list(batch_scores[row]) == simulator.simulate_sample(sample)
+
+    def test_forward_integer_delegates_to_batch_path(self, seeds_model, seeds_data):
+        simulator = FixedPointSimulator(seeds_model, BespokeConfig(weight_bits=8))
+        features = seeds_data.test.features[:8]
+        np.testing.assert_array_equal(
+            simulator.forward_integer(features), simulator.simulate_batch(features)
+        )
+
+    def test_simulate_sample_rejects_wrong_feature_count(self, seeds_model):
+        simulator = FixedPointSimulator(seeds_model)
+        with pytest.raises(ValueError):
+            simulator.simulate_sample(np.zeros(5))

@@ -1,6 +1,5 @@
 """Tests for the full bespoke circuit construction and synthesis reports."""
 
-import numpy as np
 import pytest
 
 from repro.bespoke.circuit import BespokeConfig, build_bespoke_circuit

@@ -5,7 +5,6 @@ import pytest
 
 from repro.bespoke import BespokeConfig, count_verilog_adders, export_verilog
 from repro.bespoke.verilog import _csd_expression, _identifier
-from repro.hardware.csd import from_csd, to_csd
 from repro.nn import MLP, build_mlp
 from repro.pruning import prune_by_magnitude
 from repro.quantization import attach_quantizers

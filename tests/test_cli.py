@@ -21,6 +21,9 @@ class TestParser:
         args = parser.parse_args(["figure2"])
         assert args.dataset == "whitewine"
         assert args.population == 16
+        assert args.workers == 1
+        args = parser.parse_args(["figure2", "--workers", "4"])
+        assert args.workers == 4
         args = parser.parse_args(["figure1"])
         assert args.dataset == "all"
         args = parser.parse_args(["synth", "--weight-bits", "4"])
@@ -73,6 +76,8 @@ class TestCommands:
                 "1",
                 "--finetune-epochs",
                 "1",
+                "--workers",
+                "2",
             ]
         )
         assert exit_code == 0

@@ -1,6 +1,5 @@
 """Unit tests for repro.hardware.cost and repro.hardware.technology."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

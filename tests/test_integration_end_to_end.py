@@ -8,7 +8,6 @@ assert the cross-module invariants that individual unit tests cannot see
 the same circuit).
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import export_sweep, sweep_plot

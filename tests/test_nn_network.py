@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn.layers import ActivationLayer, Dense, Dropout
-from repro.nn.network import MLP, build_mlp
+from repro.nn.network import build_mlp
 
 
 @pytest.fixture

@@ -3,14 +3,13 @@
 import numpy as np
 import pytest
 
-from conftest import tiny_classification_problem
 from repro.nn.network import build_mlp
 from repro.nn.trainer import Trainer, TrainerConfig, TrainingHistory, finetune, train_classifier
 
 
 @pytest.fixture
-def problem():
-    return tiny_classification_problem(seed=0)
+def problem(tiny_problem):
+    return tiny_problem
 
 
 class TestTrainerConfig:
