@@ -6,9 +6,16 @@ functions/constants the benchmark files import directly.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 from repro.core import PipelineConfig
+
+#: Machine-readable perf record tracked across PRs (see docs/performance.md).
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_evaluation.json"
 
 #: Set REPRO_FULL_BENCH=1 to run the paper-faithful (slower) settings.
 FULL = os.environ.get("REPRO_FULL_BENCH", "0") == "1"
@@ -19,6 +26,51 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
 
 #: Worker processes for search benchmarks (REPRO_BENCH_WORKERS, default serial).
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def record_bench(section: str, payload: dict) -> None:
+    """Merge one section of perf numbers into ``BENCH_evaluation.json``.
+
+    The file at the repo root is the machine-readable perf trajectory:
+    per-genome evaluation latency, synthesis latency, trainer throughput and
+    the figure2 smoke wall-clock, refreshed by whichever benchmark ran last
+    (sections are merged, not clobbered). CI uploads it as an artifact and
+    enforces a regression floor on it.
+    """
+    data: dict = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            data = json.loads(BENCH_JSON_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    meta = data.setdefault("meta", {})
+    meta.update(
+        {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "updated_unix": round(time.time(), 3),
+            "mode": "full" if FULL else ("smoke" if SMOKE else "default"),
+            "workers": WORKERS,
+        }
+    )
+    data[section] = payload
+    BENCH_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def timed(fn, repeats: int, warmup: int = 1) -> dict:
+    """Best/mean wall-clock of ``fn()`` over ``repeats`` runs (seconds)."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "best_s": min(samples),
+        "mean_s": sum(samples) / len(samples),
+        "repeats": repeats,
+    }
 
 
 def bench_config(dataset: str) -> PipelineConfig:

@@ -11,7 +11,12 @@ from .layer_circuit import (
 from .netlist import CircuitComponent, Netlist
 from .report import SynthesisReport
 from .simulator import FixedPointSimulator, SimulationTrace, verify_circuit
-from .synthesis import report_from_circuit, synthesize, synthesize_baseline
+from .synthesis import (
+    report_from_circuit,
+    synthesize,
+    synthesize_baseline,
+    synthesize_cost_only,
+)
 from .verilog import count_verilog_adders, export_verilog
 
 __all__ = [
@@ -33,5 +38,6 @@ __all__ = [
     "report_from_circuit",
     "synthesize",
     "synthesize_baseline",
+    "synthesize_cost_only",
     "verify_circuit",
 ]

@@ -117,6 +117,40 @@ def _dense_relu_flags(model: MLP) -> List[bool]:
     return flags
 
 
+def derive_layer_spec(
+    layer: Dense,
+    weight_bits: int,
+    input_bits: int,
+    relu: bool,
+    config: BespokeConfig,
+) -> "tuple[LayerCircuitSpec, FixedPointFormat]":
+    """Quantize one Dense layer's effective parameters into a circuit spec.
+
+    Single source of truth for the float → hard-wired-integer mapping, shared
+    by the full netlist construction (:func:`build_bespoke_circuit`) and the
+    cost-only synthesis path (:func:`repro.bespoke.synthesis.synthesize_cost_only`).
+    """
+    effective = layer.effective_weights()
+    fmt = derive_format(effective, weight_bits)
+    int_weights = fmt.to_integers(effective)
+    # The bias enters the adder tree as one hard-wired operand; it is
+    # quantized on the product grid (weight scale x input LSB).
+    bias = layer.effective_bias() if layer.use_bias else np.zeros(layer.n_outputs)
+    input_lsb = 1.0 / ((1 << input_bits) - 1)
+    bias_scale = fmt.scale * input_lsb
+    int_bias = np.round(bias / bias_scale).astype(np.int64)
+    spec = LayerCircuitSpec(
+        weights=int_weights,
+        biases=int_bias,
+        input_bits=input_bits,
+        weight_bits=weight_bits,
+        relu=relu,
+        share_products=config.share_products,
+        multiplier_method=config.multiplier_method,
+    )
+    return spec, fmt
+
+
 def build_bespoke_circuit(
     model: MLP,
     config: Optional[BespokeConfig] = None,
@@ -158,24 +192,8 @@ def build_bespoke_circuit(
 
     for layer_index, (layer, relu) in enumerate(zip(dense_layers, relu_flags)):
         weight_bits = config.bits_for_layer(layer_index, len(dense_layers))
-        effective = layer.effective_weights()
-        fmt = derive_format(effective, weight_bits)
-        int_weights = fmt.to_integers(effective)
-        # The bias enters the adder tree as one hard-wired operand; it is
-        # quantized on the product grid (weight scale x input LSB).
-        bias = layer.effective_bias() if layer.use_bias else np.zeros(layer.n_outputs)
-        input_lsb = 1.0 / ((1 << current_input_bits) - 1)
-        bias_scale = fmt.scale * input_lsb
-        int_bias = np.round(bias / bias_scale).astype(np.int64)
-
-        spec = LayerCircuitSpec(
-            weights=int_weights,
-            biases=int_bias,
-            input_bits=current_input_bits,
-            weight_bits=weight_bits,
-            relu=relu,
-            share_products=config.share_products,
-            multiplier_method=config.multiplier_method,
+        spec, fmt = derive_layer_spec(
+            layer, weight_bits, current_input_bits, relu, config
         )
         result = build_layer_circuit(spec, tech, layer_index)
         netlist.extend(result.components)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ..hardware.arithmetic import (
     neuron_output_width,
     relu_unit,
 )
+from ..hardware.cost import HardwareCost
 from ..hardware.csd import coefficient_bit_length
 from ..hardware.technology import TechnologyLibrary
 from .netlist import CircuitComponent
@@ -89,6 +90,63 @@ class LayerCircuitResult:
     n_shared_products: int
 
 
+def _integer_bit_lengths(magnitudes: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` over an array of non-negative integers.
+
+    ``frexp`` decomposes ``m = mantissa * 2**exponent`` with mantissa in
+    ``[0.5, 1)``, so the exponent *is* the bit length for positive integers
+    (and 0 for zero) — exact for every value below 2**53, far beyond any
+    hard-wired coefficient.
+    """
+    return np.frexp(magnitudes.astype(np.float64))[1]
+
+
+def _layer_mult_plan(
+    spec: LayerCircuitSpec, weights: np.ndarray
+) -> Tuple[List[Tuple[int, np.ndarray, np.ndarray]], int]:
+    """Per-input multiplier instantiation plan: (input_index, magnitudes, fanouts).
+
+    The magnitudes honor the sharing convention of the original per-weight
+    loop: with ``share_products`` they are the sorted distinct non-zero
+    |coefficients| of the row (``np.unique``), otherwise every non-zero
+    |coefficient| in row order.
+    """
+    abs_w = np.abs(weights)
+    plan: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    n_shared = 0
+    for input_index in range(spec.n_inputs):
+        row_nz = abs_w[input_index][abs_w[input_index] != 0]
+        if row_nz.size == 0:
+            continue
+        if spec.share_products:
+            magnitudes, fanouts = np.unique(row_nz, return_counts=True)
+            n_shared += int(row_nz.size - magnitudes.size)
+        else:
+            magnitudes = row_nz
+            fanouts = np.ones(row_nz.size, dtype=np.int64)
+        plan.append((input_index, magnitudes, fanouts))
+    return plan, n_shared
+
+
+def _neuron_operand_widths(
+    spec: LayerCircuitSpec, weights: np.ndarray, biases: np.ndarray
+) -> List[List[int]]:
+    """Adder-tree operand widths per neuron (vectorized over the weight matrix)."""
+    nonzero = weights != 0
+    widths_matrix = spec.input_bits + _integer_bit_lengths(np.abs(weights))
+    per_neuron: List[List[int]] = []
+    for neuron_index in range(spec.n_neurons):
+        operand_widths = widths_matrix[:, neuron_index][nonzero[:, neuron_index]].tolist()
+        if biases[neuron_index] != 0:
+            bias_width = min(
+                coefficient_bit_length(int(biases[neuron_index])),
+                spec.input_bits + spec.weight_bits,
+            )
+            operand_widths.append(max(bias_width, 1))
+        per_neuron.append(operand_widths)
+    return per_neuron
+
+
 def build_layer_circuit(
     spec: LayerCircuitSpec,
     tech: TechnologyLibrary,
@@ -105,20 +163,12 @@ def build_layer_circuit(
     biases = np.asarray(spec.biases, dtype=np.int64)
     components: List[CircuitComponent] = []
     n_multipliers = 0
-    n_shared = 0
 
     # --- multipliers, organised per input position so products can be shared ---
-    for input_index in range(spec.n_inputs):
-        row = weights[input_index]
-        nonzero_values = [int(v) for v in row if v != 0]
-        if not nonzero_values:
-            continue
-        if spec.share_products:
-            instantiated = sorted(set(abs(v) for v in nonzero_values))
-            n_shared += len(nonzero_values) - len(instantiated)
-        else:
-            instantiated = [abs(v) for v in nonzero_values]
-        for mult_index, magnitude in enumerate(instantiated):
+    plan, n_shared = _layer_mult_plan(spec, weights)
+    for input_index, magnitudes, fanouts in plan:
+        for mult_index, (magnitude, fanout) in enumerate(zip(magnitudes, fanouts)):
+            magnitude = int(magnitude)
             cost = constant_multiplier(
                 magnitude, spec.input_bits, tech, method=spec.multiplier_method
             )
@@ -131,9 +181,7 @@ def build_layer_circuit(
                     attributes={
                         "coefficient": magnitude,
                         "input_position": input_index,
-                        "fanout": sum(1 for v in nonzero_values if abs(v) == magnitude)
-                        if spec.share_products
-                        else 1,
+                        "fanout": int(fanout),
                     },
                 )
             )
@@ -141,19 +189,9 @@ def build_layer_circuit(
 
     # --- per-neuron adder trees and activations --------------------------------
     max_operands = 0
-    for neuron_index in range(spec.n_neurons):
-        column = weights[:, neuron_index]
-        # Each non-zero product is one operand, sized by its coefficient's
-        # magnitude (synthesis sizes every adder to its actual operands).
-        operand_widths = [
-            spec.input_bits + coefficient_bit_length(int(v)) for v in column if v != 0
-        ]
-        if biases[neuron_index] != 0:
-            bias_width = min(
-                coefficient_bit_length(int(biases[neuron_index])),
-                spec.input_bits + spec.weight_bits,
-            )
-            operand_widths.append(max(bias_width, 1))
+    for neuron_index, operand_widths in enumerate(
+        _neuron_operand_widths(spec, weights, biases)
+    ):
         n_operands = len(operand_widths)
         max_operands = max(max_operands, n_operands)
         tree_cost = adder_tree_from_widths(operand_widths, tech) if operand_widths else (
@@ -187,6 +225,61 @@ def build_layer_circuit(
     )
     return LayerCircuitResult(
         components=components,
+        output_bits=output_bits,
+        n_multipliers=n_multipliers,
+        n_shared_products=n_shared,
+    )
+
+
+def accumulate_layer_costs(
+    spec: LayerCircuitSpec,
+    tech: TechnologyLibrary,
+    emit: Callable[[str, HardwareCost], None],
+) -> LayerCircuitResult:
+    """Cost-only twin of :func:`build_layer_circuit`.
+
+    Calls ``emit(kind, cost)`` once per hardware block, in exactly the order
+    :func:`build_layer_circuit` instantiates components, but without
+    materializing any :class:`CircuitComponent` (no instance names, no
+    attribute dicts). The returned :class:`LayerCircuitResult` carries an
+    empty component list and the same bookkeeping (output bits, multiplier
+    and shared-product counts). Used by the search inner loop, where only
+    the aggregate synthesis report matters.
+    """
+    weights = np.asarray(spec.weights, dtype=np.int64)
+    biases = np.asarray(spec.biases, dtype=np.int64)
+
+    plan, n_shared = _layer_mult_plan(spec, weights)
+    n_multipliers = 0
+    for _input_index, magnitudes, _fanouts in plan:
+        for magnitude in magnitudes:
+            emit(
+                "multiplier",
+                constant_multiplier(
+                    int(magnitude), spec.input_bits, tech, method=spec.multiplier_method
+                ),
+            )
+            n_multipliers += 1
+
+    max_operands = 0
+    for operand_widths in _neuron_operand_widths(spec, weights, biases):
+        n_operands = len(operand_widths)
+        max_operands = max(max_operands, n_operands)
+        tree_cost = adder_tree_from_widths(operand_widths, tech) if operand_widths else (
+            adder_tree_from_widths([1], tech)
+        )
+        emit("adder_tree", tree_cost)
+        if spec.relu:
+            act_width = neuron_output_width(
+                spec.input_bits, spec.weight_bits, max(n_operands, 1)
+            )
+            emit("activation", relu_unit(act_width, tech))
+
+    output_bits = neuron_output_width(
+        spec.input_bits, spec.weight_bits, max(max_operands, 1)
+    )
+    return LayerCircuitResult(
+        components=[],
         output_bits=output_bits,
         n_multipliers=n_multipliers,
         n_shared_products=n_shared,

@@ -50,15 +50,16 @@ class Netlist:
 
     def __init__(self, components: Optional[Iterable[CircuitComponent]] = None) -> None:
         self._components: List[CircuitComponent] = list(components) if components else []
-        names = [c.name for c in self._components]
-        if len(names) != len(set(names)):
+        self._names = {c.name for c in self._components}
+        if len(self._names) != len(self._components):
             raise ValueError("Component names in a netlist must be unique")
 
     def add(self, component: CircuitComponent) -> None:
-        """Append a component (names must stay unique)."""
-        if any(existing.name == component.name for existing in self._components):
+        """Append a component (names must stay unique; checked in O(1))."""
+        if component.name in self._names:
             raise ValueError(f"Duplicate component name: {component.name}")
         self._components.append(component)
+        self._names.add(component.name)
 
     def extend(self, components: Iterable[CircuitComponent]) -> None:
         for component in components:

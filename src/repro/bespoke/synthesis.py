@@ -8,12 +8,21 @@ rationale.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import math
+from typing import Dict, Optional, Tuple
 
+from ..hardware.arithmetic import argmax_unit, register_bank
 from ..hardware.cost import HardwareCost
 from ..hardware.technology import TechnologyLibrary, egt_library
 from ..nn.network import MLP
-from .circuit import BespokeCircuit, BespokeConfig, build_bespoke_circuit
+from .circuit import (
+    BespokeCircuit,
+    BespokeConfig,
+    _dense_relu_flags,
+    build_bespoke_circuit,
+    derive_layer_spec,
+)
+from .layer_circuit import accumulate_layer_costs
 from .report import SynthesisReport
 
 
@@ -69,6 +78,177 @@ def report_from_circuit(circuit: BespokeCircuit) -> SynthesisReport:
         n_multipliers=circuit.n_multipliers,
         n_shared_products=circuit.n_shared_products,
         metadata=dict(circuit.metadata),
+    )
+
+
+class _CostAccumulator:
+    """Streaming equivalent of ``Netlist`` folds + ``report_from_circuit``.
+
+    Consumes ``(kind, layer_index, cost)`` triples in component-instantiation
+    order and reproduces — with the exact same float-accumulation order, so
+    the results are bit-identical — the totals, per-kind/per-layer
+    breakdowns, component counts and the critical-path delay that
+    :func:`report_from_circuit` derives from a full netlist.
+    """
+
+    def __init__(self) -> None:
+        self.area = 0.0
+        self.power = 0.0
+        self.gate_counts: Dict[str, int] = {}
+        # per kind / per layer: [area, power, delay_max, gate_counts]
+        self._by_kind: Dict[str, list] = {}
+        self._by_layer: Dict[Optional[int], list] = {}
+        self.counts: Dict[str, int] = {}
+        # critical-path ingredients
+        self._layer_kind_delay: Dict[Tuple[int, str], float] = {}
+        self._argmax_delay = 0.0
+        self._register_delay = 0.0
+
+    def add(self, kind: str, layer_index: Optional[int], cost: HardwareCost) -> None:
+        self.area += cost.area
+        self.power += cost.power
+        for cell, count in cost.gate_counts.items():
+            self.gate_counts[cell] = self.gate_counts.get(cell, 0) + count
+
+        bucket = self._by_kind.get(kind)
+        if bucket is None:
+            bucket = [0.0, 0.0, 0.0, {}]
+            self._by_kind[kind] = bucket
+        self._fold(bucket, cost)
+        bucket = self._by_layer.get(layer_index)
+        if bucket is None:
+            bucket = [0.0, 0.0, 0.0, {}]
+            self._by_layer[layer_index] = bucket
+        self._fold(bucket, cost)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+        if layer_index is not None:
+            delay_key = (layer_index, kind)
+            previous = self._layer_kind_delay.get(delay_key, 0.0)
+            self._layer_kind_delay[delay_key] = max(previous, cost.delay)
+        elif kind == "argmax":
+            self._argmax_delay += cost.delay
+        elif kind == "register":
+            self._register_delay = max(self._register_delay, cost.delay)
+
+    @staticmethod
+    def _fold(bucket: list, cost: HardwareCost) -> None:
+        bucket[0] += cost.area
+        bucket[1] += cost.power
+        bucket[2] = max(bucket[2], cost.delay)
+        for cell, count in cost.gate_counts.items():
+            bucket[3][cell] = bucket[3].get(cell, 0) + count
+
+    def critical_path_delay(self, n_layers: int) -> float:
+        delay = 0.0
+        for layer_index in range(n_layers):
+            mult_delay = self._layer_kind_delay.get((layer_index, "multiplier"), 0.0)
+            tree_delay = self._layer_kind_delay.get((layer_index, "adder_tree"), 0.0)
+            act_delay = self._layer_kind_delay.get((layer_index, "activation"), 0.0)
+            delay += mult_delay + tree_delay + act_delay
+        delay += self._argmax_delay
+        delay += self._register_delay
+        return delay
+
+    @staticmethod
+    def _as_cost(bucket: list) -> HardwareCost:
+        return HardwareCost(
+            area=bucket[0], power=bucket[1], delay=bucket[2], gate_counts=bucket[3]
+        )
+
+    def by_kind(self) -> Dict[str, HardwareCost]:
+        return {kind: self._as_cost(bucket) for kind, bucket in self._by_kind.items()}
+
+    def by_layer(self) -> Dict[int, HardwareCost]:
+        return {
+            -1 if key is None else int(key): self._as_cost(bucket)
+            for key, bucket in self._by_layer.items()
+        }
+
+
+def synthesize_cost_only(
+    model: MLP,
+    config: Optional[BespokeConfig] = None,
+    tech: Optional[TechnologyLibrary] = None,
+    name: str = "bespoke_mlp",
+) -> SynthesisReport:
+    """Synthesis report without materializing the netlist.
+
+    Walks the exact component sequence :func:`build_bespoke_circuit` would
+    instantiate — input registers, per-layer multipliers/adder trees/ReLUs,
+    argmax, output registers — but streams each block's memoized
+    :class:`HardwareCost` into a :class:`_CostAccumulator` instead of
+    building named :class:`~repro.bespoke.netlist.CircuitComponent` objects.
+    The report is bit-identical to ``report_from_circuit(build_bespoke_circuit(...))``
+    (asserted by ``tests/test_perf_fastpaths.py``); use this in search inner
+    loops, and the full netlist path for reports, ablation queries and
+    Verilog export.
+    """
+    config = config if config is not None else BespokeConfig()
+    tech = tech if tech is not None else egt_library()
+    dense_layers = model.dense_layers
+    if not dense_layers:
+        raise ValueError("Cannot build a bespoke circuit for an MLP without Dense layers")
+    relu_flags = _dense_relu_flags(model)
+
+    acc = _CostAccumulator()
+    current_input_bits = config.input_bits
+    if config.include_io_registers:
+        acc.add(
+            "register",
+            None,
+            register_bank(dense_layers[0].n_inputs * config.input_bits, tech),
+        )
+
+    n_multipliers = 0
+    n_shared_products = 0
+    for layer_index, (layer, relu) in enumerate(zip(dense_layers, relu_flags)):
+        weight_bits = config.bits_for_layer(layer_index, len(dense_layers))
+        spec, _fmt = derive_layer_spec(
+            layer, weight_bits, current_input_bits, relu, config
+        )
+        result = accumulate_layer_costs(
+            spec, tech, lambda kind, cost: acc.add(kind, layer_index, cost)
+        )
+        n_multipliers += result.n_multipliers
+        n_shared_products += result.n_shared_products
+        current_input_bits = result.output_bits
+
+    n_classes = dense_layers[-1].n_outputs
+    index_bits = max(int(math.ceil(math.log2(n_classes))), 1)
+    acc.add(
+        "argmax", None, argmax_unit(n_classes, current_input_bits, index_bits, tech)
+    )
+    if config.include_io_registers:
+        acc.add("register", None, register_bank(index_bits, tech))
+
+    total = HardwareCost(
+        area=acc.area,
+        power=acc.power,
+        delay=acc.critical_path_delay(len(dense_layers)),
+        gate_counts=acc.gate_counts,
+    )
+    metadata = {
+        "input_bits": config.input_bits,
+        "weight_bits": [
+            config.bits_for_layer(i, len(dense_layers))
+            for i in range(len(dense_layers))
+        ],
+        "share_products": config.share_products,
+        "multiplier_method": config.multiplier_method,
+        "topology": model.topology(),
+        "sparsity": model.sparsity(),
+    }
+    return SynthesisReport(
+        circuit_name=name,
+        technology=tech.name,
+        total=total,
+        by_kind=acc.by_kind(),
+        by_layer=acc.by_layer(),
+        component_counts=acc.counts,
+        n_multipliers=n_multipliers,
+        n_shared_products=n_shared_products,
+        metadata=metadata,
     )
 
 

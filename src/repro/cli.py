@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 
 from .analysis import export_sweep, gains_table, sweep_plot, sweep_table
 from .bespoke import BespokeConfig, FixedPointSimulator, export_verilog, synthesize
-from .core import MinimizationPipeline, PipelineConfig, fast_config
+from .core import MinimizationPipeline, PipelineConfig, fast_config, profiling
 from .datasets import PAPER_DATASETS
 from .experiments import (
     PAPER_HEADLINE_GAINS,
@@ -181,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "GA — other subcommands only carry it in their "
                               "pipeline config. Results are bit-identical at "
                               "any worker count")
+        sub.add_argument("--profile", action="store_true",
+                         help="print a stage-timing breakdown (evaluate_genome, "
+                              "finetune, synthesize, ...) after the run; "
+                              "profiles the driver process only, so combine "
+                              "with serial evaluation (--workers 1) for the "
+                              "per-genome breakdown")
 
     baseline = subparsers.add_parser("baseline", help="train + synthesize the bespoke baselines")
     add_common(baseline, None)
@@ -222,6 +228,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "profile", False):
+        profiling.reset()
+        profiling.enable(True)
+        try:
+            exit_code = int(args.func(args))
+        finally:
+            profiling.enable(False)
+        print()
+        print(profiling.format_report())
+        return exit_code
     return int(args.func(args))
 
 

@@ -1,5 +1,6 @@
 """Core API: design points, Pareto analysis, configs and the minimization pipeline."""
 
+from . import profiling
 from .config import (
     DEFAULT_BIT_RANGE,
     DEFAULT_CLUSTER_RANGE,
@@ -47,4 +48,5 @@ __all__ = [
     "hypervolume",
     "normalize_points",
     "pareto_front",
+    "profiling",
 ]

@@ -24,6 +24,7 @@ from ..nn.network import MLP, build_mlp
 from ..nn.trainer import train_classifier
 from ..pruning.sweep import pruning_sweep
 from ..quantization.sweep import quantization_sweep
+from . import profiling
 from .config import PipelineConfig
 from .pareto import area_gain_table, pareto_front
 from .results import DesignPoint, SweepResult
@@ -88,28 +89,30 @@ class MinimizationPipeline:
             seed=config.seed,
         )
         epochs = config.train_epochs if config.train_epochs is not None else spec.epochs
-        train_classifier(
-            model,
-            data.train.features,
-            data.train.labels,
-            data.validation.features,
-            data.validation.labels,
-            epochs=epochs,
-            batch_size=spec.batch_size,
-            learning_rate=spec.learning_rate,
-            seed=config.seed,
-        )
+        with profiling.stage("train_baseline"):
+            train_classifier(
+                model,
+                data.train.features,
+                data.train.labels,
+                data.validation.features,
+                data.validation.labels,
+                epochs=epochs,
+                batch_size=spec.batch_size,
+                learning_rate=spec.learning_rate,
+                seed=config.seed,
+            )
         baseline_accuracy = model.evaluate_accuracy(data.test.features, data.test.labels)
 
-        baseline_report = synthesize(
-            model,
-            config=BespokeConfig(
-                input_bits=config.input_bits,
-                weight_bits=config.baseline_weight_bits,
-            ),
-            tech=technology,
-            name=f"{dataset_name}_baseline",
-        )
+        with profiling.stage("synthesize_baseline"):
+            baseline_report = synthesize(
+                model,
+                config=BespokeConfig(
+                    input_bits=config.input_bits,
+                    weight_bits=config.baseline_weight_bits,
+                ),
+                tech=technology,
+                name=f"{dataset_name}_baseline",
+            )
         baseline_point = DesignPoint(
             technique="baseline",
             accuracy=float(baseline_accuracy),

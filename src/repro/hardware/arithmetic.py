@@ -10,20 +10,71 @@ The blocks are exactly those a bespoke (hard-wired coefficient) MLP needs:
 * ripple-carry adders and multi-operand adder trees,
 * ReLU gating, comparators and the argmax selection tree of the output layer,
 * registers for the input/output interface.
+
+All block costs are pure functions of their arguments, and the search inner
+loop asks for the same small domain over and over (coefficients below
+``2**weight_bits``, a handful of operand-width multisets per layer), so the
+heavyweight entry points — :func:`constant_multiplier`,
+:func:`adder_tree_from_widths`, :func:`argmax_unit` — are memoized on
+``(arguments, tech.cache_key)``. The memoized values are frozen
+:class:`HardwareCost` instances shared between callers; they are built by
+the same float operations as the original serial folds, so cached and
+uncached results are bit-identical (asserted by the property tests in
+``tests/test_perf_fastpaths.py``).
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+from typing import Dict, Iterable, List, Tuple
 
 from .cost import HardwareCost
 from .csd import (
-    binary_adder_stages,
     coefficient_bit_length,
-    csd_adder_stages,
+    csd_stage_table,
     is_power_of_two,
 )
 from .technology import TechnologyLibrary
+
+_RIPPLE_CACHE: Dict[Tuple, HardwareCost] = {}
+_MULT_CACHE: Dict[Tuple, HardwareCost] = {}
+_TREE_CACHE: Dict[Tuple, HardwareCost] = {}
+_ARGMAX_CACHE: Dict[Tuple, HardwareCost] = {}
+
+
+def clear_cost_caches() -> None:
+    """Drop every memoized block cost (used by tests and benchmarks)."""
+    _RIPPLE_CACHE.clear()
+    _MULT_CACHE.clear()
+    _TREE_CACHE.clear()
+    _ARGMAX_CACHE.clear()
+
+
+def _chain_totals(
+    levels: Iterable[Tuple[int, int]], tech: TechnologyLibrary
+) -> Tuple[float, float, float, int]:
+    """Accumulated (area, power, serial delay, FA count) of ripple-adder levels.
+
+    ``levels`` is a sequence of ``(width, count)`` pairs: ``count`` parallel
+    ``width``-bit ripple-carry adders per level, levels composed serially.
+    This is the shared kernel behind every adder-chain cost model
+    (:func:`constant_multiplier` stages, :func:`adder_tree`,
+    :func:`adder_tree_from_widths`); the accumulation order matches the
+    original per-level ``HardwareCost`` folds exactly, so the floats are
+    unchanged.
+    """
+    fa = tech.cell("FA")
+    area = 0.0
+    power = 0.0
+    delay = 0.0
+    fa_count = 0
+    for width, count in levels:
+        area += (fa.area * width) * count
+        power += (fa.power * width) * count
+        delay += fa.delay * width
+        fa_count += width * count
+    return area, power, delay, fa_count
 
 
 def ripple_carry_adder(width: int, tech: TechnologyLibrary) -> HardwareCost:
@@ -34,13 +85,19 @@ def ripple_carry_adder(width: int, tech: TechnologyLibrary) -> HardwareCost:
     """
     if width <= 0:
         raise ValueError(f"Adder width must be positive, got {width}")
+    key = (int(width), tech.cache_key)
+    cached = _RIPPLE_CACHE.get(key)
+    if cached is not None:
+        return cached
     fa = tech.cell("FA")
-    return HardwareCost(
+    cost = HardwareCost(
         area=fa.area * width,
         power=fa.power * width,
         delay=fa.delay * width,
         gate_counts={"FA": width},
     )
+    _RIPPLE_CACHE[key] = cost
+    return cost
 
 
 def subtractor(width: int, tech: TechnologyLibrary) -> HardwareCost:
@@ -70,33 +127,56 @@ def constant_multiplier(
     ``nonzero_digits - 1`` adder stages whose width grows with the partial
     product: stage widths are approximated as ``input_bits`` plus the
     coefficient's magnitude bits, which matches the final product width.
+
+    Results are memoized on ``(coefficient, input_bits, method,
+    tech.cache_key)``: one genome evaluation asks for the same few hundred
+    coefficients thousands of times, and the domain is bounded by the weight
+    bit-width, so the memo turns the synthesis hot loop into dict lookups.
     """
     if input_bits <= 0:
         raise ValueError(f"input_bits must be positive, got {input_bits}")
     if method not in ("csd", "binary"):
         raise ValueError(f"method must be 'csd' or 'binary', got '{method}'")
     coefficient = int(coefficient)
+    key = (coefficient, int(input_bits), method, tech.cache_key)
+    cached = _MULT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    cost = _constant_multiplier_uncached(coefficient, input_bits, tech, method)
+    _MULT_CACHE[key] = cost
+    return cost
+
+
+def _constant_multiplier_uncached(
+    coefficient: int,
+    input_bits: int,
+    tech: TechnologyLibrary,
+    method: str,
+) -> HardwareCost:
+    """The actual multiplier cost model behind the :func:`constant_multiplier` memo."""
     if coefficient == 0:
         return HardwareCost.zero()
     if is_power_of_two(coefficient) and coefficient > 0:
         # A pure left shift: wiring only.
         return HardwareCost.zero()
 
-    stages = (
-        csd_adder_stages(coefficient)
-        if method == "csd"
-        else binary_adder_stages(coefficient)
-    )
-    product_width = input_bits + coefficient_bit_length(coefficient)
+    magnitude = -coefficient if coefficient < 0 else coefficient
+    magnitude_bits = coefficient_bit_length(coefficient)
+    # Stage counts come from the precomputed table covering the coefficient's
+    # bit-width (CSD digit counts are sign-symmetric, so |c| indexes it).
+    stages = int(csd_stage_table(magnitude_bits, method)[magnitude])
+    product_width = input_bits + magnitude_bits
     if coefficient < 0 and stages == 0:
         # A negative power of two: the negation is folded into the consuming
         # adder tree (subtraction), charge one inverter row for the complement.
         return tech.cost("INV", product_width)
 
-    cost = HardwareCost.zero()
-    for _ in range(stages):
-        cost = cost.serial(ripple_carry_adder(product_width, tech))
-    return cost
+    area, power, delay, fa_count = _chain_totals(
+        ((product_width, 1) for _ in range(stages)), tech
+    )
+    return HardwareCost(
+        area=area, power=power, delay=delay, gate_counts={"FA": fa_count}
+    )
 
 
 def adder_tree(
@@ -114,31 +194,18 @@ def adder_tree(
     if n_operands <= 1:
         return HardwareCost.zero()
 
-    cost = HardwareCost.zero()
+    levels: List[Tuple[int, int]] = []
     level_width = operand_width
     remaining = n_operands
-    depth = 0
     while remaining > 1:
         adders_this_level = remaining // 2
-        level_cost = ripple_carry_adder(level_width, tech).scaled(adders_this_level)
-        if depth == 0:
-            cost = level_cost
-        else:
-            # levels are serial with one another, parallel within a level
-            cost = HardwareCost(
-                area=cost.area + level_cost.area,
-                power=cost.power + level_cost.power,
-                delay=cost.delay + level_cost.delay,
-                gate_counts={
-                    **cost.gate_counts,
-                    "FA": cost.gate_counts.get("FA", 0)
-                    + level_cost.gate_counts.get("FA", 0),
-                },
-            )
+        levels.append((level_width, adders_this_level))
         remaining = adders_this_level + (remaining % 2)
         level_width += 1
-        depth += 1
-    return cost
+    area, power, delay, fa_count = _chain_totals(levels, tech)
+    return HardwareCost(
+        area=area, power=power, delay=delay, gate_counts={"FA": fa_count}
+    )
 
 
 def adder_tree_from_widths(
@@ -152,43 +219,49 @@ def adder_tree_from_widths(
     first (Huffman-style, which is what a area-driven synthesis netlist tends
     towards); each combination costs a ripple-carry adder at the wider
     operand's width and produces a result one bit wider.
+
+    The Huffman merge runs on a binary heap (the historical sorted-list
+    ``pop(0)``/``insert`` loop was quadratic) and the result is memoized on
+    the sorted width multiset, which repeats heavily across the neurons of a
+    layer and across genomes.
     """
     widths = sorted(int(w) for w in operand_widths)
     if any(w <= 0 for w in widths):
         raise ValueError("operand widths must be positive")
     if len(widths) <= 1:
         return HardwareCost.zero()
-    total_area = 0.0
-    total_power = 0.0
-    total_fa = 0
-    depth_delay = 0.0
-    while len(widths) > 1:
-        first = widths.pop(0)
-        second = widths.pop(0)
-        adder_width = max(first, second)
-        adder = ripple_carry_adder(adder_width, tech)
-        total_area += adder.area
-        total_power += adder.power
-        total_fa += adder_width
-        depth_delay += adder.delay
-        # insert the sum (one bit wider) keeping the list sorted
-        result_width = adder_width + 1
-        insert_at = 0
-        while insert_at < len(widths) and widths[insert_at] < result_width:
-            insert_at += 1
-        widths.insert(insert_at, result_width)
+    key = (tuple(widths), tech.cache_key)
+    cached = _TREE_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    # The merge schedule touches only operand *values*, so any tie-breaking
+    # between equal widths yields the same (width, 1) sequence; a heap gives
+    # it in O(n log n).
+    heap = list(widths)  # already sorted => a valid min-heap
+    merges: List[Tuple[int, int]] = []
+    while len(heap) > 1:
+        first = heapq.heappop(heap)
+        second = heapq.heappop(heap)
+        adder_width = second if second > first else first
+        merges.append((adder_width, 1))
+        heapq.heappush(heap, adder_width + 1)
+    total_area, total_power, depth_delay, total_fa = _chain_totals(merges, tech)
+
     # Delay: a balanced tree is log-depth, not the full serial chain; scale
     # the accumulated serial delay down to the tree depth.
     n_operands = len(operand_widths)
     tree_depth = math.ceil(math.log2(n_operands)) if n_operands > 1 else 0
     serial_stages = n_operands - 1
     delay = depth_delay * (tree_depth / serial_stages) if serial_stages else 0.0
-    return HardwareCost(
+    cost = HardwareCost(
         area=total_area,
         power=total_power,
         delay=delay,
         gate_counts={"FA": total_fa},
     )
+    _TREE_CACHE[key] = cost
+    return cost
 
 
 def relu_unit(width: int, tech: TechnologyLibrary) -> HardwareCost:
@@ -217,16 +290,32 @@ def argmax_unit(
     """Argmax over ``n_values`` scores: a linear chain of compare-and-select.
 
     Each of the ``n_values - 1`` stages needs a comparator, a ``width``-bit
-    value multiplexer and an ``index_bits``-bit index multiplexer.
+    value multiplexer and an ``index_bits``-bit index multiplexer. The chain
+    is a serial fold of one fixed stage cost; it is accumulated in scalars
+    (identical float sequence to composing ``HardwareCost.serial``
+    repeatedly) and memoized.
     """
     if n_values <= 0:
         raise ValueError(f"n_values must be positive, got {n_values}")
     if n_values == 1:
         return HardwareCost.zero()
+    key = (int(n_values), int(width), int(index_bits), tech.cache_key)
+    cached = _ARGMAX_CACHE.get(key)
+    if cached is not None:
+        return cached
     stage = comparator(width, tech).serial(tech.cost("MUX2", width + index_bits))
-    cost = HardwareCost.zero()
+    area = 0.0
+    power = 0.0
+    delay = 0.0
     for _ in range(n_values - 1):
-        cost = cost.serial(stage)
+        area += stage.area
+        power += stage.power
+        delay += stage.delay
+    gate_counts = {
+        cell: count * (n_values - 1) for cell, count in stage.gate_counts.items()
+    }
+    cost = HardwareCost(area=area, power=power, delay=delay, gate_counts=gate_counts)
+    _ARGMAX_CACHE[key] = cost
     return cost
 
 

@@ -11,7 +11,10 @@ adder stages per multiplier, and zero or power-of-two coefficients are free.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List
+
+import numpy as np
 
 
 def to_csd(value: int) -> List[int]:
@@ -52,8 +55,13 @@ def from_csd(digits: List[int]) -> int:
     return value
 
 
+@lru_cache(maxsize=None)
 def csd_nonzero_digits(value: int) -> int:
-    """Number of non-zero digits in the CSD representation of ``value``."""
+    """Number of non-zero digits in the CSD representation of ``value``.
+
+    Memoized: the constant-multiplier cost model queries the same small
+    coefficient domain (|value| < 2**weight_bits) for every genome.
+    """
     return sum(1 for d in to_csd(value) if d != 0)
 
 
@@ -68,7 +76,7 @@ def csd_adder_stages(value: int) -> int:
     Zero and power-of-two coefficients need no adders (pure wiring / shift);
     otherwise one stage per non-zero digit beyond the first.
     """
-    nonzero = csd_nonzero_digits(value)
+    nonzero = csd_nonzero_digits(int(value))
     return max(nonzero - 1, 0)
 
 
@@ -76,6 +84,41 @@ def binary_adder_stages(value: int) -> int:
     """Adder stages for the naive binary shift-add decomposition."""
     nonzero = binary_nonzero_digits(value)
     return max(nonzero - 1, 0)
+
+
+@lru_cache(maxsize=None)
+def _stage_table(max_bits: int, method: str) -> "np.ndarray":
+    """Adder-stage counts for every magnitude representable in ``max_bits`` bits.
+
+    Table entry ``t[m]`` is ``csd_adder_stages(m)`` (or the binary variant)
+    for ``0 <= m < 2**max_bits``. Built once per bit-width and cached, so the
+    per-weight cost of the synthesis hot loop is an array lookup.
+    """
+    limit = 1 << max_bits
+    stages = (
+        csd_adder_stages if method == "csd" else binary_adder_stages
+    )
+    return np.array([stages(m) for m in range(limit)], dtype=np.int64)
+
+
+def csd_stage_table(max_bits: int, method: str = "csd") -> "np.ndarray":
+    """Precomputed adder-stage table for magnitudes ``0 .. 2**max_bits - 1``.
+
+    Args:
+        max_bits: magnitude bit-width the table must cover (the maximum
+            weight bit-width of the circuit being costed).
+        method: ``"csd"`` or ``"binary"``, matching
+            :func:`csd_adder_stages` / :func:`binary_adder_stages`.
+
+    Returns a read-only int64 array; callers must not mutate it.
+    """
+    if max_bits < 1:
+        raise ValueError(f"max_bits must be positive, got {max_bits}")
+    if method not in ("csd", "binary"):
+        raise ValueError(f"method must be 'csd' or 'binary', got '{method}'")
+    table = _stage_table(int(max_bits), method)
+    table.setflags(write=False)
+    return table
 
 
 def is_power_of_two(value: int) -> bool:

@@ -55,21 +55,28 @@ class FixedPointFormat:
         return np.asarray(integers, dtype=np.float64) * self.scale
 
 
-def derive_format(weights: np.ndarray, bits: int) -> FixedPointFormat:
-    """Choose the scale so the largest |weight| lands on the largest level.
+def derive_scale(max_abs: float, max_level: "int | float") -> float:
+    """Scale mapping ``max_abs`` onto ``max_level`` (1.0 for degenerate tensors).
 
-    An all-zero weight tensor gets scale 1.0 (any scale represents it exactly).
+    The single source of truth for the symmetric-quantization scale formula:
+    :func:`derive_format`, :meth:`repro.quantization.SymmetricQuantizer.__call__`
+    and the trainer's packed per-step quantization all call it, so they can
+    never diverge. An all-zero tensor gets scale 1.0 (any scale represents it
+    exactly); a subnormal ``max_abs`` can underflow the division to exactly 0,
+    in which case every level is zero anyway and 1.0 is used as well.
     """
+    scale = max_abs / max_level if max_abs > 0 else 1.0
+    if scale == 0.0:
+        scale = 1.0
+    return scale
+
+
+def derive_format(weights: np.ndarray, bits: int) -> FixedPointFormat:
+    """Choose the scale so the largest |weight| lands on the largest level."""
     weights = np.asarray(weights, dtype=np.float64)
     max_level = max_symmetric_level(bits)
     max_abs = float(np.max(np.abs(weights))) if weights.size else 0.0
-    scale = max_abs / max_level if max_abs > 0 else 1.0
-    if scale == 0.0:
-        # Subnormal max_abs can underflow the division to exactly 0; such
-        # weights quantize to all-zero levels at any scale, so treat them
-        # like the all-zero tensor.
-        scale = 1.0
-    return FixedPointFormat(bits=bits, scale=scale)
+    return FixedPointFormat(bits=bits, scale=derive_scale(max_abs, max_level))
 
 
 def quantize_to_fixed_point(

@@ -95,6 +95,7 @@ class TechnologyLibrary:
         self.name = name
         self.description = description
         self._cells: Dict[str, CellSpec] = dict(cells)
+        self._cache_key: "Tuple[object, ...] | None" = None
 
     def cell(self, name: str) -> CellSpec:
         """Look up a cell spec by name.
@@ -115,6 +116,23 @@ class TechnologyLibrary:
 
     def cell_names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._cells))
+
+    @property
+    def cache_key(self) -> Tuple[object, ...]:
+        """Hashable identity of the library's full characterization.
+
+        Two libraries with the same name but different cell numbers get
+        distinct keys, so the memoized cost kernels in
+        :mod:`repro.hardware.arithmetic` can never serve stale entries.
+        Libraries are treated as immutable after construction (nothing in
+        the code base mutates ``_cells``).
+        """
+        if self._cache_key is None:
+            self._cache_key = (self.name,) + tuple(
+                (cell_name, spec.area, spec.power, spec.delay)
+                for cell_name, spec in sorted(self._cells.items())
+            )
+        return self._cache_key
 
     def __contains__(self, name: str) -> bool:
         return name in self._cells

@@ -98,8 +98,35 @@ class Dense(Layer):
         self.bias_quantizer: Optional[Callable[[np.ndarray], np.ndarray]] = None
 
         self._last_input: Optional[np.ndarray] = None
+        # Opt-in cache of the effective (masked + fake-quantized) parameters.
+        # ``effective_weights()`` is a pure function of the weights/mask/
+        # quantizer, but the training loop calls it several times per
+        # optimizer step (forward, backward, per-epoch evaluation) while the
+        # weights only change at ``optimizer.update()``. The trainer enables
+        # the cache for the duration of ``fit()`` and invalidates it after
+        # every update, so cached and uncached runs are bit-identical.
+        self._effective_cache_enabled = False
+        self._cached_effective_weights: Optional[np.ndarray] = None
+        self._cached_effective_bias: Optional[np.ndarray] = None
 
     # -- effective parameters -------------------------------------------------
+
+    def set_effective_cache(self, enabled: bool) -> None:
+        """Enable/disable caching of the effective parameters (cleared either way).
+
+        Whoever enables the cache owns invalidation: call
+        :meth:`invalidate_effective_cache` after every in-place weight
+        update. Outside a training loop the cache must stay disabled —
+        pruning, clustering and direct weight edits do not invalidate it.
+        """
+        self._effective_cache_enabled = bool(enabled)
+        self._cached_effective_weights = None
+        self._cached_effective_bias = None
+
+    def invalidate_effective_cache(self) -> None:
+        """Drop cached effective parameters (after an optimizer step)."""
+        self._cached_effective_weights = None
+        self._cached_effective_bias = None
 
     def effective_weights(self) -> np.ndarray:
         """Weights as seen by the forward pass (mask and quantizer applied).
@@ -108,18 +135,26 @@ class Dense(Layer):
         area model and the accuracy evaluation always agree on the
         coefficients.
         """
+        if self._effective_cache_enabled and self._cached_effective_weights is not None:
+            return self._cached_effective_weights
         w = self.weights
         if self.mask is not None:
             w = w * self.mask
         if self.weight_quantizer is not None:
             w = self.weight_quantizer(w)
+        if self._effective_cache_enabled:
+            self._cached_effective_weights = w
         return w
 
     def effective_bias(self) -> np.ndarray:
         """Bias as seen by the forward pass (quantizer applied)."""
+        if self._effective_cache_enabled and self._cached_effective_bias is not None:
+            return self._cached_effective_bias
         b = self.bias
         if self.bias_quantizer is not None:
             b = self.bias_quantizer(b)
+        if self._effective_cache_enabled:
+            self._cached_effective_bias = b
         return b
 
     # -- forward / backward ---------------------------------------------------

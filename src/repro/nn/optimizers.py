@@ -73,7 +73,17 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction.
+
+    When the same parameter list is passed on every call (the trainer's
+    usage), the update is fused across one flattened buffer: moments live in
+    two flat arrays and the whole step is a handful of in-place vector ops
+    instead of per-parameter numpy round-trips. Adam is element-wise, so the
+    fused step applies the exact float operation sequence of the per-array
+    loop and the trajectories are bit-identical (see
+    ``tests/test_perf_fastpaths.py``). Pass ``fused=False`` to force the
+    historical per-parameter loop.
+    """
 
     def __init__(
         self,
@@ -82,6 +92,7 @@ class Adam(Optimizer):
         beta2: float = 0.999,
         epsilon: float = 1e-8,
         weight_decay: float = 0.0,
+        fused: bool = True,
     ) -> None:
         super().__init__(learning_rate)
         if not 0.0 <= beta1 < 1.0:
@@ -96,12 +107,40 @@ class Adam(Optimizer):
         self.beta2 = float(beta2)
         self.epsilon = float(epsilon)
         self.weight_decay = float(weight_decay)
+        self.fused = bool(fused)
         self._state: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
+        self._flat: "dict | None" = None
 
     def update(
         self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]
     ) -> None:
         _check_aligned(parameters, gradients)
+        if self.fused:
+            flat = self._flat
+            if (
+                flat is not None
+                and len(parameters) == len(flat["params"])
+                # Identity against the arrays the flat state was built for
+                # (held strongly in the state, so a freed array's id can
+                # never be recycled into a false match).
+                and all(p is q for p, q in zip(parameters, flat["params"]))
+            ):
+                self._update_fused(flat, parameters, gradients)
+                return
+            if flat is None and not any(id(p) in self._state for p in parameters):
+                self._flat = self._init_flat(parameters)
+                self._update_fused(self._flat, parameters, gradients)
+                return
+            # The parameter list changed mid-stream: fold the fused moments
+            # back into the per-parameter store and continue on the legacy
+            # path, which handles arbitrary call patterns.
+            if flat is not None:
+                self._defuse(flat)
+        self._update_legacy(parameters, gradients)
+
+    def _update_legacy(
+        self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]
+    ) -> None:
         for param, grad in zip(parameters, gradients):
             grad = grad + self.weight_decay * param if self.weight_decay else grad
             key = id(param)
@@ -118,8 +157,78 @@ class Adam(Optimizer):
             v_hat = v / (1.0 - self.beta2**t)
             param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
 
+    @staticmethod
+    def _init_flat(parameters: Sequence[np.ndarray]) -> dict:
+        sizes = [p.size for p in parameters]
+        total = int(sum(sizes))
+        offsets = []
+        offset = 0
+        for size in sizes:
+            offsets.append(offset)
+            offset += size
+        return {
+            "params": list(parameters),
+            "shapes": [p.shape for p in parameters],
+            "slices": [
+                slice(o, o + s) for o, s in zip(offsets, sizes)
+            ],
+            "m": np.zeros(total),
+            "v": np.zeros(total),
+            "t": 0,
+            "grad": np.empty(total),
+            "sq": np.empty(total),
+            "step": np.empty(total),
+            "denom": np.empty(total),
+        }
+
+    def _update_fused(
+        self,
+        flat: dict,
+        parameters: Sequence[np.ndarray],
+        gradients: Sequence[np.ndarray],
+    ) -> None:
+        g = flat["grad"]
+        for sl, grad in zip(flat["slices"], gradients):
+            g[sl] = grad.reshape(-1)
+        if self.weight_decay:
+            for sl, param in zip(flat["slices"], parameters):
+                g[sl] += self.weight_decay * param.reshape(-1)
+        flat["t"] = t = flat["t"] + 1
+        m, v, sq = flat["m"], flat["v"], flat["sq"]
+        step, denom = flat["step"], flat["denom"]
+        # Same per-element float sequence as the legacy loop, staged through
+        # preallocated buffers: m = beta1*m + (1-beta1)*g ; v = beta2*v + (1-beta2)*g*g
+        np.multiply(g, 1.0 - self.beta1, out=step)
+        m *= self.beta1
+        m += step
+        np.multiply(g, g, out=sq)
+        sq *= 1.0 - self.beta2
+        v *= self.beta2
+        v += sq
+        # param -= (lr * (m / c1)) / (sqrt(v / c2) + eps), evaluated in the
+        # legacy expression's order.
+        np.divide(m, 1.0 - self.beta1**t, out=step)
+        step *= self.learning_rate
+        np.divide(v, 1.0 - self.beta2**t, out=denom)
+        np.sqrt(denom, out=denom)
+        denom += self.epsilon
+        step /= denom
+        for sl, param, shape in zip(flat["slices"], parameters, flat["shapes"]):
+            param -= step[sl].reshape(shape)
+
+    def _defuse(self, flat: dict) -> None:
+        """Move fused moments into the per-parameter store, preserving steps."""
+        for param, sl, shape in zip(flat["params"], flat["slices"], flat["shapes"]):
+            self._state[id(param)] = (
+                flat["m"][sl].reshape(shape).copy(),
+                flat["v"][sl].reshape(shape).copy(),
+                flat["t"],
+            )
+        self._flat = None
+
     def reset_state(self) -> None:
         self._state.clear()
+        self._flat = None
 
 
 class RMSProp(Optimizer):

@@ -17,6 +17,7 @@ import numpy as np
 from ..hardware.fixed_point import (
     FixedPointFormat,
     derive_format,
+    derive_scale,
     max_symmetric_level,
 )
 
@@ -54,6 +55,7 @@ class SymmetricQuantizer(Quantizer):
             raise ValueError(f"bits must be >= 2, got {self.bits}")
         if self.scale is not None and self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
+        self._max_level = max_symmetric_level(self.bits)
 
     # -- calibration ------------------------------------------------------------
 
@@ -73,8 +75,30 @@ class SymmetricQuantizer(Quantizer):
 
     def __call__(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)
-        fmt = self.format_for(values)
-        return fmt.to_floats(fmt.to_integers(values))
+        # Single-pass fake quantization on the QAT hot path: derive the scale
+        # (same arithmetic as :func:`derive_format`), then round/clip/rescale
+        # with raw ufuncs — the same float operations as
+        # ``fmt.to_floats(fmt.to_integers(values))`` without the int64
+        # round-trip (integral float64 levels convert exactly), the
+        # ``FixedPointFormat`` allocation and the ``np.round``/``np.clip``
+        # dispatch wrappers. Bit-identical to the reference path
+        # (``np.round(x) == np.rint(x)`` and ``clip == minimum(maximum())``
+        # elementwise), which the property tests assert.
+        max_level = self._max_level
+        scale = self.scale
+        if scale is None:
+            max_abs = float(np.abs(values).max()) if values.size else 0.0
+            scale = derive_scale(max_abs, max_level)
+        levels = values / scale
+        np.rint(levels, out=levels)
+        np.maximum(levels, -max_level, out=levels)
+        np.minimum(levels, max_level, out=levels)
+        # The int64 round-trip normalizes -0.0 to +0.0; adding 0.0 does the
+        # same (x + 0.0 == x exactly for every other value) so the result is
+        # byte-identical to the reference.
+        levels += 0.0
+        levels *= scale
+        return levels
 
     def integer_levels(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)

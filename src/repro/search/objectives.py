@@ -18,8 +18,9 @@ from typing import Optional, Tuple
 
 from ..bespoke.circuit import BespokeConfig
 from ..bespoke.simulator import FixedPointSimulator
-from ..bespoke.synthesis import synthesize
+from ..bespoke.synthesis import synthesize_cost_only
 from ..clustering.weight_clustering import cluster_model_weights, reproject_clusters
+from ..core import profiling
 from ..core.pipeline import PreparedPipeline
 from ..core.results import DesignPoint
 from ..nn.trainer import finetune
@@ -70,32 +71,35 @@ def apply_genome(
 
     # 1. Pruning (masks stay in place for the rest of the flow).
     if any(s > 0.0 for s in genome.sparsity):
-        prune_by_magnitude(model, list(genome.sparsity), global_ranking=False)
+        with profiling.stage("prune"):
+            prune_by_magnitude(model, list(genome.sparsity), global_ranking=False)
 
     # 2. Weight clustering on the surviving weights.
     clustering_result = None
     if any(c > 0 for c in genome.clusters):
         budgets = [c if c > 0 else 10**6 for c in genome.clusters]
-        clustering_result = cluster_model_weights(
-            model,
-            budgets,
-            seed=seed,
-            per_position=settings.per_position_clustering,
-        )
+        with profiling.stage("cluster"):
+            clustering_result = cluster_model_weights(
+                model,
+                budgets,
+                seed=seed,
+                per_position=settings.per_position_clustering,
+            )
 
     # 3. Quantization-aware joint fine-tuning.
     attach_quantizers(model, list(genome.weight_bits))
     if settings.finetune_epochs > 0:
-        finetune(
-            model,
-            data.train.features,
-            data.train.labels,
-            data.validation.features,
-            data.validation.labels,
-            epochs=settings.finetune_epochs,
-            learning_rate=settings.finetune_learning_rate,
-            seed=seed,
-        )
+        with profiling.stage("finetune"):
+            finetune(
+                model,
+                data.train.features,
+                data.train.labels,
+                data.validation.features,
+                data.validation.labels,
+                epochs=settings.finetune_epochs,
+                learning_rate=settings.finetune_learning_rate,
+                seed=seed,
+            )
         if clustering_result is not None:
             reproject_clusters(model, clustering_result)
     return model
@@ -107,25 +111,37 @@ def evaluate_genome(
     settings: Optional[EvaluationSettings] = None,
     seed: Optional[int] = None,
 ) -> DesignPoint:
-    """Full evaluation of one genome: minimized accuracy and synthesized area."""
+    """Full evaluation of one genome: minimized accuracy and synthesized area.
+
+    The synthesis report comes from the cost-only path
+    (:func:`~repro.bespoke.synthesize_cost_only`): the search only consumes
+    aggregate area/power/delay, and the cost-only report is bit-identical to
+    the full netlist's. Ask :func:`~repro.bespoke.build_bespoke_circuit` for
+    the netlist when a winning genome needs inspection or Verilog export.
+    """
     settings = settings if settings is not None else EvaluationSettings()
-    model = apply_genome(genome, prepared, settings, seed=seed)
-    data = prepared.data
-    bespoke_config = BespokeConfig(
-        input_bits=prepared.config.input_bits,
-        weight_bits=list(genome.weight_bits),
-    )
-    if settings.simulate_accuracy:
-        simulator = FixedPointSimulator(model, bespoke_config)
-        accuracy = simulator.evaluate_accuracy(data.test.features, data.test.labels)
-    else:
-        accuracy = model.evaluate_accuracy(data.test.features, data.test.labels)
-    report = synthesize(
-        model,
-        config=bespoke_config,
-        tech=prepared.technology,
-        name=f"{prepared.metadata.get('dataset', 'mlp')}_combined",
-    )
+    with profiling.stage("evaluate_genome"):
+        model = apply_genome(genome, prepared, settings, seed=seed)
+        data = prepared.data
+        bespoke_config = BespokeConfig(
+            input_bits=prepared.config.input_bits,
+            weight_bits=list(genome.weight_bits),
+        )
+        with profiling.stage("accuracy"):
+            if settings.simulate_accuracy:
+                simulator = FixedPointSimulator(model, bespoke_config)
+                accuracy = simulator.evaluate_accuracy(
+                    data.test.features, data.test.labels
+                )
+            else:
+                accuracy = model.evaluate_accuracy(data.test.features, data.test.labels)
+        with profiling.stage("synthesize"):
+            report = synthesize_cost_only(
+                model,
+                config=bespoke_config,
+                tech=prepared.technology,
+                name=f"{prepared.metadata.get('dataset', 'mlp')}_combined",
+            )
     return DesignPoint(
         technique="combined",
         accuracy=float(accuracy),

@@ -1,0 +1,460 @@
+"""Bit-identity property tests for the PR-2 fast paths.
+
+The perf overhaul (memoized hardware-cost kernels, cost-only synthesis, the
+fused QAT training step and the fused Adam) must be *invisible* numerically:
+every fast path has a reference implementation — either the pre-refactor
+algorithm reimplemented here verbatim, or the shipped slow path — and these
+tests assert exact float equality between the two.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bespoke import BespokeConfig, synthesize, synthesize_cost_only
+from repro.clustering import cluster_model_weights
+from repro.hardware.arithmetic import (
+    adder_tree,
+    adder_tree_from_widths,
+    argmax_unit,
+    clear_cost_caches,
+    constant_multiplier,
+)
+from repro.hardware.cost import HardwareCost
+from repro.hardware.csd import (
+    binary_adder_stages,
+    coefficient_bit_length,
+    csd_adder_stages,
+    csd_stage_table,
+    is_power_of_two,
+)
+from repro.hardware.technology import silicon_library
+from repro.nn.network import build_mlp
+from repro.nn.optimizers import Adam
+from repro.nn.trainer import Trainer, TrainerConfig
+from repro.pruning import prune_by_magnitude
+from repro.quantization import SymmetricQuantizer, attach_quantizers
+from repro.search import (
+    EvaluationSettings,
+    GAConfig,
+    HardwareAwareGA,
+)
+
+# --- reference (pre-refactor) hardware-cost algorithms ---------------------------
+
+
+def _ref_ripple(width, tech):
+    fa = tech.cell("FA")
+    return HardwareCost(
+        area=fa.area * width,
+        power=fa.power * width,
+        delay=fa.delay * width,
+        gate_counts={"FA": width},
+    )
+
+
+def _ref_constant_multiplier(coefficient, input_bits, tech, method="csd"):
+    """The seed implementation: a serial fold of ripple-carry adder stages."""
+    coefficient = int(coefficient)
+    if coefficient == 0:
+        return HardwareCost.zero()
+    if is_power_of_two(coefficient) and coefficient > 0:
+        return HardwareCost.zero()
+    stages = (
+        csd_adder_stages(coefficient)
+        if method == "csd"
+        else binary_adder_stages(coefficient)
+    )
+    product_width = input_bits + coefficient_bit_length(coefficient)
+    if coefficient < 0 and stages == 0:
+        return tech.cost("INV", product_width)
+    cost = HardwareCost.zero()
+    for _ in range(stages):
+        cost = cost.serial(_ref_ripple(product_width, tech))
+    return cost
+
+
+def _ref_adder_tree_from_widths(operand_widths, tech):
+    """The seed sorted-list pop(0)/insert Huffman loop."""
+    widths = sorted(int(w) for w in operand_widths)
+    if len(widths) <= 1:
+        return HardwareCost.zero()
+    total_area = 0.0
+    total_power = 0.0
+    total_fa = 0
+    depth_delay = 0.0
+    while len(widths) > 1:
+        first = widths.pop(0)
+        second = widths.pop(0)
+        adder_width = max(first, second)
+        adder = _ref_ripple(adder_width, tech)
+        total_area += adder.area
+        total_power += adder.power
+        total_fa += adder_width
+        depth_delay += adder.delay
+        result_width = adder_width + 1
+        insert_at = 0
+        while insert_at < len(widths) and widths[insert_at] < result_width:
+            insert_at += 1
+        widths.insert(insert_at, result_width)
+    n_operands = len(operand_widths)
+    tree_depth = math.ceil(math.log2(n_operands)) if n_operands > 1 else 0
+    serial_stages = n_operands - 1
+    delay = depth_delay * (tree_depth / serial_stages) if serial_stages else 0.0
+    return HardwareCost(
+        area=total_area, power=total_power, delay=delay, gate_counts={"FA": total_fa}
+    )
+
+
+def _ref_adder_tree(n_operands, operand_width, tech):
+    """The seed level-by-level uniform-width fold."""
+    if n_operands <= 1:
+        return HardwareCost.zero()
+    cost = HardwareCost.zero()
+    level_width = operand_width
+    remaining = n_operands
+    depth = 0
+    while remaining > 1:
+        adders = remaining // 2
+        level_cost = _ref_ripple(level_width, tech).scaled(adders)
+        if depth == 0:
+            cost = level_cost
+        else:
+            cost = HardwareCost(
+                area=cost.area + level_cost.area,
+                power=cost.power + level_cost.power,
+                delay=cost.delay + level_cost.delay,
+                gate_counts={
+                    **cost.gate_counts,
+                    "FA": cost.gate_counts.get("FA", 0)
+                    + level_cost.gate_counts.get("FA", 0),
+                },
+            )
+        remaining = adders + (remaining % 2)
+        level_width += 1
+        depth += 1
+    return cost
+
+
+def _ref_argmax_unit(n_values, width, index_bits, tech):
+    """The seed serial fold of compare-and-select stages."""
+    if n_values == 1:
+        return HardwareCost.zero()
+    stage = (
+        _ref_ripple(width, tech)
+        .serial(tech.cost("INV", width))
+        .serial(tech.cost("MUX2", width + index_bits))
+    )
+    cost = HardwareCost.zero()
+    for _ in range(n_values - 1):
+        cost = cost.serial(stage)
+    return cost
+
+
+class TestMemoizedHardwareCosts:
+    """(i) memoized kernels == reference over the full coefficient/bit domain."""
+
+    @pytest.mark.parametrize("method", ["csd", "binary"])
+    @pytest.mark.parametrize("input_bits", [4, 8])
+    def test_constant_multiplier_full_domain(self, egt, method, input_bits):
+        clear_cost_caches()
+        max_level = (1 << 7) - 1  # full 8-bit weight domain
+        for coefficient in range(-max_level, max_level + 1):
+            fast = constant_multiplier(coefficient, input_bits, egt, method=method)
+            ref = _ref_constant_multiplier(coefficient, input_bits, egt, method=method)
+            assert fast == ref, (coefficient, input_bits, method)
+            # Second call is served from the memo and must stay equal.
+            assert constant_multiplier(coefficient, input_bits, egt, method=method) == ref
+
+    def test_distinct_technologies_not_conflated(self, egt):
+        silicon = silicon_library()
+        a = constant_multiplier(7, 4, egt)
+        b = constant_multiplier(7, 4, silicon)
+        assert a != b
+        assert a == _ref_constant_multiplier(7, 4, egt)
+        assert b == _ref_constant_multiplier(7, 4, silicon)
+
+    def test_adder_tree_from_widths_random_multisets(self, egt, rng):
+        for _ in range(200):
+            widths = rng.integers(1, 15, size=rng.integers(2, 24)).tolist()
+            assert adder_tree_from_widths(widths, egt) == _ref_adder_tree_from_widths(
+                widths, egt
+            ), widths
+
+    def test_adder_tree_uniform_matches_reference(self, egt):
+        for n_operands in range(2, 33):
+            for width in (1, 4, 9):
+                assert adder_tree(n_operands, width, egt) == _ref_adder_tree(
+                    n_operands, width, egt
+                ), (n_operands, width)
+
+    def test_argmax_unit_matches_reference(self, egt):
+        for n_values in range(1, 16):
+            assert argmax_unit(n_values, 9, 3, egt) == _ref_argmax_unit(
+                n_values, 9, 3, egt
+            ), n_values
+
+    def test_csd_stage_table_matches_scalar(self):
+        for method in ("csd", "binary"):
+            table = csd_stage_table(8, method)
+            scalar = csd_adder_stages if method == "csd" else binary_adder_stages
+            assert table.shape == (256,)
+            assert all(int(table[m]) == scalar(m) for m in range(256))
+
+    def test_csd_stage_table_validation(self):
+        with pytest.raises(ValueError):
+            csd_stage_table(0)
+        with pytest.raises(ValueError):
+            csd_stage_table(4, "ternary")
+
+
+class TestCostOnlySynthesis:
+    """(ii) cost-only synthesis == report_from_circuit on minimized models."""
+
+    @staticmethod
+    def _assert_reports_equal(full, fast):
+        assert fast.total == full.total
+        assert fast.by_kind == full.by_kind
+        assert fast.by_layer == full.by_layer
+        assert fast.component_counts == full.component_counts
+        assert fast.n_multipliers == full.n_multipliers
+        assert fast.n_shared_products == full.n_shared_products
+        assert fast.metadata == full.metadata
+        assert fast.technology == full.technology
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_minimized_models(self, seed):
+        rng = np.random.default_rng(seed)
+        model = build_mlp(9, [int(rng.integers(6, 18))], 5, seed=seed)
+        if seed % 2:
+            prune_by_magnitude(model, [0.5, 0.3], global_ranking=False)
+        if seed % 3 == 0:
+            cluster_model_weights(model, [4, 3], seed=seed)
+        if seed % 3 == 1:
+            attach_quantizers(model, [3, 6])
+        config = BespokeConfig(
+            input_bits=int(rng.integers(3, 7)),
+            weight_bits=[int(rng.integers(2, 9)), int(rng.integers(2, 9))],
+            share_products=bool(seed % 2),
+            multiplier_method="binary" if seed == 2 else "csd",
+            include_io_registers=seed != 3,
+        )
+        full = synthesize(model, config=config, name="m")
+        fast = synthesize_cost_only(model, config=config, name="m")
+        self._assert_reports_equal(full, fast)
+
+    def test_trained_seeds_model(self, seeds_model):
+        model = seeds_model.clone()
+        prune_by_magnitude(model, [0.4, 0.2], global_ranking=False)
+        attach_quantizers(model, 4)
+        full = synthesize(model, name="seeds")
+        fast = synthesize_cost_only(model, name="seeds")
+        self._assert_reports_equal(full, fast)
+
+    def test_requires_dense_layers(self):
+        from repro.nn.network import MLP
+
+        with pytest.raises(ValueError):
+            synthesize_cost_only(MLP())
+
+
+class TestQuantizerFastPath:
+    """Fused fake-quantization == to_floats(to_integers(...))."""
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_matches_fixed_point_round_trip(self, bits, rng):
+        quantizer = SymmetricQuantizer(bits=bits)
+        for scale in (None, 0.125):
+            quantizer.scale = scale
+            values = rng.normal(scale=3.0, size=(37, 11))
+            fmt = quantizer.format_for(values)
+            expected = fmt.to_floats(fmt.to_integers(values))
+            got = quantizer(values)
+            assert got.tobytes() == expected.tobytes()
+
+    def test_zero_and_empty_tensors(self):
+        quantizer = SymmetricQuantizer(bits=4)
+        assert quantizer(np.zeros((3, 3))).tobytes() == np.zeros((3, 3)).tobytes()
+        assert quantizer(np.zeros((0,))).size == 0
+
+
+class TestFusedAdam:
+    """Fused flat-buffer Adam == the per-parameter legacy loop."""
+
+    @staticmethod
+    def _random_params(rng, shapes):
+        return [rng.normal(size=shape) for shape in shapes]
+
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+    def test_trajectories_identical(self, rng, weight_decay):
+        shapes = [(7, 5), (5,), (5, 3), (3,)]
+        params_fused = self._random_params(rng, shapes)
+        params_legacy = [p.copy() for p in params_fused]
+        fused = Adam(learning_rate=0.01, weight_decay=weight_decay)
+        legacy = Adam(learning_rate=0.01, weight_decay=weight_decay, fused=False)
+        for _ in range(25):
+            grads = self._random_params(rng, shapes)
+            fused.update(params_fused, grads)
+            legacy.update(params_legacy, [g.copy() for g in grads])
+            for a, b in zip(params_fused, params_legacy):
+                assert a.tobytes() == b.tobytes()
+
+    def test_fresh_parameters_never_inherit_stale_moments(self, rng):
+        """A brand-new parameter list must start at step 1 even if object ids
+        of freed arrays get recycled (the flat state holds its arrays alive
+        and matches by identity, not id)."""
+        optimizer = Adam(learning_rate=0.01)
+        params = [rng.normal(size=(5, 5))]
+        for _ in range(3):
+            optimizer.update(params, [rng.normal(size=(5, 5))])
+        assert optimizer._flat["t"] == 3
+        del params
+        fresh = [np.zeros((5, 5))]
+        reference = [np.zeros((5, 5))]
+        legacy = Adam(learning_rate=0.01, fused=False)
+        grad = rng.normal(size=(5, 5))
+        optimizer.update(fresh, [grad])
+        legacy.update(reference, [grad.copy()])
+        assert fresh[0].tobytes() == reference[0].tobytes()
+
+    def test_parameter_list_change_defuses_cleanly(self, rng):
+        shapes = [(4, 3), (3,)]
+        params_fused = self._random_params(rng, shapes)
+        params_legacy = [p.copy() for p in params_fused]
+        fused = Adam(learning_rate=0.05)
+        legacy = Adam(learning_rate=0.05, fused=False)
+        for _ in range(5):
+            grads = self._random_params(rng, shapes)
+            fused.update(params_fused, grads)
+            legacy.update(params_legacy, [g.copy() for g in grads])
+        # Continue with only the first parameter: moments must carry over.
+        for _ in range(5):
+            grad = rng.normal(size=shapes[0])
+            fused.update(params_fused[:1], [grad])
+            legacy.update(params_legacy[:1], [grad.copy()])
+        for a, b in zip(params_fused, params_legacy):
+            assert a.tobytes() == b.tobytes()
+
+    def test_validation_still_raises(self, rng):
+        optimizer = Adam()
+        with pytest.raises(ValueError):
+            optimizer.update([np.zeros(3)], [np.zeros(3), np.zeros(2)])
+        with pytest.raises(ValueError):
+            optimizer.update([np.zeros(3)], [np.zeros(2)])
+
+
+class TestTrainerFastPath:
+    """(iii) fused QAT training step == the layerwise reference trajectory."""
+
+    @staticmethod
+    def _problem(rng, n_features=9, n_classes=5, n=220):
+        x = rng.normal(size=(n, n_features))
+        y = rng.integers(0, n_classes, size=n)
+        return x, y
+
+    def _fit(self, model, fast, x, y, xv, yv, epochs=8):
+        trainer = Trainer(
+            model,
+            optimizer=Adam(learning_rate=0.003, fused=fast),
+            config=TrainerConfig(epochs=epochs, batch_size=32, early_stopping_patience=4),
+            seed=11,
+            fast_path=fast,
+        )
+        return trainer.fit(x, y, xv, yv)
+
+    def test_masked_quantized_model_identical(self, rng):
+        x, y = self._problem(rng)
+        xv, yv = self._problem(rng, n=60)
+
+        def make():
+            model = build_mlp(9, [16], 5, seed=3)
+            prune_by_magnitude(model, [0.4, 0.2], global_ranking=False)
+            attach_quantizers(model, [4, 5])
+            return model
+
+        fast_model, ref_model = make(), make()
+        fast_history = self._fit(fast_model, True, x, y, xv, yv)
+        ref_history = self._fit(ref_model, False, x, y, xv, yv)
+        assert fast_history.as_dict() == ref_history.as_dict()
+        for fast_layer, ref_layer in zip(fast_model.dense_layers, ref_model.dense_layers):
+            assert fast_layer.weights.tobytes() == ref_layer.weights.tobytes()
+            assert fast_layer.bias.tobytes() == ref_layer.bias.tobytes()
+
+    def test_plain_float_model_identical(self, rng):
+        x, y = self._problem(rng)
+        fast_model = build_mlp(9, [12], 5, seed=1)
+        ref_model = build_mlp(9, [12], 5, seed=1)
+        fast_history = self._fit(fast_model, True, x, y, None, None, epochs=5)
+        ref_history = self._fit(ref_model, False, x, y, None, None, epochs=5)
+        assert fast_history.as_dict() == ref_history.as_dict()
+        for fast_layer, ref_layer in zip(fast_model.dense_layers, ref_model.dense_layers):
+            assert fast_layer.weights.tobytes() == ref_layer.weights.tobytes()
+
+    def test_leading_activation_layer_identical(self, rng):
+        """A model whose first layer is an activation must still propagate the
+        gradient to it (the dead-gradient skip applies only to the model's
+        literal first layer)."""
+        from repro.nn.layers import ActivationLayer, Dense
+        from repro.nn.network import MLP
+
+        x, y = self._problem(rng, n_features=6, n_classes=3)
+
+        def make():
+            model = MLP()
+            model.add(ActivationLayer("relu"))
+            layer_rng = np.random.default_rng(5)
+            model.add(Dense(6, 8, rng=layer_rng))
+            model.add(ActivationLayer("relu"))
+            model.add(Dense(8, 3, rng=layer_rng))
+            return model
+
+        fast_model, ref_model = make(), make()
+        fast_history = self._fit(fast_model, True, x, y, None, None, epochs=3)
+        ref_history = self._fit(ref_model, False, x, y, None, None, epochs=3)
+        assert fast_history.as_dict() == ref_history.as_dict()
+        for fast_layer, ref_layer in zip(fast_model.dense_layers, ref_model.dense_layers):
+            assert fast_layer.weights.tobytes() == ref_layer.weights.tobytes()
+
+    def test_dropout_model_falls_back_to_reference_loop(self):
+        model = build_mlp(6, [8], 3, dropout=0.2, seed=0)
+        trainer = Trainer(model, seed=0)
+        assert not trainer._supports_fused_epoch()
+
+    def test_effective_cache_disabled_after_fit(self, rng):
+        x, y = self._problem(rng)
+        model = build_mlp(9, [8], 5, seed=0)
+        attach_quantizers(model, 4)
+        self._fit(model, True, x, y, None, None, epochs=2)
+        layer = model.dense_layers[0]
+        assert not layer._effective_cache_enabled
+        # Mutating weights outside training must be reflected immediately.
+        before = layer.effective_weights().copy()
+        layer.weights = layer.weights + 1.0
+        assert not np.array_equal(layer.effective_weights(), before)
+
+
+class TestSerialParallelStillIdentical:
+    """(iv) serial and parallel searches stay bit-identical after the overhaul."""
+
+    def test_ga_fronts_identical(self, prepared_pipeline):
+        prepared = prepared_pipeline.prepare()
+        settings = EvaluationSettings(finetune_epochs=2)
+
+        def run(n_workers):
+            config = GAConfig(
+                population_size=4,
+                n_generations=2,
+                seed=0,
+                n_workers=n_workers,
+            )
+            return HardwareAwareGA(prepared, config=config, settings=settings).run()
+
+        serial = run(1)
+        parallel = run(2)
+        serial_front = [(p.accuracy, p.area, p.power, p.delay) for p in serial.front]
+        parallel_front = [(p.accuracy, p.area, p.power, p.delay) for p in parallel.front]
+        assert serial_front == parallel_front
+        assert serial.n_evaluations == parallel.n_evaluations
