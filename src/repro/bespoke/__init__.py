@@ -10,7 +10,13 @@ from .layer_circuit import (
 )
 from .netlist import CircuitComponent, Netlist
 from .report import SynthesisReport
-from .simulator import FixedPointSimulator, SimulationTrace, verify_circuit
+from .simulator import (
+    FixedPointSimulator,
+    SimulationTrace,
+    population_accuracy,
+    simulate_population,
+    verify_circuit,
+)
 from .synthesis import (
     report_from_circuit,
     synthesize,
@@ -35,7 +41,9 @@ __all__ = [
     "distinct_products_per_input",
     "estimate_layer_latency_depth",
     "export_verilog",
+    "population_accuracy",
     "report_from_circuit",
+    "simulate_population",
     "synthesize",
     "synthesize_baseline",
     "synthesize_cost_only",

@@ -18,7 +18,7 @@ it can be used for
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -230,6 +230,71 @@ class FixedPointSimulator:
         ]
         report["input_bits"] = self.input_bits
         return report
+
+
+def simulate_population(
+    simulators: Sequence["FixedPointSimulator"], features: np.ndarray
+) -> np.ndarray:
+    """Population-axis extension of :meth:`FixedPointSimulator.simulate_batch`.
+
+    Stacks the hard-wired integer weights of G same-architecture simulators
+    into ``(G, n_inputs, n_neurons)`` tensors and pushes the whole input
+    batch through every circuit with one batched integer matmul per layer:
+    ``(G, n_samples, n_outputs)`` integer scores, where slice ``g`` is
+    *exactly* ``simulators[g].simulate_batch(features)`` — the datapath is
+    pure int64 arithmetic, so batching cannot change a single bit.
+
+    All simulators must share input bit-width, layer shapes and ReLU flags
+    (guaranteed when they were built from same-topology models, as in the
+    population evaluation engine); only the integer coefficients may differ.
+    """
+    if not simulators:
+        raise ValueError("Cannot simulate an empty population")
+    first = simulators[0]
+    for simulator in simulators[1:]:
+        if simulator.input_bits != first.input_bits:
+            raise ValueError("Population simulators disagree on input_bits")
+        if len(simulator.layers) != len(first.layers):
+            raise ValueError("Population simulators disagree on layer count")
+        for layer, reference in zip(simulator.layers, first.layers):
+            if layer.weights.shape != reference.weights.shape:
+                raise ValueError("Population simulators disagree on layer shapes")
+            if layer.relu != reference.relu:
+                raise ValueError("Population simulators disagree on ReLU placement")
+    activations = first.quantize_inputs(features)
+    if activations.shape[1] != first.layers[0].n_inputs:
+        raise ValueError(
+            f"Expected {first.layers[0].n_inputs} features, got {activations.shape[1]}"
+        )
+    out: np.ndarray = activations
+    for layer_index in range(len(first.layers)):
+        weights = np.stack(
+            [simulator.layers[layer_index].weights for simulator in simulators]
+        )
+        bias = np.stack(
+            [simulator.layers[layer_index].bias for simulator in simulators]
+        )
+        accumulators = np.matmul(out, weights) + bias[:, None, :]
+        if first.layers[layer_index].relu:
+            accumulators = np.maximum(accumulators, 0)
+        out = accumulators
+    return out
+
+
+def population_accuracy(
+    simulators: Sequence["FixedPointSimulator"],
+    features: np.ndarray,
+    labels: np.ndarray,
+) -> np.ndarray:
+    """Top-1 accuracy of every circuit of a population in one batched pass.
+
+    Returns a ``(G,)`` float vector; entry ``g`` equals
+    ``simulators[g].evaluate_accuracy(features, labels)`` exactly.
+    """
+    labels = np.asarray(labels).reshape(-1).astype(int)
+    scores = simulate_population(simulators, features)
+    predictions = np.argmax(scores, axis=-1)
+    return (predictions == labels).mean(axis=-1)
 
 
 def verify_circuit(

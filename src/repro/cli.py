@@ -44,6 +44,13 @@ def _pipeline_config(
     return PipelineConfig(dataset=dataset, seed=seed, n_workers=workers)
 
 
+def _cache_size_argument(value: str) -> int:
+    size = int(value)
+    if size < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {size}")
+    return size
+
+
 def _workers_argument(value: str) -> int:
     workers = int(value)
     if workers < 0:
@@ -97,6 +104,8 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
         finetune_epochs=args.finetune_epochs,
         seed=args.seed,
         n_workers=args.workers,
+        stacked=not args.no_stacked,
+        cache_size=args.cache_size,
     )
     result = run_figure2(args.dataset, config=config, ga_config=ga_config)
     for row in result.format_rows():
@@ -182,11 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "pipeline config. Results are bit-identical at "
                               "any worker count")
         sub.add_argument("--profile", action="store_true",
-                         help="print a stage-timing breakdown (evaluate_genome, "
-                              "finetune, synthesize, ...) after the run; "
+                         help="print a stage-timing breakdown after the run: "
+                              "the search stages (ga_selection / ga_sort / "
+                              "ga_evaluate) plus the per-genome stages "
+                              "(evaluate_genome, finetune, synthesize, ...); "
                               "profiles the driver process only, so combine "
                               "with serial evaluation (--workers 1) for the "
-                              "per-genome breakdown")
+                              "evaluation breakdown")
 
     baseline = subparsers.add_parser("baseline", help="train + synthesize the bespoke baselines")
     add_common(baseline, None)
@@ -203,6 +214,16 @@ def build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--population", type=int, default=16)
     figure2.add_argument("--generations", type=int, default=8)
     figure2.add_argument("--finetune-epochs", type=int, default=6)
+    figure2.add_argument("--no-stacked", action="store_true",
+                         help="evaluate genomes one at a time instead of "
+                              "batching each generation through the stacked "
+                              "tensor path (results are byte-identical "
+                              "either way; stacked is faster)")
+    figure2.add_argument("--cache-size", type=_cache_size_argument, default=None,
+                         help="LRU bound on the genome evaluation cache "
+                              "(default: unbounded). Bounding trades "
+                              "occasional re-evaluation of evicted genomes "
+                              "for a memory ceiling on long searches")
     figure2.add_argument("--plot", action="store_true")
     figure2.add_argument("--output", help="directory to export artefacts")
     figure2.set_defaults(func=_cmd_figure2)

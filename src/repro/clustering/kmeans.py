@@ -34,13 +34,17 @@ class KMeansResult:
 def _kmeans_plus_plus_init(
     values: np.ndarray, k: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """k-means++ seeding on 1-D data."""
+    """k-means++ seeding on 1-D data.
+
+    The distance-to-nearest-centroid vector is maintained incrementally
+    (one ``minimum`` against each new centroid) instead of re-reducing the
+    full distance matrix per step; ``min`` is exact, so the probabilities —
+    and therefore the RNG consumption — are unchanged.
+    """
     centroids = np.empty(k, dtype=np.float64)
     centroids[0] = values[rng.integers(len(values))]
+    distances = np.abs(values - centroids[0])
     for index in range(1, k):
-        distances = np.min(
-            np.abs(values.reshape(-1, 1) - centroids[:index].reshape(1, -1)), axis=1
-        )
         squared = distances**2
         total = squared.sum()
         if total == 0.0:
@@ -48,6 +52,7 @@ def _kmeans_plus_plus_init(
             break
         probabilities = squared / total
         centroids[index] = values[rng.choice(len(values), p=probabilities)]
+        np.minimum(distances, np.abs(values - centroids[index]), out=distances)
     return centroids
 
 
@@ -90,12 +95,14 @@ def kmeans_1d(
 
     distinct = np.unique(values)
     k = min(n_clusters, distinct.size)
-    rng = np.random.default_rng(seed)
 
     if k == distinct.size:
         centroids = distinct.astype(np.float64).copy()
     elif init == "kmeans++":
-        centroids = _kmeans_plus_plus_init(values, k, rng)
+        # The generator is built lazily: the exact-codebook branch above
+        # consumes no randomness, and constructing an unused generator was a
+        # measurable share of the per-position clustering cost.
+        centroids = _kmeans_plus_plus_init(values, k, np.random.default_rng(seed))
     elif init == "linear":
         centroids = np.linspace(values.min(), values.max(), k)
     else:  # quantile
@@ -104,11 +111,25 @@ def kmeans_1d(
     assignments = _assign(values, centroids)
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        new_centroids = centroids.copy()
-        for cluster in range(k):
-            members = values[assignments == cluster]
-            if members.size:
-                new_centroids[cluster] = members.mean()
+        counts = np.bincount(assignments, minlength=k)
+        if int(counts.max()) < 8:
+            # Vectorized centroid update. For fewer than 8 members numpy's
+            # reduction is a plain sequential loop, and ``bincount`` sums
+            # member values sequentially in the same (original) order, so
+            # ``sums/counts`` is bit-identical to the per-cluster
+            # ``members.mean()`` below; at >= 8 members numpy switches to an
+            # unrolled multi-accumulator sum and only the loop is faithful.
+            sums = np.bincount(assignments, weights=values, minlength=k)
+            quotients = sums / np.maximum(counts, 1)
+            new_centroids = np.where(counts > 0, quotients, centroids)
+        else:
+            new_centroids = centroids.copy()
+            for cluster in range(k):
+                members = values[assignments == cluster]
+                if members.size:
+                    # == members.mean() (same pairwise sum, same divide)
+                    # without the ndarray.mean wrapper overhead.
+                    new_centroids[cluster] = np.add.reduce(members) / members.size
         movement = float(np.max(np.abs(new_centroids - centroids)))
         centroids = new_centroids
         assignments = _assign(values, centroids)

@@ -194,15 +194,23 @@ def reproject_clusters(model: MLP, result: ClusteringResult) -> None:
             # per-position clustering
             for row_index, assignments in enumerate(clustering.assignments):
                 row = weights[row_index]
-                for cluster in np.unique(assignments[assignments >= 0]):
+                clusters, counts = np.unique(
+                    assignments[assignments >= 0], return_counts=True
+                )
+                for cluster, count in zip(clusters, counts):
+                    if count < 2:
+                        continue  # a singleton's mean is itself — nothing to project
                     members = assignments == cluster
-                    row[members] = row[members].mean()
+                    # == row[members].mean() without the wrapper overhead.
+                    selected = row[members]
+                    row[members] = np.add.reduce(selected) / selected.size
                 weights[row_index] = row
         elif len(clustering.assignments) == 1:
             assignments = clustering.assignments[0]
             for cluster in np.unique(assignments[assignments >= 0]):
                 members = assignments == cluster
-                weights[members] = weights[members].mean()
+                selected = weights[members]
+                weights[members] = np.add.reduce(selected) / selected.size
         mask = layer.mask if layer.mask is not None else np.ones_like(weights)
         layer.weights = weights * mask
 

@@ -33,6 +33,14 @@ class PipelineConfig:
         n_workers: worker processes for search fitness evaluation
             (1 = serial, 0 = every available core). Parallel runs produce
             bit-identical results to serial ones.
+        stacked: evaluate search populations as stacked tensor programs
+            (whole generations batched through shared ``(G, ...)`` array
+            ops). Byte-identical to per-genome evaluation; on by default.
+        cache_size: LRU bound on the search's genome evaluation cache
+            (``None`` = unbounded, the historical behavior). Long searches
+            over large spaces can bound memory at the cost of occasionally
+            re-evaluating evicted genomes (deterministic, so results are
+            unchanged).
     """
 
     dataset: str
@@ -50,10 +58,14 @@ class PipelineConfig:
     n_samples: Optional[int] = None
     max_accuracy_loss: float = 0.05
     n_workers: int = 1
+    stacked: bool = True
+    cache_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
             raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.cache_size is not None and self.cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {self.cache_size}")
         if self.input_bits < 1:
             raise ValueError(f"input_bits must be >= 1, got {self.input_bits}")
         if self.baseline_weight_bits < 2:

@@ -197,6 +197,27 @@ class MinimizationPipeline:
             sweep.add(self.run_technique(technique))
         return sweep
 
+    # -- combined search ---------------------------------------------------------------
+
+    def combined_search(self, ga_config=None):
+        """Run the hardware-aware GA (Figure 2's search) on this pipeline.
+
+        The GA inherits the pipeline's evaluation engine configuration —
+        ``n_workers``, ``stacked`` population batching and the evaluation
+        cache's ``cache_size`` bound — unless ``ga_config`` overrides them.
+        Returns a :class:`~repro.search.ga.GAResult`.
+        """
+        # Deferred import: repro.search imports this module.
+        from ..search.ga import GAConfig, run_combined_search
+
+        prepared = self.prepare()
+        if ga_config is None:
+            ga_config = GAConfig(
+                finetune_epochs=self.config.finetune_epochs, seed=self.config.seed
+            )
+        with profiling.stage("combined_search"):
+            return run_combined_search(prepared, config=ga_config)
+
     # -- analysis ----------------------------------------------------------------------
 
     def area_gains(self, sweep: SweepResult) -> Dict[str, Optional[float]]:

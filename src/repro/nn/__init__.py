@@ -38,8 +38,22 @@ from .metrics import (
     top_k_accuracy,
 )
 from .network import MLP, build_mlp
-from .optimizers import SGD, Adam, Optimizer, RMSProp, available_optimizers, get_optimizer
+from .optimizers import (
+    SGD,
+    Adam,
+    Optimizer,
+    RMSProp,
+    StackedAdam,
+    available_optimizers,
+    get_optimizer,
+)
 from .serialization import load_model, save_model
+from .stacked import (
+    StackedTrainer,
+    finetune_stacked,
+    predict_stacked,
+    supports_stacking,
+)
 from .trainer import (
     Trainer,
     TrainerConfig,
@@ -70,6 +84,8 @@ __all__ = [
     "Sigmoid",
     "Softmax",
     "SoftmaxCrossEntropy",
+    "StackedAdam",
+    "StackedTrainer",
     "Tanh",
     "Trainer",
     "TrainerConfig",
@@ -83,6 +99,7 @@ __all__ = [
     "build_mlp",
     "confusion_matrix",
     "finetune",
+    "finetune_stacked",
     "get_activation",
     "get_initializer",
     "get_loss",
@@ -90,7 +107,9 @@ __all__ = [
     "load_model",
     "per_class_accuracy",
     "precision_recall_f1",
+    "predict_stacked",
     "save_model",
+    "supports_stacking",
     "top_k_accuracy",
     "train_classifier",
 ]

@@ -157,6 +157,20 @@ class Dense(Layer):
             self._cached_effective_bias = b
         return b
 
+    def quantizable_tensors(self):
+        """The layer's parameter tensors with their fake-quantization hooks.
+
+        Returns ``(attribute, array, quantizer, mask)`` tuples in the packing
+        order shared by the trainer's per-step quant pack and the stacked
+        population trainer — weights (with the pruning mask) first, then the
+        bias. Both consumers derive their flat-buffer layout from this, so
+        the packed pipelines can never disagree about segment order.
+        """
+        return (
+            ("weights", self.weights, self.weight_quantizer, self.mask),
+            ("bias", self.bias, self.bias_quantizer, None),
+        )
+
     # -- forward / backward ---------------------------------------------------
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:

@@ -285,13 +285,9 @@ class Trainer:
 
         segments = []
         for layer in dense_layers:
-            for attribute, quantizer, mask in (
-                ("weights", layer.weight_quantizer, layer.mask),
-                ("bias", layer.bias_quantizer, None),
-            ):
+            for attribute, array, quantizer, mask in layer.quantizable_tensors():
                 if type(quantizer) is not SymmetricQuantizer:
                     continue
-                array = getattr(layer, attribute)
                 segments.append(
                     {
                         "layer": layer,

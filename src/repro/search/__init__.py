@@ -12,8 +12,10 @@ from .genome import (
 )
 from .nsga2 import (
     crowding_distance,
+    crowding_distance_reference,
     dominates,
     fast_non_dominated_sort,
+    fast_non_dominated_sort_reference,
     nsga2_rank,
     select_survivors,
     tournament_select,
@@ -22,6 +24,7 @@ from .objectives import (
     EvaluationSettings,
     apply_genome,
     evaluate_genome,
+    evaluate_genomes_stacked,
     objectives_of,
 )
 from .parallel import ParallelEvaluator, create_evaluator, resolve_workers
@@ -50,9 +53,12 @@ __all__ = [
     "apply_genome",
     "create_evaluator",
     "crowding_distance",
+    "crowding_distance_reference",
     "dominates",
     "evaluate_genome",
+    "evaluate_genomes_stacked",
     "fast_non_dominated_sort",
+    "fast_non_dominated_sort_reference",
     "front_of",
     "genome_seed",
     "grid_search",

@@ -6,7 +6,8 @@ with three responsibilities:
 
 * **Caching** — genome evaluations are memoized by the genome's hashable
   identity, shared across generations, so re-encountered genomes cost
-  nothing (:class:`EvaluationCache`).
+  nothing (:class:`EvaluationCache`). Long-running searches can bound the
+  memo with ``cache_size`` (LRU eviction).
 * **Determinism** — every genome gets its own RNG seed, derived with a
   process-independent hash of the genome identity and the search's base
   seed (:func:`genome_seed`). Evaluation therefore depends only on
@@ -14,8 +15,14 @@ with three responsibilities:
   or on which worker process ran it — which is what makes parallel and
   serial searches bit-identical.
 * **Batching** — drivers submit whole populations via
-  :meth:`SerialEvaluator.evaluate_population`, the natural unit for the
-  process-pool fan-out in :mod:`repro.search.parallel`.
+  :meth:`SerialEvaluator.evaluate_population`, the natural unit both for
+  the process-pool fan-out in :mod:`repro.search.parallel` and for the
+  stacked tensor path: with ``stacked=True`` the engine routes each
+  batch of cache misses through
+  :func:`~repro.search.objectives.evaluate_genomes_stacked`, which trains
+  and scores the whole sub-population as ``(G, ...)`` stacked arrays —
+  bit-identical to the per-genome loop, several times faster at
+  population scale.
 
 :class:`SerialEvaluator` is the in-process implementation (and the fallback
 when no worker pool is available); :class:`~repro.search.parallel.ParallelEvaluator`
@@ -25,12 +32,17 @@ subclasses it to fan cache misses out over a ``ProcessPoolExecutor``.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from ..core.pipeline import PreparedPipeline
 from ..core.results import DesignPoint
 from .genome import Genome
-from .objectives import EvaluationSettings, evaluate_genome
+from .objectives import (
+    EvaluationSettings,
+    evaluate_genome,
+    evaluate_genomes_stacked,
+)
 
 #: Seeds are reduced modulo 2**32 so they are valid ``numpy`` seeds everywhere.
 _SEED_SPACE = 2**32
@@ -55,15 +67,28 @@ def genome_seed(base_seed: Optional[int], genome: Genome) -> Optional[int]:
 class EvaluationCache:
     """Genome-keyed memo of evaluated design points.
 
-    Insertion order is preserved (it matches the order genomes were first
-    submitted for evaluation), so :meth:`points` is deterministic and
-    identical between serial and parallel runs.
+    Unbounded by default, with insertion order preserved (it matches the
+    order genomes were first submitted for evaluation), so :meth:`points`
+    is deterministic and identical between serial and parallel runs.
+
+    Args:
+        max_entries: optional LRU bound. When set, a lookup refreshes the
+            entry's recency and inserting beyond the bound evicts the least
+            recently used genome (counted in :attr:`evictions`). Evicted
+            genomes disappear from :meth:`points` and will be re-evaluated
+            if encountered again — re-evaluation is deterministic, so search
+            results are unchanged; only wall-clock and the all-points
+            bookkeeping are affected.
     """
 
-    def __init__(self) -> None:
-        self._points: Dict[Tuple, DesignPoint] = {}
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._points: "OrderedDict[Tuple, DesignPoint]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._points)
@@ -72,22 +97,33 @@ class EvaluationCache:
         return genome.key() in self._points
 
     def get(self, genome: Genome) -> Optional[DesignPoint]:
-        """Cached point for ``genome``, or ``None``.
+        """Cached point for ``genome``, or ``None`` (refreshes LRU recency).
 
-        Pure lookup — the evaluator maintains ``hits``/``misses`` at the
-        population level, where intra-batch duplicates are visible.
+        Pure lookup as far as the hit/miss statistics go — the evaluator
+        maintains ``hits``/``misses`` at the population level, where
+        intra-batch duplicates are visible.
         """
-        return self._points.get(genome.key())
+        key = genome.key()
+        point = self._points.get(key)
+        if point is not None and self.max_entries is not None:
+            self._points.move_to_end(key)
+        return point
 
     def peek(self, genome: Genome) -> DesignPoint:
-        """Cached point without touching the hit/miss counters (KeyError if absent)."""
+        """Cached point without touching recency or counters (KeyError if absent)."""
         return self._points[genome.key()]
 
     def put(self, genome: Genome, point: DesignPoint) -> None:
-        self._points[genome.key()] = point
+        key = genome.key()
+        self._points[key] = point
+        if self.max_entries is not None:
+            self._points.move_to_end(key)
+            while len(self._points) > self.max_entries:
+                self._points.popitem(last=False)
+                self.evictions += 1
 
     def points(self) -> List[DesignPoint]:
-        """Every distinct design point evaluated so far, in first-seen order."""
+        """Every design point currently held, in first-seen (or LRU) order."""
         return list(self._points.values())
 
 
@@ -103,6 +139,11 @@ class SerialEvaluator:
         settings: per-genome evaluation settings.
         seed: base seed; each genome's evaluation seed is derived from it
             via :func:`genome_seed`.
+        stacked: route batches of cache misses through the stacked
+            population path (:func:`~repro.search.objectives.evaluate_genomes_stacked`)
+            instead of a per-genome loop. Bit-identical results either way;
+            the stacked path amortizes numpy dispatch across the population.
+        cache_size: optional LRU bound on the evaluation cache.
     """
 
     def __init__(
@@ -110,11 +151,14 @@ class SerialEvaluator:
         prepared: PreparedPipeline,
         settings: Optional[EvaluationSettings] = None,
         seed: Optional[int] = 0,
+        stacked: bool = False,
+        cache_size: Optional[int] = None,
     ) -> None:
         self.prepared = prepared
         self.settings = settings if settings is not None else EvaluationSettings()
         self.seed = seed
-        self.cache = EvaluationCache()
+        self.stacked = bool(stacked)
+        self.cache = EvaluationCache(max_entries=cache_size)
         self.n_evaluations = 0
 
     # -- engine interface --------------------------------------------------------
@@ -131,12 +175,26 @@ class SerialEvaluator:
         missing = self._cache_misses(genomes)
         self.cache.misses += len(missing)
         self.cache.hits += len(genomes) - len(missing)
+        # Resolve cached points before inserting the fresh ones: with a
+        # bounded cache the inserts below may evict genomes this very batch
+        # still needs.
+        resolved: Dict[Tuple, DesignPoint] = {}
+        missing_keys = {genome.key() for genome in missing}
+        for genome in genomes:
+            key = genome.key()
+            if key in missing_keys or key in resolved:
+                continue
+            point = self.cache.get(genome)  # refreshes LRU recency on hits
+            if point is None:  # pragma: no cover - _cache_misses guarantees presence
+                raise KeyError(key)
+            resolved[key] = point
         if missing:
             evaluated = self._evaluate_missing(missing)
             for genome, point in zip(missing, evaluated):
                 self.cache.put(genome, point)
+                resolved[genome.key()] = point
             self.n_evaluations += len(missing)
-        return [self.cache.peek(genome) for genome in genomes]
+        return [resolved[genome.key()] for genome in genomes]
 
     def evaluate(self, genome: Genome) -> DesignPoint:
         """Evaluate a single genome through the cache."""
@@ -169,11 +227,12 @@ class SerialEvaluator:
 
     def _evaluate_missing(self, genomes: List[Genome]) -> List[DesignPoint]:
         """Evaluate uncached genomes in-process. Overridden by the parallel engine."""
+        seeds = [genome_seed(self.seed, genome) for genome in genomes]
+        if self.stacked and len(genomes) > 1:
+            return evaluate_genomes_stacked(genomes, self.prepared, self.settings, seeds)
         return [
-            evaluate_genome(
-                genome, self.prepared, self.settings, seed=genome_seed(self.seed, genome)
-            )
-            for genome in genomes
+            evaluate_genome(genome, self.prepared, self.settings, seed=seed)
+            for genome, seed in zip(genomes, seeds)
         ]
 
     # -- introspection -----------------------------------------------------------
@@ -187,5 +246,5 @@ class SerialEvaluator:
         return self.cache.hits
 
     def all_points(self) -> List[DesignPoint]:
-        """Every distinct design point evaluated so far."""
+        """Every distinct design point still cached (all of them when unbounded)."""
         return self.cache.points()

@@ -31,6 +31,26 @@ from .objectives import EvaluationSettings
 from .parallel import create_evaluator
 
 
+def _distinct_points(
+    genomes: Sequence[Genome], points: Sequence[DesignPoint]
+) -> List[DesignPoint]:
+    """Each distinct genome's point, in first-seen order.
+
+    Collected from the evaluation results themselves rather than from
+    ``evaluator.all_points()``, so a bounded (LRU) evaluation cache cannot
+    drop evaluated points from the returned history.
+    """
+    seen: set = set()
+    distinct: List[DesignPoint] = []
+    for genome, point in zip(genomes, points):
+        key = genome.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        distinct.append(point)
+    return distinct
+
+
 def random_search(
     prepared: PreparedPipeline,
     n_evaluations: int = 64,
@@ -60,8 +80,7 @@ def random_search(
             genome = space.random_genome(rng)
             batch.append(genome)
             distinct.add(genome.key())
-        evaluator.evaluate_population(batch)
-        return evaluator.all_points()
+        return _distinct_points(batch, evaluator.evaluate_population(batch))
 
 
 def grid_search(
@@ -89,8 +108,7 @@ def grid_search(
         for bits, sparsity, clusters in product(bit_choices, sparsity_choices, cluster_choices)
     ]
     with create_evaluator(prepared, settings, seed=seed, n_workers=n_workers) as evaluator:
-        evaluator.evaluate_population(genomes)
-        return evaluator.all_points()
+        return _distinct_points(genomes, evaluator.evaluate_population(genomes))
 
 
 def front_of(points: List[DesignPoint]) -> List[DesignPoint]:

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.pareto import pareto_front
+from ..core import profiling
+from ..core.pareto import dominates, pareto_front
 from ..core.pipeline import PreparedPipeline
 from ..core.results import DesignPoint
 from .genome import (
@@ -24,7 +25,7 @@ from .genome import (
     Genome,
     GenomeSpace,
 )
-from .nsga2 import select_survivors, tournament_select
+from .nsga2 import nsga2_rank, select_survivors, tournament_select
 from .objectives import EvaluationSettings, objectives_of
 from .parallel import create_evaluator
 
@@ -44,6 +45,13 @@ class GAConfig:
         n_workers: evaluation worker processes (``None`` inherits the
             prepared pipeline's configuration, 1 = serial, 0 = all cores).
             Parallel runs are bit-identical to serial ones.
+        stacked: evaluate each generation as one stacked tensor program
+            (``None`` inherits the prepared pipeline's configuration,
+            default on). Stacked, per-genome and parallel evaluation all
+            produce byte-identical fronts; stacked is simply faster at
+            population scale.
+        cache_size: LRU bound on the genome evaluation cache (``None``
+            inherits the pipeline configuration; unbounded by default).
         bit_choices / sparsity_choices / cluster_choices: gene alphabets.
     """
 
@@ -54,6 +62,8 @@ class GAConfig:
     finetune_epochs: int = 8
     seed: int = 0
     n_workers: Optional[int] = None
+    stacked: Optional[bool] = None
+    cache_size: Optional[int] = None
     bit_choices: Sequence[int] = DEFAULT_BIT_CHOICES
     sparsity_choices: Sequence[float] = DEFAULT_SPARSITY_CHOICES
     cluster_choices: Sequence[int] = DEFAULT_CLUSTER_CHOICES
@@ -67,6 +77,8 @@ class GAConfig:
             raise ValueError("mutation_rate must be in [0, 1]")
         if not 0.0 <= self.crossover_rate <= 1.0:
             raise ValueError("crossover_rate must be in [0, 1]")
+        if self.cache_size is not None and self.cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {self.cache_size}")
 
 
 @dataclass
@@ -88,6 +100,25 @@ class GAResult:
         if not eligible:
             return None
         return min(eligible, key=lambda p: p.area)
+
+
+def _nondominated(points: List[DesignPoint]) -> List[DesignPoint]:
+    """Accuracy/area non-dominated subset, order preserved.
+
+    Uses :func:`repro.core.pareto.dominates` — the same predicate
+    :func:`~repro.core.pareto.pareto_front` filters with (it additionally
+    dedupes and sorts; the archive keeps the raw first-seen sequence so the
+    final ``pareto_front`` call behaves exactly as it would over the
+    complete history).
+    """
+    survivors: List[DesignPoint] = []
+    for candidate in points:
+        if not any(
+            other is not candidate and dominates(other, candidate)
+            for other in points
+        ):
+            survivors.append(candidate)
+    return survivors
 
 
 class HardwareAwareGA:
@@ -123,7 +154,14 @@ class HardwareAwareGA:
         if n_workers is None:
             n_workers = getattr(prepared.config, "n_workers", 1)
         self.evaluator = create_evaluator(
-            prepared, self.settings, seed=self.config.seed, n_workers=n_workers
+            prepared,
+            self.settings,
+            seed=self.config.seed,
+            n_workers=n_workers,
+            # None entries inherit the prepared pipeline's configuration
+            # inside the factory.
+            stacked=self.config.stacked,
+            cache_size=self.config.cache_size,
         )
         self._rng = np.random.default_rng(self.config.seed)
 
@@ -136,11 +174,17 @@ class HardwareAwareGA:
         return population[: self.config.population_size]
 
     def _make_offspring(self, population: List[Genome], objectives) -> List[Genome]:
+        # One NSGA-II ranking serves every tournament of the generation; the
+        # RNG is consumed exactly as if each tournament re-ranked, so the
+        # evolutionary trajectory is unchanged.
+        keys = nsga2_rank(objectives)
         offspring: List[Genome] = []
         while len(offspring) < self.config.population_size:
-            parent_a = population[tournament_select(objectives, self._rng)]
+            parent_a = population[tournament_select(objectives, self._rng, keys=keys)]
             if self._rng.random() < self.config.crossover_rate:
-                parent_b = population[tournament_select(objectives, self._rng)]
+                parent_b = population[
+                    tournament_select(objectives, self._rng, keys=keys)
+                ]
                 child = self.space.crossover(parent_a, parent_b, self._rng)
             else:
                 child = parent_a
@@ -160,20 +204,49 @@ class HardwareAwareGA:
     def _run(self) -> GAResult:
         baseline = self.prepared.baseline_point
         population = self._initial_population()
-        points = self.evaluator.evaluate_population(population)
+        # Incremental Pareto archive: the non-dominated subset of every
+        # point evaluated so far, in first-seen order. Dominance is
+        # transitive, so filtering incrementally yields exactly the points
+        # ``pareto_front`` would keep from the complete history — which
+        # makes the final front independent of the evaluation cache's LRU
+        # bound while only ever holding front-sized state (the memory
+        # ceiling ``cache_size`` exists for is preserved).
+        archive_keys: set = set()
+        archive: List[DesignPoint] = []
+
+        def record(genomes: List[Genome], genome_points: List[DesignPoint]) -> None:
+            fresh = []
+            for genome, point in zip(genomes, genome_points):
+                key = genome.key()
+                if key not in archive_keys:
+                    archive_keys.add(key)
+                    fresh.append(point)
+            if not fresh:
+                return
+            candidates = archive + fresh
+            survivors = _nondominated(candidates)
+            archive[:] = survivors
+
+        with profiling.stage("ga_evaluate"):
+            points = self.evaluator.evaluate_population(population)
+        record(population, points)
         generations: List[Dict[str, float]] = []
 
         for generation in range(self.config.n_generations):
             objectives = [objectives_of(p, baseline) for p in points]
-            offspring = self._make_offspring(population, objectives)
-            offspring_points = self.evaluator.evaluate_population(offspring)
+            with profiling.stage("ga_selection"):
+                offspring = self._make_offspring(population, objectives)
+            with profiling.stage("ga_evaluate"):
+                offspring_points = self.evaluator.evaluate_population(offspring)
+            record(offspring, offspring_points)
 
             combined_population = population + offspring
             combined_points = points + offspring_points
             combined_objectives = [objectives_of(p, baseline) for p in combined_points]
-            survivors = select_survivors(
-                combined_objectives, self.config.population_size
-            )
+            with profiling.stage("ga_sort"):
+                survivors = select_survivors(
+                    combined_objectives, self.config.population_size
+                )
             population = [combined_population[i] for i in survivors]
             points = [combined_points[i] for i in survivors]
 
@@ -192,10 +265,12 @@ class HardwareAwareGA:
                 }
             )
 
-        all_points = self.evaluator.all_points()
+        # ``pareto_front(archive)`` equals ``pareto_front`` over the complete
+        # evaluation history (see the archive invariant above); with a
+        # bounded cache, ``all_points`` reflects the surviving cache entries.
         return GAResult(
-            front=pareto_front(all_points),
-            all_points=all_points,
+            front=pareto_front(archive),
+            all_points=self.evaluator.all_points(),
             generations=generations,
             n_evaluations=self.evaluator.n_evaluations,
         )
@@ -205,8 +280,14 @@ def run_combined_search(
     prepared: PreparedPipeline,
     config: Optional[GAConfig] = None,
     n_workers: Optional[int] = None,
+    stacked: Optional[bool] = None,
 ) -> GAResult:
     """Convenience wrapper used by the Figure-2 experiment and examples."""
+    overrides = {}
     if n_workers is not None:
-        config = replace(config if config is not None else GAConfig(), n_workers=n_workers)
+        overrides["n_workers"] = n_workers
+    if stacked is not None:
+        overrides["stacked"] = stacked
+    if overrides:
+        config = replace(config if config is not None else GAConfig(), **overrides)
     return HardwareAwareGA(prepared, config=config).run()

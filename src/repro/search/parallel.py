@@ -17,8 +17,16 @@ over a ``ProcessPoolExecutor`` while keeping the engine's guarantees:
   working process pools, or if the pool dies mid-run, evaluation falls back
   to the in-process serial path.
 
+The pool composes with the stacked population path: with ``stacked=True``
+each batch of cache misses is split into one contiguous chunk per worker
+and every worker evaluates its chunk as one stacked tensor program
+(:func:`repro.search.objectives.evaluate_genomes_stacked`). Because the
+stacked path is bit-identical per genome, the chunking is numerically
+invisible — any worker count, chunk shape, or stacked/serial mix produces
+the same design points.
+
 Worker processes hold module-level state (set by :func:`_init_worker`);
-tasks then only ship the genome and its seed.
+tasks then only ship the genomes and their seeds.
 """
 
 from __future__ import annotations
@@ -27,13 +35,13 @@ import os
 import pickle
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.pipeline import PreparedPipeline
 from ..core.results import DesignPoint
 from .evaluator import SerialEvaluator, genome_seed
 from .genome import Genome
-from .objectives import EvaluationSettings, evaluate_genome
+from .objectives import EvaluationSettings, evaluate_genome, evaluate_genomes_stacked
 
 #: Per-process evaluation state, populated by :func:`_init_worker`.
 _WORKER_STATE: dict = {}
@@ -65,6 +73,28 @@ def _evaluate_task(genome: Genome, seed: Optional[int]) -> DesignPoint:
     )
 
 
+def _evaluate_chunk_task(
+    genomes: Sequence[Genome], seeds: Sequence[Optional[int]]
+) -> List[DesignPoint]:
+    """One pool task: evaluate a population chunk through the stacked path."""
+    return evaluate_genomes_stacked(
+        genomes, _WORKER_STATE["prepared"], _WORKER_STATE["settings"], seeds
+    )
+
+
+def _chunk_bounds(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced ``[start, stop)`` chunk bounds (no empty chunks)."""
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    bounds = []
+    start = 0
+    for index in range(n_chunks):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
 class ParallelEvaluator(SerialEvaluator):
     """Evaluation engine that fans cache misses out over worker processes.
 
@@ -75,6 +105,9 @@ class ParallelEvaluator(SerialEvaluator):
         seed: base seed for derived per-genome seeds.
         n_workers: worker processes. ``None``/1 evaluates in-process,
             0 uses every available core.
+        stacked: evaluate each worker's share of the population as one
+            stacked tensor program instead of genome-by-genome.
+        cache_size: optional LRU bound on the evaluation cache.
     """
 
     def __init__(
@@ -83,8 +116,12 @@ class ParallelEvaluator(SerialEvaluator):
         settings: Optional[EvaluationSettings] = None,
         seed: Optional[int] = 0,
         n_workers: Optional[int] = None,
+        stacked: bool = False,
+        cache_size: Optional[int] = None,
     ) -> None:
-        super().__init__(prepared, settings, seed=seed)
+        super().__init__(
+            prepared, settings, seed=seed, stacked=stacked, cache_size=cache_size
+        )
         self.n_workers = resolve_workers(n_workers)
         self._executor: Optional[ProcessPoolExecutor] = None
 
@@ -111,15 +148,25 @@ class ParallelEvaluator(SerialEvaluator):
     # -- evaluation --------------------------------------------------------------
 
     def _evaluate_missing(self, genomes: List[Genome]) -> List[DesignPoint]:
-        tasks: List[Tuple[Genome, Optional[int]]] = [
-            (genome, genome_seed(self.seed, genome)) for genome in genomes
-        ]
-        if self.n_workers > 1 and len(tasks) > 1:
+        seeds = [genome_seed(self.seed, genome) for genome in genomes]
+        if self.n_workers > 1 and len(genomes) > 1:
             try:
                 executor = self._ensure_executor()
+                if self.stacked:
+                    futures = [
+                        executor.submit(
+                            _evaluate_chunk_task,
+                            genomes[start:stop],
+                            seeds[start:stop],
+                        )
+                        for start, stop in _chunk_bounds(len(genomes), self.n_workers)
+                    ]
+                    return [
+                        point for future in futures for point in future.result()
+                    ]
                 futures = [
                     executor.submit(_evaluate_task, genome, seed)
-                    for genome, seed in tasks
+                    for genome, seed in zip(genomes, seeds)
                 ]
                 return [future.result() for future in futures]
             except (BrokenExecutor, OSError, pickle.PicklingError) as error:
@@ -131,9 +178,11 @@ class ParallelEvaluator(SerialEvaluator):
                 )
                 self.close()
                 self.n_workers = 1
+        if self.stacked and len(genomes) > 1:
+            return evaluate_genomes_stacked(genomes, self.prepared, self.settings, seeds)
         return [
             evaluate_genome(genome, self.prepared, self.settings, seed=seed)
-            for genome, seed in tasks
+            for genome, seed in zip(genomes, seeds)
         ]
 
 
@@ -142,8 +191,30 @@ def create_evaluator(
     settings: Optional[EvaluationSettings] = None,
     seed: Optional[int] = 0,
     n_workers: Optional[int] = None,
+    stacked: Optional[bool] = None,
+    cache_size: Optional[int] = None,
 ) -> SerialEvaluator:
-    """Factory used by the search drivers: serial engine unless workers are requested."""
+    """Factory used by the search drivers: serial engine unless workers are requested.
+
+    ``stacked`` and ``cache_size`` default to the prepared pipeline's
+    configuration, so every driver built on this factory (the GA,
+    ``random_search``, ``grid_search``) honors ``PipelineConfig.stacked``
+    (on by default) and ``PipelineConfig.cache_size`` without wiring them
+    through individually; pass explicit values to override.
+    """
+    if stacked is None:
+        stacked = getattr(prepared.config, "stacked", True)
+    if cache_size is None:
+        cache_size = getattr(prepared.config, "cache_size", None)
     if resolve_workers(n_workers) > 1:
-        return ParallelEvaluator(prepared, settings, seed=seed, n_workers=n_workers)
-    return SerialEvaluator(prepared, settings, seed=seed)
+        return ParallelEvaluator(
+            prepared,
+            settings,
+            seed=seed,
+            n_workers=n_workers,
+            stacked=stacked,
+            cache_size=cache_size,
+        )
+    return SerialEvaluator(
+        prepared, settings, seed=seed, stacked=stacked, cache_size=cache_size
+    )

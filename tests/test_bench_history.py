@@ -1,0 +1,74 @@
+"""Tests of the benchmark recording helpers (``benchmarks/benchlib.py``).
+
+``record_bench`` must keep refreshing ``BENCH_evaluation.json`` (latest
+numbers) while *appending* to the commit-keyed ``BENCH_history.json``
+trajectory, so perf numbers survive across PRs instead of being clobbered.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_BENCHLIB_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "benchlib.py"
+
+
+@pytest.fixture()
+def benchlib(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("_benchlib_under_test", _BENCHLIB_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "BENCH_JSON_PATH", tmp_path / "BENCH_evaluation.json")
+    monkeypatch.setattr(module, "BENCH_HISTORY_PATH", tmp_path / "BENCH_history.json")
+    return module
+
+
+def test_record_bench_writes_current_and_history(benchlib):
+    benchlib.record_bench("alpha", {"best_s": 1.0})
+    current = json.loads(benchlib.BENCH_JSON_PATH.read_text())
+    assert current["alpha"] == {"best_s": 1.0}
+    assert "meta" in current
+    history = json.loads(benchlib.BENCH_HISTORY_PATH.read_text())
+    assert len(history["entries"]) == 1
+    entry = history["entries"][0]
+    section = entry["sections"]["alpha"]
+    assert section["payload"] == {"best_s": 1.0}
+    # Provenance travels with each section, not with the entry.
+    assert section["mode"] in ("default", "smoke", "full")
+    assert "workers" in section and "python" in section
+    assert entry["commit"]
+    assert entry["first_unix"] <= entry["last_unix"]
+
+
+def test_same_commit_merges_sections(benchlib, monkeypatch):
+    monkeypatch.setattr(benchlib, "_git_commit", lambda: "abc1234")
+    benchlib.record_bench("alpha", {"best_s": 1.0})
+    benchlib.record_bench("beta", {"best_s": 2.0})
+    benchlib.record_bench("alpha", {"best_s": 0.5})  # refreshed, not duplicated
+    history = json.loads(benchlib.BENCH_HISTORY_PATH.read_text())
+    assert len(history["entries"]) == 1
+    sections = history["entries"][0]["sections"]
+    assert set(sections) == {"alpha", "beta"}
+    assert sections["alpha"]["payload"] == {"best_s": 0.5}  # refreshed
+    assert sections["beta"]["payload"] == {"best_s": 2.0}
+
+
+def test_new_commit_appends_entry(benchlib, monkeypatch):
+    monkeypatch.setattr(benchlib, "_git_commit", lambda: "commit-1")
+    benchlib.record_bench("alpha", {"best_s": 1.0})
+    monkeypatch.setattr(benchlib, "_git_commit", lambda: "commit-2")
+    benchlib.record_bench("alpha", {"best_s": 0.8})
+    history = json.loads(benchlib.BENCH_HISTORY_PATH.read_text())
+    assert [entry["commit"] for entry in history["entries"]] == ["commit-1", "commit-2"]
+    assert history["entries"][0]["sections"]["alpha"]["payload"]["best_s"] == 1.0
+    assert history["entries"][1]["sections"]["alpha"]["payload"]["best_s"] == 0.8
+
+
+def test_corrupt_history_is_recovered(benchlib):
+    benchlib.BENCH_HISTORY_PATH.write_text("{not json")
+    benchlib.record_bench("alpha", {"best_s": 1.0})
+    history = json.loads(benchlib.BENCH_HISTORY_PATH.read_text())
+    assert len(history["entries"]) == 1

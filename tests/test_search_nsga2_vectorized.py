@@ -1,0 +1,133 @@
+"""Property tests: vectorized NSGA-II core == the historical loop implementations.
+
+The vectorized :func:`fast_non_dominated_sort` and :func:`crowding_distance`
+must reproduce the reference loops *exactly* — same fronts in the same order
+(the order matters: crowding ties inside a front are broken by stable-sort
+position) and bit-identical distances — including degenerate fronts with
+duplicated objective vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.search.nsga2 import (
+    crowding_distance,
+    crowding_distance_reference,
+    fast_non_dominated_sort,
+    fast_non_dominated_sort_reference,
+    nsga2_rank,
+    select_survivors,
+    tournament_select,
+)
+
+
+def _random_front(rng: np.random.Generator, trial: int) -> np.ndarray:
+    n = int(rng.integers(1, 40))
+    m = int(rng.integers(1, 4))
+    if trial % 2:
+        # Tiny discrete alphabet: lots of exact duplicates and ties.
+        matrix = rng.integers(0, 4, size=(n, m)).astype(np.float64)
+    else:
+        matrix = rng.normal(size=(n, m))
+    if n > 3:
+        matrix[1] = matrix[0]
+        matrix[n // 2] = matrix[0]
+    return matrix
+
+
+class TestSortEquality:
+    def test_matches_reference_on_random_fronts(self, rng):
+        for trial in range(150):
+            objectives = _random_front(rng, trial).tolist()
+            assert fast_non_dominated_sort(objectives) == (
+                fast_non_dominated_sort_reference(objectives)
+            ), objectives
+
+    def test_all_duplicates_single_front(self):
+        objectives = [[1.0, 2.0]] * 7
+        fronts = fast_non_dominated_sort(objectives)
+        assert fronts == [[0, 1, 2, 3, 4, 5, 6]]
+        assert fronts == fast_non_dominated_sort_reference(objectives)
+
+    def test_totally_ordered_chain(self):
+        objectives = [[float(i), float(i)] for i in range(6)]
+        fronts = fast_non_dominated_sort(objectives)
+        assert fronts == [[0], [1], [2], [3], [4], [5]]
+
+    def test_empty(self):
+        assert fast_non_dominated_sort([]) == []
+
+    def test_rejects_ragged_objectives(self):
+        with pytest.raises(ValueError):
+            fast_non_dominated_sort([[1.0, 2.0], [1.0]])
+
+
+class TestCrowdingEquality:
+    def test_bitwise_equal_on_random_fronts(self, rng):
+        for trial in range(150):
+            objectives = _random_front(rng, trial).tolist()
+            fast = crowding_distance(objectives)
+            reference = crowding_distance_reference(objectives)
+            assert fast.tobytes() == reference.tobytes(), objectives
+
+    def test_duplicate_objective_ties(self):
+        # Stable argsort tie-breaking must match the reference exactly.
+        objectives = [[1.0, 5.0], [1.0, 5.0], [0.0, 7.0], [1.0, 5.0], [2.0, 3.0]]
+        fast = crowding_distance(objectives)
+        reference = crowding_distance_reference(objectives)
+        assert fast.tobytes() == reference.tobytes()
+
+    def test_zero_span_objective(self):
+        objectives = [[1.0, 0.1], [1.0, 0.5], [1.0, 0.9]]
+        fast = crowding_distance(objectives)
+        assert fast.tobytes() == crowding_distance_reference(objectives).tobytes()
+
+    def test_empty(self):
+        assert crowding_distance([]).size == 0
+
+
+class TestRankingAndSelection:
+    def test_nsga2_rank_consistent(self, rng):
+        for trial in range(40):
+            objectives = _random_front(rng, trial).tolist()
+            keys = nsga2_rank(objectives)
+            fronts = fast_non_dominated_sort_reference(objectives)
+            for front_index, front in enumerate(fronts):
+                distances = crowding_distance_reference(
+                    [objectives[i] for i in front]
+                )
+                for position, solution in enumerate(front):
+                    assert keys[solution] == (
+                        front_index,
+                        -float(distances[position]),
+                    )
+
+    def test_select_survivors_unchanged(self, rng):
+        for trial in range(20):
+            objectives = _random_front(rng, trial).tolist()
+            n_survivors = max(1, len(objectives) // 2)
+            survivors = select_survivors(objectives, n_survivors)
+            keys = nsga2_rank(objectives)
+            expected = sorted(range(len(objectives)), key=lambda i: keys[i])
+            assert survivors == expected[:n_survivors]
+
+    def test_tournament_precomputed_keys_identical(self, rng):
+        """Passing precomputed keys must not change the selected index or
+        the RNG stream."""
+        objectives = _random_front(rng, 0).tolist()
+        keys = nsga2_rank(objectives)
+        rng_a = np.random.default_rng(123)
+        rng_b = np.random.default_rng(123)
+        for _ in range(50):
+            assert tournament_select(objectives, rng_a) == tournament_select(
+                objectives, rng_b, keys=keys
+            )
+        # Streams stayed in lockstep.
+        assert rng_a.integers(0, 2**31) == rng_b.integers(0, 2**31)
+
+    def test_tournament_validates_keys_length(self, rng):
+        objectives = [[1.0, 2.0], [2.0, 1.0]]
+        with pytest.raises(ValueError):
+            tournament_select(objectives, np.random.default_rng(0), keys=[(0, 0.0)])
