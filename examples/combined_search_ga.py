@@ -12,11 +12,12 @@ Run with::
     python examples/combined_search_ga.py                 # WhiteWine, as in the paper
     python examples/combined_search_ga.py --dataset seeds
     python examples/combined_search_ga.py --generations 12 --population 20
+    python examples/combined_search_ga.py --fast          # reduced-cost settings
 """
 
 import argparse
 
-from repro.core import PipelineConfig
+from repro.core import PipelineConfig, fast_config
 from repro.experiments import run_figure2
 from repro.search import GAConfig
 
@@ -29,6 +30,9 @@ def main() -> None:
     parser.add_argument("--finetune-epochs", type=int, default=6,
                         help="fine-tuning epochs inside each fitness evaluation")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced-cost pipeline settings (smaller data, "
+                             "fewer epochs) — used by the CI smoke run")
     def workers_type(value: str) -> int:
         workers = int(value)
         if workers < 0:
@@ -41,7 +45,12 @@ def main() -> None:
                              "bit-identical results")
     args = parser.parse_args()
 
-    config = PipelineConfig(dataset=args.dataset, seed=args.seed, n_workers=args.workers)
+    if args.fast:
+        config = fast_config(args.dataset, seed=args.seed, n_workers=args.workers)
+    else:
+        config = PipelineConfig(
+            dataset=args.dataset, seed=args.seed, n_workers=args.workers
+        )
     ga_config = GAConfig(
         population_size=args.population,
         n_generations=args.generations,

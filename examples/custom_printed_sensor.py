@@ -15,8 +15,10 @@ full workflow for such a user-defined task rather than a UCI benchmark:
 Run with::
 
     python examples/custom_printed_sensor.py
+    REPRO_SMOKE=1 python examples/custom_printed_sensor.py   # CI smoke budgets
 """
 
+import os
 from pathlib import Path
 
 from repro.core import MinimizationPipeline, PipelineConfig, best_area_gain_at_loss
@@ -53,6 +55,10 @@ def load_freshness(seed: int = 7, n_samples: int = 900):
     return generate_gaussian_mixture(spec)
 
 
+#: REPRO_SMOKE=1 shrinks training budgets so CI can run the full script fast.
+SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+
+
 def main() -> None:
     # 1. Register the custom task so the pipeline can use it like a built-in.
     register_dataset(
@@ -67,6 +73,8 @@ def main() -> None:
         bit_range=(2, 3, 4, 5, 6),
         sparsity_range=(0.2, 0.4, 0.6),
         cluster_range=(2, 3, 4),
+        train_epochs=15 if SMOKE else None,
+        finetune_epochs=3 if SMOKE else 15,
     )
     pipeline = MinimizationPipeline(config)
 
@@ -85,7 +93,7 @@ def main() -> None:
     # 4. A hand-picked combined design: 4-bit weights, 40 % sparsity, 3 clusters.
     genome = Genome(weight_bits=(4, 4), sparsity=(0.4, 0.4), clusters=(3, 3))
     minimized = apply_genome(
-        genome, prepared, EvaluationSettings(finetune_epochs=12), seed=0
+        genome, prepared, EvaluationSettings(finetune_epochs=3 if SMOKE else 12), seed=0
     )
     accuracy = minimized.evaluate_accuracy(
         prepared.data.test.features, prepared.data.test.labels

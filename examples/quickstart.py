@@ -12,7 +12,10 @@ This walks through the core loop of the paper on the WhiteWine classifier:
 Run with::
 
     python examples/quickstart.py
+    REPRO_SMOKE=1 python examples/quickstart.py   # reduced budgets (CI smoke)
 """
+
+import os
 
 from repro.bespoke import BespokeConfig, synthesize
 from repro.datasets import get_classifier_spec, load_dataset, prepare_split, train_val_test_split
@@ -20,9 +23,13 @@ from repro.nn import build_mlp, train_classifier
 from repro.quantization import QATConfig, quantize_aware_train
 
 
+#: REPRO_SMOKE=1 shrinks data/epoch budgets so CI can run the full script fast.
+SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+
+
 def main() -> None:
     # 1. Data: min-max scaled and quantized to the 4-bit printed-ADC grid.
-    dataset = load_dataset("whitewine")
+    dataset = load_dataset("whitewine", n_samples=400 if SMOKE else None)
     spec = get_classifier_spec("whitewine")
     split = train_val_test_split(dataset, seed=0)
     data = prepare_split(split, input_bits=spec.input_bits)
@@ -37,7 +44,7 @@ def main() -> None:
         data.train.labels,
         data.validation.features,
         data.validation.labels,
-        epochs=spec.epochs,
+        epochs=20 if SMOKE else spec.epochs,
         batch_size=spec.batch_size,
         learning_rate=spec.learning_rate,
         seed=0,
@@ -56,7 +63,9 @@ def main() -> None:
 
     # 4. Quantize to 4-bit weights with QAT and re-synthesize.
     quantized = model.clone()
-    quantize_aware_train(quantized, data, QATConfig(weight_bits=4, epochs=20), seed=0)
+    quantize_aware_train(
+        quantized, data, QATConfig(weight_bits=4, epochs=5 if SMOKE else 20), seed=0
+    )
     quantized_accuracy = quantized.evaluate_accuracy(data.test.features, data.test.labels)
     quantized_report = synthesize(
         quantized,

@@ -16,8 +16,10 @@ covers that last mile for the Seeds classifier:
 Run with::
 
     python examples/verify_and_export.py
+    REPRO_SMOKE=1 python examples/verify_and_export.py   # CI smoke budgets
 """
 
+import os
 from pathlib import Path
 
 from repro.analysis import export_sweep, sweep_plot
@@ -29,18 +31,29 @@ from repro.quantization import QATConfig, quantize_aware_train
 from repro.reliability import FaultInjectionConfig, compare_fault_tolerance
 
 
+#: REPRO_SMOKE=1 shrinks training/fault-campaign budgets for the CI smoke run.
+SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+
+
 def main() -> None:
     output_dir = Path(__file__).with_name("output")
 
     # 1. Baseline + minimized design.
-    config = PipelineConfig(dataset="seeds", seed=0)
+    config = PipelineConfig(
+        dataset="seeds",
+        seed=0,
+        train_epochs=30 if SMOKE else None,
+        finetune_epochs=3 if SMOKE else 15,
+    )
     pipeline = MinimizationPipeline(config)
     prepared = pipeline.prepare()
     data = prepared.data
 
     minimized = prepared.baseline_model.clone()
     prune_by_magnitude(minimized, 0.4)
-    quantize_aware_train(minimized, data, QATConfig(weight_bits=3, epochs=20), seed=0)
+    quantize_aware_train(
+        minimized, data, QATConfig(weight_bits=3, epochs=5 if SMOKE else 20), seed=0
+    )
     bespoke_config = BespokeConfig(input_bits=4, weight_bits=3)
     report = synthesize(minimized, config=bespoke_config, name="seeds_minimized")
 
@@ -67,7 +80,9 @@ def main() -> None:
     print(f"battery-lifetime gain vs baseline  : {battery['lifetime_gain']:.2f}x")
 
     # 4. Defect tolerance.
-    campaign = FaultInjectionConfig(fault_rate=0.05, fault_model="open", n_trials=15, seed=0)
+    campaign = FaultInjectionConfig(
+        fault_rate=0.05, fault_model="open", n_trials=5 if SMOKE else 15, seed=0
+    )
     tolerance = compare_fault_tolerance(
         {"baseline": prepared.baseline_model, "minimized": minimized},
         data.test.features,

@@ -24,10 +24,12 @@ Sub-packages:
   — the three minimization techniques.
 * :mod:`repro.core` — design points, Pareto analysis, the evaluation pipeline.
 * :mod:`repro.search` — the hardware-aware genetic algorithm.
+* :mod:`repro.campaign` — resumable multi-dataset search campaigns.
 * :mod:`repro.experiments` — Figure/Table reproduction drivers.
 """
 
 from .bespoke import BespokeConfig, SynthesisReport, synthesize, synthesize_baseline
+from .campaign import CampaignRunner, CampaignSpec, load_spec
 from .core import (
     DesignPoint,
     MinimizationPipeline,
@@ -49,6 +51,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BespokeConfig",
+    "CampaignRunner",
+    "CampaignSpec",
     "DesignPoint",
     "GAConfig",
     "HardwareAwareGA",
@@ -67,6 +71,7 @@ __all__ = [
     "fast_config",
     "get_technology",
     "load_dataset",
+    "load_spec",
     "pareto_front",
     "prepare_split",
     "run_combined_search",

@@ -1,0 +1,169 @@
+"""Persistent on-disk backend for the genome evaluation cache.
+
+:class:`PersistentEvaluationCache` extends the in-memory
+:class:`~repro.search.evaluator.EvaluationCache` with an append-only JSONL
+shard per *evaluation context*: every freshly evaluated design point is
+journaled to disk the moment it enters the cache, and a new cache built for
+the same context preloads all of them. Two properties follow:
+
+* **Mid-job resume.** A search killed halfway re-runs from its spec, but
+  every genome already evaluated before the kill is served from disk — the
+  search fast-forwards through the dead run's work and, because cached
+  points carry exactly the accuracy/area the evaluation produced (JSON
+  round-trips floats exactly), continues bit-identically.
+* **Cross-job sharing.** Jobs with the same evaluation context (same
+  dataset, pipeline configuration, evaluation settings and base seed —
+  e.g. a random-search and a grid-search job over one dataset) share a
+  shard, so overlapping genomes are evaluated once per campaign, not once
+  per job. Contexts are keyed by :func:`evaluation_context_key`, which
+  hashes everything a design point depends on, so a shard can never leak
+  stale results into a changed configuration.
+
+The shard format is one JSON object per line (``{"genome": ..., "point":
+...}``). Loading tolerates a truncated final line — exactly what a
+``SIGKILL`` mid-append leaves behind — by skipping undecodable lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from ..core.config import PipelineConfig
+from ..core.results import DesignPoint
+from ..search.evaluator import EvaluationCache
+from ..search.genome import Genome
+from ..search.objectives import EvaluationSettings
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by the ``fail_after_puts`` test hook to model process death.
+
+    Tests use it to kill a search deterministically after N fresh
+    evaluations have been journaled, then assert that resuming produces
+    bit-identical results. Never raised in production configurations.
+    """
+
+
+def evaluation_context_key(
+    config: PipelineConfig,
+    settings: Optional[EvaluationSettings],
+    seed: Optional[int],
+) -> str:
+    """Hash of everything a cached design point depends on.
+
+    A design point is a pure function of ``(genome, prepared pipeline,
+    evaluation settings, derived seed)``; the prepared pipeline is itself a
+    pure function of the :class:`~repro.core.config.PipelineConfig`, and the
+    derived seed of ``(base seed, genome)``. Hashing ``(config, settings,
+    base seed)`` therefore identifies exactly the set of evaluations that
+    may be shared. Returns a 16-hex-digit digest used as the shard filename.
+    """
+    settings = settings if settings is not None else EvaluationSettings()
+    payload = {
+        "pipeline": asdict(config),
+        "settings": asdict(settings),
+        "seed": None if seed is None else int(seed),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=list)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class PersistentEvaluationCache(EvaluationCache):
+    """An :class:`~repro.search.evaluator.EvaluationCache` journaled to disk.
+
+    Args:
+        directory: shard directory (created on demand); campaigns use
+            ``<campaign>/cache/``.
+        context_key: evaluation-context digest from
+            :func:`evaluation_context_key`; names the shard file.
+        max_entries: optional LRU bound on the *in-memory* view. Disk
+            records are never evicted — an entry dropped from memory is
+            reloaded by the next cache built for this context (and is not
+            re-appended if re-evaluated meanwhile).
+        fail_after_puts: test hook — raise :class:`SimulatedCrash` after
+            this many fresh points have been journaled by this instance.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        context_key: str,
+        max_entries: Optional[int] = None,
+        fail_after_puts: Optional[int] = None,
+    ) -> None:
+        super().__init__(max_entries=max_entries)
+        self.directory = Path(directory)
+        self.context_key = str(context_key)
+        self.path = self.directory / f"{self.context_key}.jsonl"
+        self.n_loaded = 0
+        self.n_persisted = 0
+        self._persisted_keys: set = set()
+        self._handle: Optional[IO[str]] = None
+        self._fail_after_puts = fail_after_puts
+        self._load()
+
+    # -- persistence -------------------------------------------------------------
+
+    def _load(self) -> None:
+        """Preload the shard, skipping corrupt/truncated lines."""
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                genome = Genome(**entry["genome"])
+                point = DesignPoint(**entry["point"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # A killed process can leave a truncated trailing line; any
+                # undecodable record is simply re-evaluated on demand.
+                continue
+            key = genome.key()
+            if key not in self._persisted_keys:
+                self.n_loaded += 1
+            self._persisted_keys.add(key)
+            EvaluationCache.put(self, genome, point)
+
+    def _ensure_handle(self) -> IO[str]:
+        if self._handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # O_APPEND single-line writes: safe under concurrent shard use by
+            # cooperating runner processes (duplicate records are tolerated).
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def put(self, genome: Genome, point: DesignPoint) -> None:
+        """Insert a point and journal it to the shard if it is new on disk."""
+        super().put(genome, point)
+        key = genome.key()
+        if key in self._persisted_keys:
+            return
+        record = {"genome": genome.as_dict(), "point": point.as_dict()}
+        handle = self._ensure_handle()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        self._persisted_keys.add(key)
+        self.n_persisted += 1
+        if self._fail_after_puts is not None and self.n_persisted >= self._fail_after_puts:
+            raise SimulatedCrash(
+                f"fail_after_puts={self._fail_after_puts} reached for "
+                f"context {self.context_key}"
+            )
+
+    def close(self) -> None:
+        """Close the shard file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "PersistentEvaluationCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

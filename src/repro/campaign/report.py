@@ -1,0 +1,227 @@
+"""Aggregate reporting over a campaign directory.
+
+Reads the deterministic ``front.json`` artifacts of every completed job and
+combines them into per-dataset views: the union Pareto front across all
+search algorithms and seeds that ran on a dataset, per-job headline gains,
+and a campaign-wide summary table. ``repro campaign report`` prints the
+summary and writes machine-readable artifacts under ``<campaign>/report/``:
+
+* ``summary.json`` — the full report document,
+* ``summary.md`` — markdown tables (per dataset and per job),
+* ``front_<dataset>.json`` / ``front_<dataset>.csv`` — each dataset's
+  combined Pareto front.
+
+Points are compared on raw (accuracy, area); normalized gains are reported
+against the dataset's baseline when every contributing job shares one
+(jobs with divergent pipeline configurations fall back to per-job gains).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..analysis.tables import render_csv, render_markdown_table, render_table
+from ..core.pareto import best_area_gain_at_loss, pareto_front
+from ..core.results import DesignPoint
+from .journal import CampaignJournal, read_json, write_json_atomic
+from .spec import CampaignSpec
+
+
+def _point_from_dict(data: Dict[str, object]) -> DesignPoint:
+    """Rebuild a design point from its ``as_dict`` form (report stays None)."""
+    return DesignPoint(**data)  # type: ignore[arg-type]
+
+
+def collect_fronts(directory: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load every completed job's front document, in spec (grid) order."""
+    journal = CampaignJournal(directory)
+    spec = CampaignSpec.from_dict(read_json(journal.spec_path))  # type: ignore[arg-type]
+    completed = journal.completed_job_ids()
+    fronts = []
+    for job in spec.expand():
+        if job.job_id in completed and journal.front_path(job.job_id).exists():
+            fronts.append(journal.load_front(job.job_id))
+    return fronts
+
+
+def build_report(directory: Union[str, Path]) -> Dict[str, object]:
+    """Build the campaign-wide report document from completed job fronts.
+
+    For each dataset: the union Pareto front over every completed job's
+    front (identical accuracy/area duplicates collapse), the best area gain
+    within the loss budget, and one summary row per contributing job.
+    """
+    journal = CampaignJournal(directory)
+    spec = CampaignSpec.from_dict(read_json(journal.spec_path))  # type: ignore[arg-type]
+    fronts = collect_fronts(directory)
+    datasets: Dict[str, Dict[str, object]] = {}
+    for document in fronts:
+        dataset = str(document["dataset"])
+        entry = datasets.setdefault(
+            dataset, {"jobs": [], "points": [], "baselines": []}
+        )
+        entry["jobs"].append(  # type: ignore[union-attr]
+            {
+                "job_id": document["job_id"],
+                "algorithm": document["algorithm"],
+                "search_name": document["search_name"],
+                "seed": document["seed"],
+                "front_size": len(document["front"]),  # type: ignore[arg-type]
+                "best_gain_within_loss_budget": document.get(
+                    "best_gain_within_loss_budget"
+                ),
+            }
+        )
+        entry["points"].extend(  # type: ignore[union-attr]
+            _point_from_dict(point) for point in document["front"]  # type: ignore[union-attr]
+        )
+        entry["baselines"].append(document["baseline"])  # type: ignore[union-attr]
+
+    report_datasets: Dict[str, Dict[str, object]] = {}
+    for dataset, entry in datasets.items():
+        points: List[DesignPoint] = entry["points"]  # type: ignore[assignment]
+        combined = pareto_front(points)
+        baselines: List[Dict[str, object]] = entry["baselines"]  # type: ignore[assignment]
+        shared_baseline = baselines[0] if all(b == baselines[0] for b in baselines) else None
+        combined_gain: Optional[float] = None
+        if shared_baseline is not None and combined:
+            best = best_area_gain_at_loss(combined, _point_from_dict(shared_baseline))
+            combined_gain = None if best is None else float(best.area_gain)
+        report_datasets[dataset] = {
+            "jobs": entry["jobs"],
+            "combined_front": [point.as_dict() for point in combined],
+            "combined_front_size": len(combined),
+            "baseline": shared_baseline,
+            "combined_best_gain": combined_gain,
+        }
+    return {
+        "name": spec.name,
+        "fingerprint": spec.fingerprint(),
+        "n_jobs_total": len(spec.expand()),
+        "n_jobs_completed": len(fronts),
+        "datasets": report_datasets,
+    }
+
+
+def _dataset_rows(report: Dict[str, object]) -> List[List[object]]:
+    rows = []
+    for dataset, entry in report["datasets"].items():  # type: ignore[union-attr]
+        gain = entry["combined_best_gain"]
+        rows.append(
+            [
+                dataset,
+                len(entry["jobs"]),
+                entry["combined_front_size"],
+                "n/a" if gain is None else f"{gain:.2f}x",
+            ]
+        )
+    return rows
+
+
+def _job_rows(report: Dict[str, object]) -> List[List[object]]:
+    rows = []
+    for dataset, entry in report["datasets"].items():  # type: ignore[union-attr]
+        for job in entry["jobs"]:
+            gain = job["best_gain_within_loss_budget"]
+            rows.append(
+                [
+                    job["job_id"],
+                    dataset,
+                    job["algorithm"],
+                    job["seed"],
+                    job["front_size"],
+                    "n/a" if gain is None else f"{gain:.2f}x",
+                ]
+            )
+    return rows
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Console rendering of a report document (per-dataset summary table)."""
+    lines = [
+        f"campaign  : {report['name']}",
+        f"jobs      : {report['n_jobs_completed']}/{report['n_jobs_total']} completed",
+        "",
+        render_table(
+            ["dataset", "jobs", "front size", "best gain@budget"],
+            _dataset_rows(report),
+        ),
+        "",
+        render_table(
+            ["job", "dataset", "algorithm", "seed", "front", "gain@budget"],
+            _job_rows(report),
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def write_report(
+    directory: Union[str, Path], report: Optional[Dict[str, object]] = None
+) -> Dict[str, Path]:
+    """Write the report artifacts under ``<campaign>/report/``.
+
+    Builds the report document unless a prebuilt one is passed (callers that
+    already ran :func:`build_report` — e.g. the CLI, which prints it first —
+    avoid reading every job artifact twice). Returns
+    ``{artifact name: path}`` for everything written.
+    """
+    journal = CampaignJournal(directory)
+    if report is None:
+        report = build_report(directory)
+    report_dir = journal.report_dir()
+    report_dir.mkdir(parents=True, exist_ok=True)
+    paths: Dict[str, Path] = {}
+
+    summary_path = report_dir / "summary.json"
+    write_json_atomic(summary_path, report)
+    paths["summary.json"] = summary_path
+
+    markdown = [
+        f"# Campaign report: {report['name']}",
+        "",
+        f"{report['n_jobs_completed']}/{report['n_jobs_total']} jobs completed.",
+        "",
+        "## Per-dataset combined fronts",
+        "",
+        render_markdown_table(
+            ["dataset", "jobs", "front size", "best gain@budget"],
+            _dataset_rows(report),
+        ),
+        "",
+        "## Per-job results",
+        "",
+        render_markdown_table(
+            ["job", "dataset", "algorithm", "seed", "front", "gain@budget"],
+            _job_rows(report),
+        ),
+        "",
+    ]
+    md_path = report_dir / "summary.md"
+    md_path.write_text("\n".join(markdown))
+    paths["summary.md"] = md_path
+
+    for dataset, entry in report["datasets"].items():  # type: ignore[union-attr]
+        front_json = report_dir / f"front_{dataset}.json"
+        write_json_atomic(
+            front_json,
+            {
+                "dataset": dataset,
+                "baseline": entry["baseline"],
+                "front": entry["combined_front"],
+                "combined_best_gain": entry["combined_best_gain"],
+            },
+        )
+        paths[front_json.name] = front_json
+        front_csv = report_dir / f"front_{dataset}.csv"
+        front_csv.write_text(
+            render_csv(
+                ["technique", "accuracy", "area", "power", "delay"],
+                [
+                    [p["technique"], p["accuracy"], p["area"], p["power"], p["delay"]]
+                    for p in entry["combined_front"]
+                ],
+            )
+        )
+        paths[front_csv.name] = front_csv
+    return paths

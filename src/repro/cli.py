@@ -12,6 +12,9 @@ experiment of the paper can be run without writing Python:
 * ``repro synth --dataset seeds --weight-bits 4 --verilog out.v`` — train,
   quantize, synthesize and optionally export structural Verilog plus a
   functional-verification verdict from the fixed-point simulator.
+* ``repro campaign run|resume|status|report`` — declarative multi-dataset
+  search campaigns with journaling and kill-safe resume (see
+  ``docs/campaigns.md``).
 """
 
 from __future__ import annotations
@@ -23,8 +26,20 @@ from typing import List, Optional, Sequence
 
 from .analysis import export_sweep, gains_table, sweep_plot, sweep_table
 from .bespoke import BespokeConfig, FixedPointSimulator, export_verilog, synthesize
+from .campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    build_report,
+    campaign_status,
+    format_report,
+    format_status,
+    load_spec,
+    read_json,
+    write_report,
+)
+from .campaign.journal import CampaignJournal
 from .core import MinimizationPipeline, PipelineConfig, fast_config, profiling
-from .datasets import PAPER_DATASETS
+from .datasets import resolve_dataset_names
 from .experiments import (
     PAPER_HEADLINE_GAINS,
     baseline_for,
@@ -61,9 +76,11 @@ def _workers_argument(value: str) -> int:
 
 
 def _datasets_argument(value: Optional[str]) -> List[str]:
-    if value is None or value == "all":
-        return list(PAPER_DATASETS)
-    return [value]
+    try:
+        return list(resolve_dataset_names(value))
+    except KeyError as error:
+        # Clean two-line exit instead of a KeyError traceback.
+        raise SystemExit(f"error: {error.args[0]}") from None
 
 
 # -- sub-command implementations -----------------------------------------------------
@@ -164,6 +181,87 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- campaign sub-commands --------------------------------------------------------------
+
+
+def _print_run_summary(summary) -> int:
+    for outcome in summary.outcomes:
+        if outcome.status == "completed":
+            print(
+                f"[completed] {outcome.job_id}  "
+                f"({outcome.n_evaluations} evaluations, front {outcome.front_size}, "
+                f"{outcome.wall_s:.1f}s)"
+            )
+        else:
+            print(f"[   failed] {outcome.job_id}  {outcome.error}")
+    print(
+        f"{summary.completed_before + summary.completed}/{summary.total_jobs} jobs "
+        f"completed, {summary.failed} failed this run, {summary.remaining} remaining"
+    )
+    return 0 if summary.failed == 0 else 1
+
+
+def _run_campaign(spec, args: argparse.Namespace) -> int:
+    """Construct and drain a campaign runner, reporting expected errors cleanly."""
+    try:
+        runner = CampaignRunner(
+            spec,
+            args.out,
+            max_workers=args.max_workers,
+            use_cache=not args.no_cache,
+            shard=args.shard,
+        )
+        summary = runner.run(max_jobs=args.max_jobs)
+    except ValueError as error:  # bad shard selector, spec fingerprint mismatch
+        print(f"error: {error}")
+        return 1
+    return _print_run_summary(summary)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    try:
+        spec = load_spec(args.spec)
+    except FileNotFoundError:
+        print(f"error: campaign spec not found: {args.spec}")
+        return 1
+    except (ValueError, KeyError, RuntimeError) as error:  # invalid spec / no YAML
+        print(f"error: invalid campaign spec '{args.spec}': {error}")
+        return 1
+    return _run_campaign(spec, args)
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    spec_path = CampaignJournal(args.out).spec_path
+    if not spec_path.exists():
+        print(f"no campaign found at {Path(args.out).resolve()} (missing spec.json)")
+        return 1
+    spec = CampaignSpec.from_dict(read_json(spec_path))
+    return _run_campaign(spec, args)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    try:
+        status = campaign_status(args.out)
+    except FileNotFoundError as error:
+        print(error)
+        return 1
+    print(format_status(status))
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    try:
+        report = build_report(args.out)
+    except FileNotFoundError:
+        print(f"no campaign found at {Path(args.out).resolve()} (missing spec.json)")
+        return 1
+    print(format_report(report))
+    paths = write_report(args.out, report)
+    print(f"\nreport artefacts written to {Path(args.out, 'report').resolve()}: "
+          f"{', '.join(sorted(paths))}")
+    return 0
+
+
 # -- argument parsing -------------------------------------------------------------------
 
 
@@ -241,6 +339,59 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--finetune-epochs", type=int, default=15)
     synth.add_argument("--verilog", help="write structural Verilog to this path")
     synth.set_defaults(func=_cmd_synth)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="declarative multi-dataset search campaigns (run/resume/status/report)",
+        description="Resumable multi-dataset search campaigns: a YAML/JSON "
+                    "spec expands into {dataset x search x seed} jobs whose "
+                    "state is journaled so a killed campaign resumes "
+                    "bit-identically. See docs/campaigns.md.",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def add_campaign_run_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--out", required=True,
+                         help="campaign directory (journal, cache, job artefacts)")
+        sub.add_argument("--max-workers", type=int, default=1,
+                         help="jobs to run concurrently (each job may also "
+                              "fan its evaluations out via the spec's "
+                              "pipeline.n_workers)")
+        sub.add_argument("--max-jobs", type=int, default=None,
+                         help="stop after this many pending jobs (the rest "
+                              "stay pending for a later resume)")
+        sub.add_argument("--shard", default=None,
+                         help="'i/n': run only this runner's share of the "
+                              "job grid (round-robin split across n "
+                              "cooperating runners)")
+        sub.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent on-disk evaluation "
+                              "cache (mid-job resume then re-evaluates "
+                              "from scratch; results are unchanged)")
+
+    campaign_run = campaign_sub.add_parser("run", help="run a campaign spec")
+    campaign_run.add_argument("--spec", required=True,
+                              help="campaign spec file (YAML or JSON)")
+    add_campaign_run_args(campaign_run)
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="resume a (killed or partial) campaign directory"
+    )
+    add_campaign_run_args(campaign_resume)
+    campaign_resume.set_defaults(func=_cmd_campaign_resume)
+
+    campaign_status_cmd = campaign_sub.add_parser(
+        "status", help="show per-job completion state of a campaign directory"
+    )
+    campaign_status_cmd.add_argument("--out", required=True, help="campaign directory")
+    campaign_status_cmd.set_defaults(func=_cmd_campaign_status)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="aggregate completed jobs into combined per-dataset fronts"
+    )
+    campaign_report.add_argument("--out", required=True, help="campaign directory")
+    campaign_report.set_defaults(func=_cmd_campaign_report)
 
     return parser
 

@@ -17,6 +17,7 @@ from .registry import (
     load_dataset,
     normalize_name,
     register_dataset,
+    resolve_dataset_names,
 )
 from .synthetic import (
     GaussianClassSpec,
@@ -57,6 +58,7 @@ __all__ = [
     "prepare_split",
     "quantize_inputs",
     "register_dataset",
+    "resolve_dataset_names",
     "train_test_split",
     "train_val_test_split",
 ]

@@ -9,7 +9,7 @@ training hyper-parameters used for the bespoke baseline of each classifier
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from .base import Dataset
 from .uci import load_pendigits, load_redwine, load_seeds, load_whitewine
@@ -106,6 +106,34 @@ def load_dataset(
     if n_samples is not None:
         kwargs["n_samples"] = n_samples
     return loader(**kwargs)
+
+
+def resolve_dataset_names(names: Union[str, Sequence[str], None]) -> Tuple[str, ...]:
+    """Expand a dataset selection into canonical names, preserving order.
+
+    Accepts a single name, a sequence of names, or the wildcard ``"all"``
+    (also ``None``), which expands to :data:`PAPER_DATASETS`. Names are
+    normalized through :func:`normalize_name` (so paper spellings work) and
+    de-duplicated; unknown names raise ``KeyError``. This is the one place
+    the CLI and the campaign layer share for turning user dataset
+    selections into loader keys.
+    """
+    if names is None:
+        return tuple(PAPER_DATASETS)
+    if isinstance(names, str):
+        names = [names]
+    resolved = []
+    for name in names:
+        if isinstance(name, str) and name.strip().lower() == "all":
+            candidates = list(PAPER_DATASETS)
+        else:
+            candidates = [normalize_name(name)]
+        for key in candidates:
+            if key not in resolved:
+                resolved.append(key)
+    if not resolved:
+        raise ValueError("Dataset selection is empty")
+    return tuple(resolved)
 
 
 def get_classifier_spec(name: str) -> ClassifierSpec:

@@ -114,6 +114,7 @@ class EvaluationCache:
         return self._points[genome.key()]
 
     def put(self, genome: Genome, point: DesignPoint) -> None:
+        """Insert (or refresh) a genome's design point, evicting LRU overflow."""
         key = genome.key()
         self._points[key] = point
         if self.max_entries is not None:
@@ -144,6 +145,13 @@ class SerialEvaluator:
             instead of a per-genome loop. Bit-identical results either way;
             the stacked path amortizes numpy dispatch across the population.
         cache_size: optional LRU bound on the evaluation cache.
+        cache: use this cache instance instead of constructing a fresh
+            in-memory one. Any :class:`EvaluationCache` subclass works — the
+            campaign layer injects a persistent on-disk backend
+            (:class:`repro.campaign.PersistentEvaluationCache`) here so
+            evaluations survive process death and are shared across jobs.
+            Mutually exclusive with ``cache_size`` (bound the injected cache
+            at construction instead).
     """
 
     def __init__(
@@ -153,12 +161,18 @@ class SerialEvaluator:
         seed: Optional[int] = 0,
         stacked: bool = False,
         cache_size: Optional[int] = None,
+        cache: Optional[EvaluationCache] = None,
     ) -> None:
+        if cache is not None and cache_size is not None:
+            raise ValueError(
+                "Pass either an injected cache or cache_size, not both "
+                "(bound an injected cache when constructing it)"
+            )
         self.prepared = prepared
         self.settings = settings if settings is not None else EvaluationSettings()
         self.seed = seed
         self.stacked = bool(stacked)
-        self.cache = EvaluationCache(max_entries=cache_size)
+        self.cache = cache if cache is not None else EvaluationCache(max_entries=cache_size)
         self.n_evaluations = 0
 
     # -- engine interface --------------------------------------------------------
@@ -239,10 +253,12 @@ class SerialEvaluator:
 
     @property
     def cache_size(self) -> int:
+        """Number of design points currently held by the evaluation cache."""
         return len(self.cache)
 
     @property
     def cache_hits(self) -> int:
+        """Population-level cache hits (includes intra-batch duplicates)."""
         return self.cache.hits
 
     def all_points(self) -> List[DesignPoint]:

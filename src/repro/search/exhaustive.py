@@ -58,11 +58,13 @@ def random_search(
     seed: int = 0,
     space: Optional[GenomeSpace] = None,
     n_workers: Optional[int] = None,
+    cache=None,
 ) -> List[DesignPoint]:
     """Uniform random sampling of the genome space.
 
     Returns every evaluated design point (callers extract the front with
-    :func:`repro.core.pareto.pareto_front`).
+    :func:`repro.core.pareto.pareto_front`). ``cache`` injects a prebuilt
+    evaluation cache (e.g. the campaign layer's persistent backend).
     """
     if n_evaluations < 1:
         raise ValueError(f"n_evaluations must be >= 1, got {n_evaluations}")
@@ -70,7 +72,9 @@ def random_search(
         n_layers=len(prepared.baseline_model.dense_layers)
     )
     rng = np.random.default_rng(seed)
-    with create_evaluator(prepared, settings, seed=seed, n_workers=n_workers) as evaluator:
+    with create_evaluator(
+        prepared, settings, seed=seed, n_workers=n_workers, cache=cache
+    ) as evaluator:
         # Draw until the budget of *distinct* genomes is reached, then batch-
         # evaluate: the drawn sequence depends only on the RNG, so the engine
         # (serial or parallel) sees exactly the genomes a serial loop would.
@@ -91,6 +95,7 @@ def grid_search(
     settings: Optional[EvaluationSettings] = None,
     seed: int = 0,
     n_workers: Optional[int] = None,
+    cache=None,
 ) -> List[DesignPoint]:
     """Exhaustive sweep over layer-uniform genomes.
 
@@ -107,7 +112,9 @@ def grid_search(
         )
         for bits, sparsity, clusters in product(bit_choices, sparsity_choices, cluster_choices)
     ]
-    with create_evaluator(prepared, settings, seed=seed, n_workers=n_workers) as evaluator:
+    with create_evaluator(
+        prepared, settings, seed=seed, n_workers=n_workers, cache=cache
+    ) as evaluator:
         return _distinct_points(genomes, evaluator.evaluate_population(genomes))
 
 

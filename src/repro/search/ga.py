@@ -129,6 +129,10 @@ class HardwareAwareGA:
         config: GA hyper-parameters.
         settings: per-genome evaluation settings (defaults derived from
             ``config.finetune_epochs``).
+        cache: injected evaluation-cache instance (any
+            :class:`~repro.search.evaluator.EvaluationCache` subclass). The
+            campaign layer passes its persistent on-disk backend here so a
+            killed search resumes from the genomes already evaluated.
     """
 
     def __init__(
@@ -136,6 +140,7 @@ class HardwareAwareGA:
         prepared: PreparedPipeline,
         config: Optional[GAConfig] = None,
         settings: Optional[EvaluationSettings] = None,
+        cache=None,
     ) -> None:
         self.prepared = prepared
         self.config = config if config is not None else GAConfig()
@@ -161,7 +166,8 @@ class HardwareAwareGA:
             # None entries inherit the prepared pipeline's configuration
             # inside the factory.
             stacked=self.config.stacked,
-            cache_size=self.config.cache_size,
+            cache_size=None if cache is not None else self.config.cache_size,
+            cache=cache,
         )
         self._rng = np.random.default_rng(self.config.seed)
 

@@ -108,6 +108,10 @@ class ParallelEvaluator(SerialEvaluator):
         stacked: evaluate each worker's share of the population as one
             stacked tensor program instead of genome-by-genome.
         cache_size: optional LRU bound on the evaluation cache.
+        cache: injected cache instance (see :class:`SerialEvaluator`). The
+            cache lives in the driver process only — workers evaluate misses
+            and the driver commits them, so a persistent backend never needs
+            to be picklable or multi-process safe.
     """
 
     def __init__(
@@ -118,9 +122,15 @@ class ParallelEvaluator(SerialEvaluator):
         n_workers: Optional[int] = None,
         stacked: bool = False,
         cache_size: Optional[int] = None,
+        cache=None,
     ) -> None:
         super().__init__(
-            prepared, settings, seed=seed, stacked=stacked, cache_size=cache_size
+            prepared,
+            settings,
+            seed=seed,
+            stacked=stacked,
+            cache_size=cache_size,
+            cache=cache,
         )
         self.n_workers = resolve_workers(n_workers)
         self._executor: Optional[ProcessPoolExecutor] = None
@@ -193,6 +203,7 @@ def create_evaluator(
     n_workers: Optional[int] = None,
     stacked: Optional[bool] = None,
     cache_size: Optional[int] = None,
+    cache=None,
 ) -> SerialEvaluator:
     """Factory used by the search drivers: serial engine unless workers are requested.
 
@@ -200,11 +211,13 @@ def create_evaluator(
     configuration, so every driver built on this factory (the GA,
     ``random_search``, ``grid_search``) honors ``PipelineConfig.stacked``
     (on by default) and ``PipelineConfig.cache_size`` without wiring them
-    through individually; pass explicit values to override.
+    through individually; pass explicit values to override. ``cache``
+    injects a prebuilt cache instance (e.g. the campaign layer's persistent
+    on-disk backend) and suppresses the ``cache_size`` default.
     """
     if stacked is None:
         stacked = getattr(prepared.config, "stacked", True)
-    if cache_size is None:
+    if cache_size is None and cache is None:
         cache_size = getattr(prepared.config, "cache_size", None)
     if resolve_workers(n_workers) > 1:
         return ParallelEvaluator(
@@ -214,7 +227,8 @@ def create_evaluator(
             n_workers=n_workers,
             stacked=stacked,
             cache_size=cache_size,
+            cache=cache,
         )
     return SerialEvaluator(
-        prepared, settings, seed=seed, stacked=stacked, cache_size=cache_size
+        prepared, settings, seed=seed, stacked=stacked, cache_size=cache_size, cache=cache
     )

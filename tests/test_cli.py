@@ -16,6 +16,18 @@ class TestParser:
             args = parser.parse_args([command] if command != "synth" else ["synth"])
             assert args.command == command
 
+    def test_campaign_subcommand_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["campaign", "status", "--out", "somewhere"])
+        assert args.command == "campaign"
+        assert args.campaign_command == "status"
+
+    def test_unknown_dataset_exits_cleanly(self, capsys):
+        # A bogus dataset name must produce a clean error, not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["baseline", "--dataset", "not-a-dataset", "--fast"])
+        assert "not-a-dataset" in str(excinfo.value)
+
     def test_defaults(self):
         parser = build_parser()
         args = parser.parse_args(["figure2"])

@@ -1,0 +1,100 @@
+"""Execute every Python code block in README.md and docs/*.md.
+
+Documentation can never silently rot: each ```python fenced block is
+extracted and executed here (and in CI). Blocks within one document share a
+namespace, in order, so docs can build narratives (imports and variables
+from earlier blocks stay available). Blocks that must not execute (e.g.
+deliberately partial fragments) can be marked with an HTML comment
+``<!-- docs-test: skip -->`` on one of the two lines above the fence.
+Non-Python fences (bash, yaml, text, ...) are ignored.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Every documentation file whose Python blocks are executable.
+DOC_FILES = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+SKIP_MARKER = "docs-test: skip"
+
+
+def extract_python_blocks(text: str) -> List[Tuple[int, str]]:
+    """``(first line number, source)`` of each executable ```python block."""
+    blocks: List[Tuple[int, str]] = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped.startswith("```python"):
+            skip = any(
+                SKIP_MARKER in lines[j]
+                for j in range(max(0, index - 2), index)
+            )
+            start = index + 1
+            end = start
+            while end < len(lines) and not lines[end].strip().startswith("```"):
+                end += 1
+            if not skip:
+                blocks.append((start + 1, "\n".join(lines[start:end])))
+            index = end + 1
+        else:
+            index += 1
+    return blocks
+
+
+def test_every_doc_is_covered():
+    """The parametrized list below really covers README + all of docs/."""
+    assert REPO_ROOT / "README.md" in DOC_FILES
+    assert any(path.name == "campaigns.md" for path in DOC_FILES)
+    assert any(path.name == "architecture.md" for path in DOC_FILES)
+    assert any(path.name == "api.md" for path in DOC_FILES)
+
+
+def test_extractor_honors_skip_marker():
+    text = "\n".join(
+        [
+            "```python",
+            "executed = True",
+            "```",
+            "<!-- docs-test: skip -->",
+            "```python",
+            "raise RuntimeError('must not run')",
+            "```",
+            "```bash",
+            "not python at all",
+            "```",
+        ]
+    )
+    blocks = extract_python_blocks(text)
+    assert len(blocks) == 1
+    assert blocks[0][1] == "executed = True"
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_documentation_code_blocks_execute(path, tmp_path, monkeypatch):
+    """Run each document's Python blocks in order, in a scratch directory."""
+    blocks = extract_python_blocks(path.read_text())
+    if not blocks:
+        return  # nothing executable in this document — trivially healthy
+    monkeypatch.chdir(tmp_path)  # file outputs land in the scratch dir
+    namespace: dict = {"__name__": f"docs_{path.stem}"}
+    for line, source in blocks:
+        code = compile(source, f"{path.name}:line-{line}", "exec")
+        try:
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception as error:  # pragma: no cover - failure reporting only
+            rel = path.relative_to(REPO_ROOT)
+            raise AssertionError(
+                f"Documentation block at {rel}:{line} failed: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+    # Restore cwd promptly on POSIX shells that dislike deleted cwds.
+    monkeypatch.chdir(REPO_ROOT)
+    assert os.getcwd() == str(REPO_ROOT)
