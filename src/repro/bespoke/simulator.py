@@ -232,21 +232,15 @@ class FixedPointSimulator:
         return report
 
 
-def simulate_population(
-    simulators: Sequence["FixedPointSimulator"], features: np.ndarray
-) -> np.ndarray:
-    """Population-axis extension of :meth:`FixedPointSimulator.simulate_batch`.
-
-    Stacks the hard-wired integer weights of G same-architecture simulators
-    into ``(G, n_inputs, n_neurons)`` tensors and pushes the whole input
-    batch through every circuit with one batched integer matmul per layer:
-    ``(G, n_samples, n_outputs)`` integer scores, where slice ``g`` is
-    *exactly* ``simulators[g].simulate_batch(features)`` — the datapath is
-    pure int64 arithmetic, so batching cannot change a single bit.
+def validate_population(simulators: Sequence["FixedPointSimulator"]) -> None:
+    """Check that a population of simulators can be batched along a new axis.
 
     All simulators must share input bit-width, layer shapes and ReLU flags
     (guaranteed when they were built from same-topology models, as in the
-    population evaluation engine); only the integer coefficients may differ.
+    population evaluation engine); only the integer coefficients may
+    differ. Shared by :func:`simulate_population` and the Monte-Carlo
+    population kernel in :mod:`repro.reliability.monte_carlo`, so the two
+    batched paths can never drift apart on what counts as compatible.
     """
     if not simulators:
         raise ValueError("Cannot simulate an empty population")
@@ -261,6 +255,26 @@ def simulate_population(
                 raise ValueError("Population simulators disagree on layer shapes")
             if layer.relu != reference.relu:
                 raise ValueError("Population simulators disagree on ReLU placement")
+
+
+def simulate_population(
+    simulators: Sequence["FixedPointSimulator"], features: np.ndarray
+) -> np.ndarray:
+    """Population-axis extension of :meth:`FixedPointSimulator.simulate_batch`.
+
+    Stacks the hard-wired integer weights of G same-architecture simulators
+    into ``(G, n_inputs, n_neurons)`` tensors and pushes the whole input
+    batch through every circuit with one batched integer matmul per layer:
+    ``(G, n_samples, n_outputs)`` integer scores, where slice ``g`` is
+    *exactly* ``simulators[g].simulate_batch(features)`` — the datapath is
+    pure int64 arithmetic, so batching cannot change a single bit.
+
+    All simulators must share input bit-width, layer shapes and ReLU flags
+    (see :func:`validate_population`); only the integer coefficients may
+    differ.
+    """
+    validate_population(simulators)
+    first = simulators[0]
     activations = first.quantize_inputs(features)
     if activations.shape[1] != first.layers[0].n_inputs:
         raise ValueError(

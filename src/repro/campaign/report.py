@@ -81,7 +81,14 @@ def build_report(directory: Union[str, Path]) -> Dict[str, object]:
     report_datasets: Dict[str, Dict[str, object]] = {}
     for dataset, entry in datasets.items():
         points: List[DesignPoint] = entry["points"]  # type: ignore[assignment]
-        combined = pareto_front(points)
+        # When every contributing job measured robustness, the union front
+        # keeps the fault-tolerance trade-off designs those jobs were run to
+        # find (third maximised axis); mixed campaigns fall back to the
+        # classic accuracy/area comparison, which every point supports.
+        robust = bool(points) and all(
+            point.robust_accuracy is not None for point in points
+        )
+        combined = pareto_front(points, robust=robust)
         baselines: List[Dict[str, object]] = entry["baselines"]  # type: ignore[assignment]
         shared_baseline = baselines[0] if all(b == baselines[0] for b in baselines) else None
         combined_gain: Optional[float] = None
@@ -214,11 +221,16 @@ def write_report(
         )
         paths[front_json.name] = front_json
         front_csv = report_dir / f"front_{dataset}.csv"
+        # Robustness-aware campaigns carry two extra columns; fronts without
+        # robustness data keep the historical byte-identical CSV layout.
+        columns = ["technique", "accuracy", "area", "power", "delay"]
+        if any("robust_accuracy" in p for p in entry["combined_front"]):
+            columns += ["robust_accuracy", "accuracy_std"]
         front_csv.write_text(
             render_csv(
-                ["technique", "accuracy", "area", "power", "delay"],
+                columns,
                 [
-                    [p["technique"], p["accuracy"], p["area"], p["power"], p["delay"]]
+                    [p.get(column, "") for column in columns]
                     for p in entry["combined_front"]
                 ],
             )

@@ -32,7 +32,7 @@ from ..core.pareto import best_area_gain_at_loss, pareto_front
 from ..core.pipeline import MinimizationPipeline
 from ..search.evaluator import EvaluationCache
 from ..search.exhaustive import grid_search, random_search
-from ..search.ga import GAConfig, HardwareAwareGA
+from ..search.ga import GAConfig, HardwareAwareGA, evaluation_settings_for
 from ..search.objectives import EvaluationSettings
 from .cache import PersistentEvaluationCache, evaluation_context_key
 from .journal import CampaignJournal, read_json, write_json_atomic
@@ -103,10 +103,18 @@ def execute_job(
     ga_config: Optional[GAConfig] = None
     if job.algorithm == "ga":
         ga_config = GAConfig(**params, seed=job.seed)
-        settings = EvaluationSettings(finetune_epochs=ga_config.finetune_epochs)
+        # Fault knobs resolve exactly as HardwareAwareGA would resolve them
+        # (GA params first, pipeline overrides as the fallback), so the
+        # cache context key and the search agree on what was evaluated.
+        settings = evaluation_settings_for(ga_config, config)
         cache_bound = ga_config.cache_size
     else:
-        settings = EvaluationSettings(finetune_epochs=config.finetune_epochs)
+        settings = EvaluationSettings(
+            finetune_epochs=config.finetune_epochs,
+            fault_rate=config.fault_rate,
+            n_fault_trials=config.n_fault_trials,
+            fault_model=config.fault_model,
+        )
         cache_bound = config.cache_size
     if cache_bound is None:
         cache_bound = config.cache_size
@@ -139,7 +147,7 @@ def execute_job(
                 n_workers=config.n_workers,
                 cache=cache,
             )
-            front = pareto_front(points)
+            front = pareto_front(points, robust=settings.robustness_enabled)
             # Fresh evaluations only — points served from a shared campaign
             # cache (another job's work, or a pre-kill run's) don't count.
             n_evaluations = cache.misses if cache is not None else len(points)
@@ -152,7 +160,7 @@ def execute_job(
                 cache=cache,
                 **params,
             )
-            front = pareto_front(points)
+            front = pareto_front(points, robust=settings.robustness_enabled)
             n_evaluations = cache.misses if cache is not None else len(points)
         else:  # pragma: no cover - SearchSpec.from_dict validates algorithms
             raise ValueError(f"Unknown algorithm '{job.algorithm}'")

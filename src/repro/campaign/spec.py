@@ -53,6 +53,9 @@ _GA_PARAMS = frozenset(
         "crossover_rate",
         "finetune_epochs",
         "cache_size",
+        "fault_rate",
+        "n_fault_trials",
+        "fault_model",
         "bit_choices",
         "sparsity_choices",
         "cluster_choices",

@@ -75,6 +75,20 @@ def _workers_argument(value: str) -> int:
     return workers
 
 
+def _fault_rate_argument(value: str) -> float:
+    rate = float(value)
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {rate}")
+    return rate
+
+
+def _fault_trials_argument(value: str) -> int:
+    trials = int(value)
+    if trials < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {trials}")
+    return trials
+
+
 def _datasets_argument(value: Optional[str]) -> List[str]:
     try:
         return list(resolve_dataset_names(value))
@@ -123,6 +137,9 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         stacked=not args.no_stacked,
         cache_size=args.cache_size,
+        fault_rate=args.fault_rate,
+        n_fault_trials=args.fault_trials,
+        fault_model=args.fault_model,
     )
     result = run_figure2(args.dataset, config=config, ga_config=ga_config)
     for row in result.format_rows():
@@ -322,6 +339,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: unbounded). Bounding trades "
                               "occasional re-evaluation of evicted genomes "
                               "for a memory ceiling on long searches")
+    figure2.add_argument("--fault-rate", type=_fault_rate_argument, default=None,
+                         help="enable robustness-aware search: fraction of "
+                              "hard-wired connections hit per Monte-Carlo "
+                              "fault-injection trial (combine with "
+                              "--fault-trials; adds fault tolerance as a "
+                              "third NSGA-II objective and "
+                              "robust_accuracy/accuracy_std per design)")
+    figure2.add_argument("--fault-trials", type=_fault_trials_argument, default=None,
+                         help="Monte-Carlo trials per design point "
+                              "(default 0 = robustness off)")
+    figure2.add_argument("--fault-model", default=None,
+                         choices=["open", "short", "level_shift"],
+                         help="defect mechanism injected per trial "
+                              "(default: open)")
     figure2.add_argument("--plot", action="store_true")
     figure2.add_argument("--output", help="directory to export artefacts")
     figure2.set_defaults(func=_cmd_figure2)

@@ -41,6 +41,16 @@ class PipelineConfig:
             over large spaces can bound memory at the cost of occasionally
             re-evaluating evicted genomes (deterministic, so results are
             unchanged).
+        fault_rate: fraction of hard-wired connections hit per Monte-Carlo
+            fault-injection trial during search evaluation. Together with
+            ``n_fault_trials`` > 0 this enables robustness-aware search:
+            every design point gains ``robust_accuracy``/``accuracy_std``
+            and the GA optimizes fault tolerance as a third objective.
+            Default 0.0 (off — results byte-identical to a robustness-free
+            build).
+        n_fault_trials: Monte-Carlo trials per design point (0 = off).
+        fault_model: defect mechanism injected (``"open"``, ``"short"`` or
+            ``"level_shift"`` — see :mod:`repro.reliability`).
     """
 
     dataset: str
@@ -60,8 +70,24 @@ class PipelineConfig:
     n_workers: int = 1
     stacked: bool = True
     cache_size: Optional[int] = None
+    fault_rate: float = 0.0
+    n_fault_trials: int = 0
+    fault_model: str = "open"
 
     def __post_init__(self) -> None:
+        # Mirrors repro.reliability.FAULT_MODELS (not imported here: core
+        # must stay dependency-free of the nn/bespoke stack).
+        if self.fault_model not in ("open", "short", "level_shift"):
+            raise ValueError(
+                "fault_model must be one of ('open', 'short', 'level_shift'), "
+                f"got '{self.fault_model}'"
+            )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {self.fault_rate}")
+        if self.n_fault_trials < 0:
+            raise ValueError(
+                f"n_fault_trials must be >= 0, got {self.n_fault_trials}"
+            )
         if self.n_workers < 0:
             raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
         if self.cache_size is not None and self.cache_size < 1:

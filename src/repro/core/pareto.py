@@ -15,42 +15,70 @@ import numpy as np
 from .results import DesignPoint, NormalizedPoint, SweepResult
 
 
-def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
-    """Extract the accuracy/area Pareto-optimal subset.
+def _criteria(point: DesignPoint, robust: bool) -> Tuple[float, ...]:
+    """The maximised/minimised comparison axes of one point.
 
-    A point is Pareto-optimal when no other point has both higher-or-equal
-    accuracy and lower-or-equal area with at least one strict improvement.
-    The result is sorted by increasing area.
+    ``(accuracy, -area)`` by default — all axes maximised. With ``robust``
+    the point's ``robust_accuracy`` (fault-injected mean accuracy) joins as
+    a third maximised axis; robustness-aware searches guarantee it is set.
+    """
+    if not robust:
+        return (point.accuracy, -point.area)
+    if point.robust_accuracy is None:
+        raise ValueError(
+            "robust Pareto comparison needs robust_accuracy on every point "
+            "(evaluate with fault injection enabled)"
+        )
+    return (point.accuracy, -point.area, point.robust_accuracy)
+
+
+def pareto_front(points: Sequence[DesignPoint], robust: bool = False) -> List[DesignPoint]:
+    """Extract the accuracy/area (optionally x robustness) Pareto-optimal subset.
+
+    A point is Pareto-optimal when no other point is at least as good on
+    every axis and strictly better on one. The default axes are the paper's
+    (accuracy maximised, area minimised); ``robust=True`` adds the
+    fault-injected ``robust_accuracy`` as a third maximised axis — used by
+    robustness-aware searches, whose fronts keep designs that trade a
+    little area for fault tolerance. The result is sorted by increasing
+    area.
     """
     points = list(points)
+    criteria = [_criteria(point, robust) for point in points]
     front: List[DesignPoint] = []
-    for candidate in points:
+    front_criteria: List[Tuple[float, ...]] = []
+    for candidate, candidate_criteria in zip(points, criteria):
         dominated = False
-        for other in points:
+        for other, other_criteria in zip(points, criteria):
             if other is candidate:
                 continue
-            if (
-                other.accuracy >= candidate.accuracy
-                and other.area <= candidate.area
-                and (other.accuracy > candidate.accuracy or other.area < candidate.area)
+            if all(o >= c for o, c in zip(other_criteria, candidate_criteria)) and any(
+                o > c for o, c in zip(other_criteria, candidate_criteria)
             ):
                 dominated = True
                 break
         if not dominated:
             front.append(candidate)
-    # Deduplicate identical (accuracy, area) pairs and sort by area.
-    unique: Dict[Tuple[float, float], DesignPoint] = {}
-    for point in front:
-        unique.setdefault((round(point.area, 12), round(point.accuracy, 12)), point)
+            front_criteria.append(candidate_criteria)
+    # Deduplicate identical criteria tuples and sort by area.
+    unique: Dict[Tuple[float, ...], DesignPoint] = {}
+    for point, point_criteria in zip(front, front_criteria):
+        unique.setdefault(
+            tuple(round(value, 12) for value in point_criteria), point
+        )
     return sorted(unique.values(), key=lambda p: (p.area, -p.accuracy))
 
 
-def dominates(a: DesignPoint, b: DesignPoint) -> bool:
-    """True when ``a`` Pareto-dominates ``b`` (accuracy maximised, area minimised)."""
-    return (
-        a.accuracy >= b.accuracy
-        and a.area <= b.area
-        and (a.accuracy > b.accuracy or a.area < b.area)
+def dominates(a: DesignPoint, b: DesignPoint, robust: bool = False) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` (accuracy maximised, area minimised).
+
+    With ``robust=True`` the fault-injected ``robust_accuracy`` is a third
+    maximised axis (both points must carry it).
+    """
+    a_criteria = _criteria(a, robust)
+    b_criteria = _criteria(b, robust)
+    return all(x >= y for x, y in zip(a_criteria, b_criteria)) and any(
+        x > y for x, y in zip(a_criteria, b_criteria)
     )
 
 

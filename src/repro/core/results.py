@@ -33,6 +33,13 @@ class DesignPoint:
         delay: critical-path delay in µs.
         parameters: technique hyper-parameters (bit-width, sparsity, ...).
         report: the full synthesis report (optional, for detailed analysis).
+        robust_accuracy: mean accuracy of the deployed circuit under
+            Monte-Carlo fault injection (``None`` unless the evaluation ran
+            with robustness enabled — see
+            :class:`repro.search.EvaluationSettings`). Measured on the
+            bit-accurate fixed-point simulator.
+        accuracy_std: standard deviation of the per-trial fault-injected
+            accuracies (``None`` when robustness is disabled).
     """
 
     technique: str
@@ -42,6 +49,8 @@ class DesignPoint:
     delay: float = 0.0
     parameters: Dict[str, object] = field(default_factory=dict)
     report: Optional[SynthesisReport] = None
+    robust_accuracy: Optional[float] = None
+    accuracy_std: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.technique not in TECHNIQUES:
@@ -52,6 +61,12 @@ class DesignPoint:
             raise ValueError(f"accuracy must be in [0, 1], got {self.accuracy}")
         if self.area < 0 or self.power < 0 or self.delay < 0:
             raise ValueError("area, power and delay must be non-negative")
+        if self.robust_accuracy is not None and not 0.0 <= self.robust_accuracy <= 1.0:
+            raise ValueError(
+                f"robust_accuracy must be in [0, 1], got {self.robust_accuracy}"
+            )
+        if self.accuracy_std is not None and self.accuracy_std < 0:
+            raise ValueError(f"accuracy_std must be >= 0, got {self.accuracy_std}")
 
     # -- normalized views ------------------------------------------------------
 
@@ -72,7 +87,10 @@ class DesignPoint:
         )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        # The robustness fields appear only when set: design points from
+        # robustness-disabled evaluations serialize byte-identically to
+        # pre-robustness versions (pinned by golden front.json tests).
+        doc: Dict[str, object] = {
             "technique": self.technique,
             "accuracy": self.accuracy,
             "area": self.area,
@@ -80,6 +98,11 @@ class DesignPoint:
             "delay": self.delay,
             "parameters": dict(self.parameters),
         }
+        if self.robust_accuracy is not None:
+            doc["robust_accuracy"] = self.robust_accuracy
+        if self.accuracy_std is not None:
+            doc["accuracy_std"] = self.accuracy_std
+        return doc
 
 
 @dataclass(frozen=True)

@@ -96,7 +96,12 @@ def run_figure2(
     gains: Dict[str, Optional[float]] = {}
     for technique in list(techniques) + ["combined"]:
         technique_points = sweep.by_technique(technique)
-        front = pareto_front(technique_points)
+        # Robustness-aware GA runs attach robust_accuracy to every combined
+        # point; the display front then keeps robustness trade-off designs.
+        robust = bool(technique_points) and all(
+            p.robust_accuracy is not None for p in technique_points
+        )
+        front = pareto_front(technique_points, robust=robust)
         fronts[technique] = normalize_points(front, sweep.baseline)
         best = best_area_gain_at_loss(
             technique_points, sweep.baseline, config.max_accuracy_loss

@@ -9,13 +9,27 @@ from .fault_injection import (
     inject_faults,
     run_fault_injection,
 )
+from .monte_carlo import (
+    accumulator_bounds,
+    fault_trial_seed,
+    float_path_is_exact,
+    monte_carlo_fault_injection,
+    monte_carlo_fault_injection_reference,
+    monte_carlo_population,
+)
 
 __all__ = [
     "FAULT_MODELS",
     "FaultInjectionConfig",
     "FaultInjectionResult",
+    "accumulator_bounds",
     "compare_fault_tolerance",
     "fault_rate_sweep",
+    "fault_trial_seed",
+    "float_path_is_exact",
     "inject_faults",
+    "monte_carlo_fault_injection",
+    "monte_carlo_fault_injection_reference",
+    "monte_carlo_population",
     "run_fault_injection",
 ]

@@ -46,6 +46,10 @@ class FaultInjectionConfig:
         level_shift_levels: magnitude of a level-shift fault in LSBs.
         n_trials: number of independent fault realisations to average over.
         seed: RNG seed of the campaign.
+        include_bias: also make the hard-wired bias (threshold) operands
+            eligible fault sites. Honored by the integer-datapath Monte-Carlo
+            kernels in :mod:`repro.reliability.monte_carlo`; the float-model
+            :func:`inject_faults` path perturbs weights only.
     """
 
     fault_rate: float = 0.05
@@ -54,6 +58,7 @@ class FaultInjectionConfig:
     level_shift_levels: int = 1
     n_trials: int = 10
     seed: int = 0
+    include_bias: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fault_rate <= 1.0:
@@ -86,6 +91,13 @@ class FaultInjectionResult:
         """Average absolute accuracy lost to the injected faults."""
         return self.fault_free_accuracy - self.mean_accuracy
 
+    @property
+    def accuracy_std(self) -> float:
+        """Population standard deviation of the per-trial accuracies."""
+        if not self.accuracy_per_trial:
+            return 0.0
+        return float(np.std(np.asarray(self.accuracy_per_trial, dtype=np.float64)))
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "fault_model": self.config.fault_model,
@@ -94,6 +106,7 @@ class FaultInjectionResult:
             "mean_accuracy": self.mean_accuracy,
             "worst_accuracy": self.worst_accuracy,
             "mean_accuracy_drop": self.mean_accuracy_drop,
+            "accuracy_std": self.accuracy_std,
             "n_trials": self.config.n_trials,
         }
 

@@ -2,7 +2,13 @@
 
 from .evaluator import EvaluationCache, SerialEvaluator, genome_seed
 from .exhaustive import front_of, grid_search, random_search
-from .ga import GAConfig, GAResult, HardwareAwareGA, run_combined_search
+from .ga import (
+    GAConfig,
+    GAResult,
+    HardwareAwareGA,
+    evaluation_settings_for,
+    run_combined_search,
+)
 from .genome import (
     DEFAULT_BIT_CHOICES,
     DEFAULT_CLUSTER_CHOICES,
@@ -57,6 +63,7 @@ __all__ = [
     "dominates",
     "evaluate_genome",
     "evaluate_genomes_stacked",
+    "evaluation_settings_for",
     "fast_non_dominated_sort",
     "fast_non_dominated_sort_reference",
     "front_of",

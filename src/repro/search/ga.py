@@ -18,6 +18,7 @@ from ..core import profiling
 from ..core.pareto import dominates, pareto_front
 from ..core.pipeline import PreparedPipeline
 from ..core.results import DesignPoint
+from ..reliability.fault_injection import FAULT_MODELS
 from .genome import (
     DEFAULT_BIT_CHOICES,
     DEFAULT_CLUSTER_CHOICES,
@@ -52,6 +53,14 @@ class GAConfig:
             population scale.
         cache_size: LRU bound on the genome evaluation cache (``None``
             inherits the pipeline configuration; unbounded by default).
+        fault_rate / n_fault_trials / fault_model: Monte-Carlo fault
+            injection during evaluation (``None`` entries inherit the
+            prepared pipeline's configuration; off by default). When
+            enabled, every design point gains ``robust_accuracy`` /
+            ``accuracy_std`` and the NSGA-II ranking, survivor selection
+            and Pareto archive all optimize fault tolerance as a third
+            objective. Disabled searches are byte-identical to
+            pre-robustness builds.
         bit_choices / sparsity_choices / cluster_choices: gene alphabets.
     """
 
@@ -64,6 +73,9 @@ class GAConfig:
     n_workers: Optional[int] = None
     stacked: Optional[bool] = None
     cache_size: Optional[int] = None
+    fault_rate: Optional[float] = None
+    n_fault_trials: Optional[int] = None
+    fault_model: Optional[str] = None
     bit_choices: Sequence[int] = DEFAULT_BIT_CHOICES
     sparsity_choices: Sequence[float] = DEFAULT_SPARSITY_CHOICES
     cluster_choices: Sequence[int] = DEFAULT_CLUSTER_CHOICES
@@ -79,6 +91,39 @@ class GAConfig:
             raise ValueError("crossover_rate must be in [0, 1]")
         if self.cache_size is not None and self.cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {self.cache_size}")
+        if self.fault_rate is not None and not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {self.fault_rate}")
+        if self.n_fault_trials is not None and self.n_fault_trials < 0:
+            raise ValueError(
+                f"n_fault_trials must be >= 0, got {self.n_fault_trials}"
+            )
+        if self.fault_model is not None and self.fault_model not in FAULT_MODELS:
+            raise ValueError(
+                f"fault_model must be one of {FAULT_MODELS}, got '{self.fault_model}'"
+            )
+
+
+def evaluation_settings_for(config: GAConfig, pipeline_config) -> EvaluationSettings:
+    """Default :class:`EvaluationSettings` of a GA run.
+
+    ``None`` fault knobs on the :class:`GAConfig` inherit the prepared
+    pipeline's configuration (robustness off by default) — the same
+    inheritance pattern ``stacked``/``cache_size`` use. Shared by
+    :class:`HardwareAwareGA` and the campaign runner so the two can never
+    resolve the knobs differently.
+    """
+
+    def _resolve(value, name, default):
+        if value is not None:
+            return value
+        return getattr(pipeline_config, name, default)
+
+    return EvaluationSettings(
+        finetune_epochs=config.finetune_epochs,
+        fault_rate=_resolve(config.fault_rate, "fault_rate", 0.0),
+        n_fault_trials=_resolve(config.n_fault_trials, "n_fault_trials", 0),
+        fault_model=_resolve(config.fault_model, "fault_model", "open"),
+    )
 
 
 @dataclass
@@ -102,8 +147,8 @@ class GAResult:
         return min(eligible, key=lambda p: p.area)
 
 
-def _nondominated(points: List[DesignPoint]) -> List[DesignPoint]:
-    """Accuracy/area non-dominated subset, order preserved.
+def _nondominated(points: List[DesignPoint], robust: bool = False) -> List[DesignPoint]:
+    """Accuracy/area (optionally x robustness) non-dominated subset, order preserved.
 
     Uses :func:`repro.core.pareto.dominates` — the same predicate
     :func:`~repro.core.pareto.pareto_front` filters with (it additionally
@@ -114,7 +159,7 @@ def _nondominated(points: List[DesignPoint]) -> List[DesignPoint]:
     survivors: List[DesignPoint] = []
     for candidate in points:
         if not any(
-            other is not candidate and dominates(other, candidate)
+            other is not candidate and dominates(other, candidate, robust=robust)
             for other in points
         ):
             survivors.append(candidate)
@@ -147,8 +192,12 @@ class HardwareAwareGA:
         self.settings = (
             settings
             if settings is not None
-            else EvaluationSettings(finetune_epochs=self.config.finetune_epochs)
+            else evaluation_settings_for(self.config, prepared.config)
         )
+        # Robustness-aware searches rank, select and archive on a third
+        # objective (fault-injected accuracy loss); disabled searches run
+        # the exact 2-objective code path of earlier versions.
+        self.robust = self.settings.robustness_enabled
         self.space = GenomeSpace(
             n_layers=len(prepared.baseline_model.dense_layers),
             bit_choices=self.config.bit_choices,
@@ -230,7 +279,7 @@ class HardwareAwareGA:
             if not fresh:
                 return
             candidates = archive + fresh
-            survivors = _nondominated(candidates)
+            survivors = _nondominated(candidates, robust=self.robust)
             archive[:] = survivors
 
         with profiling.stage("ga_evaluate"):
@@ -239,7 +288,7 @@ class HardwareAwareGA:
         generations: List[Dict[str, float]] = []
 
         for generation in range(self.config.n_generations):
-            objectives = [objectives_of(p, baseline) for p in points]
+            objectives = [objectives_of(p, baseline, robust=self.robust) for p in points]
             with profiling.stage("ga_selection"):
                 offspring = self._make_offspring(population, objectives)
             with profiling.stage("ga_evaluate"):
@@ -248,7 +297,9 @@ class HardwareAwareGA:
 
             combined_population = population + offspring
             combined_points = points + offspring_points
-            combined_objectives = [objectives_of(p, baseline) for p in combined_points]
+            combined_objectives = [
+                objectives_of(p, baseline, robust=self.robust) for p in combined_points
+            ]
             with profiling.stage("ga_sort"):
                 survivors = select_survivors(
                     combined_objectives, self.config.population_size
@@ -256,7 +307,7 @@ class HardwareAwareGA:
             population = [combined_population[i] for i in survivors]
             points = [combined_points[i] for i in survivors]
 
-            front = pareto_front(points)
+            front = pareto_front(points, robust=self.robust)
             best_gain = max(
                 (baseline.area / p.area for p in front if p.area > 0), default=0.0
             )
@@ -275,7 +326,7 @@ class HardwareAwareGA:
         # evaluation history (see the archive invariant above); with a
         # bounded cache, ``all_points`` reflects the surviving cache entries.
         return GAResult(
-            front=pareto_front(archive),
+            front=pareto_front(archive, robust=self.robust),
             all_points=self.evaluator.all_points(),
             generations=generations,
             n_evaluations=self.evaluator.n_evaluations,

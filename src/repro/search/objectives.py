@@ -32,6 +32,11 @@ from ..nn.stacked import finetune_stacked, predict_stacked, supports_stacking
 from ..nn.trainer import finetune
 from ..pruning.magnitude import prune_by_magnitude
 from ..quantization.qat import attach_quantizers
+from ..reliability.fault_injection import FAULT_MODELS, FaultInjectionConfig
+from ..reliability.monte_carlo import (
+    monte_carlo_fault_injection,
+    monte_carlo_population,
+)
 from .genome import Genome
 
 
@@ -48,12 +53,57 @@ class EvaluationSettings:
             fixed-point simulator (batched integer datapath) instead of the
             float software model, so the search optimizes the deployed
             circuit's accuracy rather than its floating-point proxy.
+        fault_rate: fraction of hard-wired connections hit per Monte-Carlo
+            fault-injection trial. With ``n_fault_trials`` > 0 every design
+            point gains ``robust_accuracy``/``accuracy_std``, measured on
+            the deployed circuit's integer datapath with per-(genome, trial)
+            SHA-256-derived fault patterns. Default 0.0 — robustness off,
+            evaluation byte-identical to earlier versions. These settings
+            are part of the campaign cache's evaluation-context key, so
+            robust and non-robust evaluations can never collide in a shared
+            persistent cache.
+        n_fault_trials: Monte-Carlo trials per design point (0 = off).
+        fault_model: defect mechanism injected (one of
+            :data:`repro.reliability.FAULT_MODELS`).
     """
 
     finetune_epochs: int = 8
     finetune_learning_rate: float = 0.003
     per_position_clustering: bool = True
     simulate_accuracy: bool = False
+    fault_rate: float = 0.0
+    n_fault_trials: int = 0
+    fault_model: str = "open"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {self.fault_rate}")
+        if self.n_fault_trials < 0:
+            raise ValueError(f"n_fault_trials must be >= 0, got {self.n_fault_trials}")
+        if self.fault_model not in FAULT_MODELS:
+            raise ValueError(
+                f"fault_model must be one of {FAULT_MODELS}, got '{self.fault_model}'"
+            )
+
+    @property
+    def robustness_enabled(self) -> bool:
+        """True when evaluations measure Monte-Carlo fault tolerance."""
+        return self.fault_rate > 0.0 and self.n_fault_trials > 0
+
+    def fault_config(self, seed: Optional[int]) -> FaultInjectionConfig:
+        """The per-design fault campaign these settings describe.
+
+        ``seed`` is the design's derived evaluation seed — each (genome,
+        trial) pair then gets its own SHA-256-derived fault pattern via
+        :func:`repro.reliability.fault_trial_seed`. ``weight_bits`` is
+        irrelevant here (the simulator's own formats define the level grid).
+        """
+        return FaultInjectionConfig(
+            fault_rate=self.fault_rate,
+            fault_model=self.fault_model,
+            n_trials=self.n_fault_trials,
+            seed=0 if seed is None else int(seed),
+        )
 
 
 def _apply_minimizations(
@@ -130,7 +180,7 @@ def evaluate_genome(
     settings = settings if settings is not None else EvaluationSettings()
     with profiling.stage("evaluate_genome"):
         model = apply_genome(genome, prepared, settings, seed=seed)
-        point = _score_model(genome, prepared, settings, model)
+        point = _score_model(genome, prepared, settings, model, seed=seed)
     return point
 
 
@@ -164,19 +214,41 @@ def _score_model(
     prepared: PreparedPipeline,
     settings: EvaluationSettings,
     model,
+    seed: Optional[int] = None,
 ) -> DesignPoint:
     """Accuracy measurement + cost-only synthesis of one minimized model."""
     data = prepared.data
     bespoke_config = _bespoke_config(genome, prepared)
+    simulator = None
+    if settings.simulate_accuracy or settings.robustness_enabled:
+        simulator = FixedPointSimulator(model, bespoke_config)
     with profiling.stage("accuracy"):
         if settings.simulate_accuracy:
-            simulator = FixedPointSimulator(model, bespoke_config)
             accuracy = simulator.evaluate_accuracy(
                 data.test.features, data.test.labels
             )
         else:
             accuracy = model.evaluate_accuracy(data.test.features, data.test.labels)
-    return _synthesize_point(genome, prepared, model, bespoke_config, accuracy)
+    robust_accuracy = accuracy_std = None
+    if settings.robustness_enabled:
+        with profiling.stage("robustness"):
+            fault_result = monte_carlo_fault_injection(
+                simulator,
+                data.test.features,
+                data.test.labels,
+                settings.fault_config(seed),
+            )
+        robust_accuracy = fault_result.mean_accuracy
+        accuracy_std = fault_result.accuracy_std
+    return _synthesize_point(
+        genome,
+        prepared,
+        model,
+        bespoke_config,
+        accuracy,
+        robust_accuracy=robust_accuracy,
+        accuracy_std=accuracy_std,
+    )
 
 
 def _bespoke_config(genome: Genome, prepared: PreparedPipeline) -> BespokeConfig:
@@ -192,6 +264,8 @@ def _synthesize_point(
     model,
     bespoke_config: BespokeConfig,
     accuracy: float,
+    robust_accuracy: Optional[float] = None,
+    accuracy_std: Optional[float] = None,
 ) -> DesignPoint:
     """Cost-only synthesis + design-point assembly shared by both paths."""
     with profiling.stage("synthesize"):
@@ -209,6 +283,8 @@ def _synthesize_point(
         delay=report.delay,
         parameters=genome.as_dict(),
         report=report,
+        robust_accuracy=robust_accuracy,
+        accuracy_std=accuracy_std,
     )
 
 
@@ -277,7 +353,9 @@ def evaluate_genomes_stacked(
             ):
                 with profiling.stage("evaluate_genome"):
                     _finetune_model(prepared, settings, model, clustering_result, seed)
-                    results.append(_score_model(genome, prepared, settings, model))
+                    results.append(
+                        _score_model(genome, prepared, settings, model, seed=seed)
+                    )
             return results
 
         data = prepared.data
@@ -299,28 +377,70 @@ def evaluate_genomes_stacked(
         bespoke_configs = [_bespoke_config(genome, prepared) for genome in genomes]
         test = data.test
         labels = np.asarray(test.labels).reshape(-1).astype(int)
+        simulators = None
+        if settings.simulate_accuracy or settings.robustness_enabled:
+            simulators = [
+                FixedPointSimulator(model, config)
+                for model, config in zip(models, bespoke_configs)
+            ]
         with profiling.stage("accuracy"):
             if settings.simulate_accuracy:
-                simulators = [
-                    FixedPointSimulator(model, config)
-                    for model, config in zip(models, bespoke_configs)
-                ]
                 accuracies = population_accuracy(simulators, test.features, labels)
             else:
                 predictions = predict_stacked(models, test.features)
                 accuracies = (predictions == labels).mean(axis=-1)
+        robust_accuracies: List[Optional[float]] = [None] * len(genomes)
+        accuracy_stds: List[Optional[float]] = [None] * len(genomes)
+        if settings.robustness_enabled:
+            with profiling.stage("robustness"):
+                fault_results = monte_carlo_population(
+                    simulators,
+                    test.features,
+                    labels,
+                    [settings.fault_config(seed) for seed in seeds],
+                )
+            robust_accuracies = [result.mean_accuracy for result in fault_results]
+            accuracy_stds = [result.accuracy_std for result in fault_results]
         return [
-            _synthesize_point(genome, prepared, model, config, float(acc))
-            for genome, model, config, acc in zip(
-                genomes, models, bespoke_configs, accuracies
+            _synthesize_point(
+                genome,
+                prepared,
+                model,
+                config,
+                float(acc),
+                robust_accuracy=robust,
+                accuracy_std=std,
+            )
+            for genome, model, config, acc, robust, std in zip(
+                genomes, models, bespoke_configs, accuracies, robust_accuracies, accuracy_stds
             )
         ]
 
 
-def objectives_of(point: DesignPoint, baseline: DesignPoint) -> Tuple[float, float]:
-    """The two minimized objectives: (relative accuracy loss, normalized area)."""
+def objectives_of(
+    point: DesignPoint, baseline: DesignPoint, robust: bool = False
+) -> Tuple[float, ...]:
+    """The minimized objectives of one design point.
+
+    The default is the paper's pair ``(relative accuracy loss, normalized
+    area)``. With ``robust=True`` a third minimized objective is appended:
+    the *robust* accuracy loss ``max(1 - robust_accuracy / baseline
+    accuracy, 0)`` — the loss the deployed circuit actually shows under the
+    configured Monte-Carlo defect model. The 2-objective form is untouched,
+    so robustness-disabled searches rank (and therefore evolve)
+    byte-identically to earlier versions.
+    """
     if baseline.accuracy <= 0 or baseline.area <= 0:
         raise ValueError("Baseline accuracy and area must be positive")
     loss = max(1.0 - point.accuracy / baseline.accuracy, 0.0)
     normalized_area = point.area / baseline.area
-    return (loss, normalized_area)
+    if not robust:
+        return (loss, normalized_area)
+    if point.robust_accuracy is None:
+        raise ValueError(
+            "Robust objective requested but the design point has no "
+            "robust_accuracy — evaluate with fault_rate > 0 and "
+            "n_fault_trials > 0"
+        )
+    robust_loss = max(1.0 - point.robust_accuracy / baseline.accuracy, 0.0)
+    return (loss, normalized_area, robust_loss)

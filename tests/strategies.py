@@ -1,0 +1,135 @@
+"""Reusable Hypothesis strategies for the property-based test layer.
+
+The equality-style tests of this suite (fast path == reference, vectorized
+== loop, robust == serial) all quantify over the same domains: genomes,
+quantized weight tensors, objective vectors and fault-injection
+configurations. Centralizing the strategies here keeps the domains honest —
+every property test draws from the full space the production code accepts,
+edge values (empty masks, rate 0.0/1.0, duplicate objectives) included.
+
+Import as a plain module (``from strategies import genomes``): ``tests/`` is
+on ``sys.path`` during collection and the name collides with nothing in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.hardware.fixed_point import max_symmetric_level
+from repro.reliability import FAULT_MODELS, FaultInjectionConfig
+from repro.search.genome import (
+    DEFAULT_BIT_CHOICES,
+    DEFAULT_CLUSTER_CHOICES,
+    DEFAULT_SPARSITY_CHOICES,
+    Genome,
+)
+
+#: Seeds for ``np.random.default_rng`` inside properties that need a
+#: generator: hypothesis shrinks over the seed, numpy supplies the stream.
+rng_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@st.composite
+def genomes(draw, min_layers: int = 1, max_layers: int = 4):
+    """A :class:`repro.search.Genome` over the default gene alphabets."""
+    n_layers = draw(st.integers(min_layers, max_layers))
+    return Genome(
+        weight_bits=tuple(
+            draw(st.sampled_from(DEFAULT_BIT_CHOICES)) for _ in range(n_layers)
+        ),
+        sparsity=tuple(
+            draw(st.sampled_from(DEFAULT_SPARSITY_CHOICES)) for _ in range(n_layers)
+        ),
+        clusters=tuple(
+            draw(st.sampled_from(DEFAULT_CLUSTER_CHOICES)) for _ in range(n_layers)
+        ),
+    )
+
+
+@st.composite
+def weight_tensors(
+    draw,
+    max_rows: int = 12,
+    max_cols: int = 12,
+    max_magnitude: float = 8.0,
+):
+    """A float64 weight matrix, including all-zero and single-element shapes."""
+    rows = draw(st.integers(1, max_rows))
+    cols = draw(st.integers(1, max_cols))
+    values = draw(
+        st.lists(
+            st.floats(
+                min_value=-max_magnitude,
+                max_value=max_magnitude,
+                allow_nan=False,
+                allow_infinity=False,
+                width=64,
+            ),
+            min_size=rows * cols,
+            max_size=rows * cols,
+        )
+    )
+    return np.asarray(values, dtype=np.float64).reshape(rows, cols)
+
+
+@st.composite
+def quantized_weight_tensors(draw, min_bits: int = 2, max_bits: int = 8):
+    """``(integer weight matrix, bits)`` on the symmetric level grid."""
+    bits = draw(st.integers(min_bits, max_bits))
+    level = max_symmetric_level(bits)
+    rows = draw(st.integers(1, 10))
+    cols = draw(st.integers(1, 10))
+    values = draw(
+        st.lists(
+            st.integers(-level, level), min_size=rows * cols, max_size=rows * cols
+        )
+    )
+    return np.asarray(values, dtype=np.int64).reshape(rows, cols), bits
+
+
+@st.composite
+def fault_configs(draw, max_trials: int = 6):
+    """A full-domain :class:`FaultInjectionConfig` (degenerate rates included)."""
+    return FaultInjectionConfig(
+        fault_rate=draw(
+            st.one_of(st.just(0.0), st.just(1.0), st.floats(0.0, 1.0, width=32))
+        ),
+        fault_model=draw(st.sampled_from(FAULT_MODELS)),
+        weight_bits=draw(st.integers(2, 8)),
+        level_shift_levels=draw(st.integers(1, 3)),
+        n_trials=draw(st.integers(1, max_trials)),
+        seed=draw(st.integers(0, 2**16)),
+        include_bias=draw(st.booleans()),
+    )
+
+
+def objective_vectors(
+    min_size: int = 1,
+    max_size: int = 40,
+    n_objectives: "tuple[int, int]" = (2, 3),
+    max_value: float = 10.0,
+    allow_ties: bool = True,
+):
+    """Populations of minimized objective vectors (uniform arity per draw).
+
+    Covers both the classic 2-objective ranking and the robustness-aware
+    3-objective one. ``allow_ties`` draws from a coarse grid so duplicate
+    vectors (the NSGA-II tie-handling edge) actually occur.
+    """
+    values = (
+        st.integers(0, 5).map(float) if allow_ties else st.floats(0, max_value)
+    )
+
+    def _population(arity: int):
+        vector = st.tuples(*([values] * arity))
+        return st.lists(vector, min_size=min_size, max_size=max_size)
+
+    return st.integers(n_objectives[0], n_objectives[1]).flatmap(_population)
+
+
+#: Operand-width multisets for the adder-tree cost kernels.
+operand_width_lists = st.lists(
+    st.integers(1, 15), min_size=2, max_size=24
+)

@@ -117,7 +117,10 @@ class TestKillResumeGolden:
 
     # The second and later jobs are big enough (~seconds) that the kill lands
     # while the campaign is still running; the first job is small enough that
-    # its completion marker appears quickly.
+    # its completion marker appears quickly. The GA search runs with Monte-
+    # Carlo fault injection enabled, so the kill->resume byte-identity also
+    # covers robust_accuracy/accuracy_std round-tripping through the
+    # persistent evaluation cache.
     KILL_SPEC = {
         "name": "kill-golden",
         "datasets": ["seeds", "redwine"],
@@ -125,7 +128,7 @@ class TestKillResumeGolden:
         "searches": [
             {"algorithm": "random", "name": "warmup", "n_evaluations": 2},
             {"algorithm": "ga", "population_size": 8, "n_generations": 3,
-             "finetune_epochs": 2},
+             "finetune_epochs": 2, "fault_rate": 0.05, "n_fault_trials": 3},
         ],
     }
 
@@ -183,3 +186,26 @@ class TestKillResumeGolden:
         )
         assert set(summary["datasets"]) == {"seeds", "redwine"}
         assert summary["n_jobs_completed"] == 4
+
+        # The robustness-enabled GA jobs persisted their fault-injection
+        # measurements into the resumed fronts and the report artifacts.
+        for dataset in ("seeds", "redwine"):
+            ga_front = json.loads(
+                (victim_dir / "jobs" / f"{dataset}-ga-s0" / "front.json").read_text()
+            )
+            assert ga_front["front"], "robust GA job produced an empty front"
+            for point in ga_front["front"]:
+                assert 0.0 <= point["robust_accuracy"] <= 1.0
+                assert point["accuracy_std"] >= 0.0
+            combined = summary["datasets"][dataset]["combined_front"]
+            front_csv = (victim_dir / "report" / f"front_{dataset}.csv").read_text()
+            # Robust columns appear exactly when a robust point made the
+            # combined (union) front.
+            assert ("robust_accuracy" in front_csv.splitlines()[0]) == any(
+                "robust_accuracy" in p for p in combined
+            )
+            # The warmup (robustness-off) job's points stay clean.
+            warmup_front = json.loads(
+                (victim_dir / "jobs" / f"{dataset}-warmup-s0" / "front.json").read_text()
+            )
+            assert all("robust_accuracy" not in p for p in warmup_front["front"])

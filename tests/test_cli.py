@@ -96,6 +96,46 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "combined" in output
 
+    def test_figure2_fault_flags(self, capsys):
+        exit_code = main(
+            [
+                "figure2",
+                "--dataset",
+                "seeds",
+                "--fast",
+                "--population",
+                "4",
+                "--generations",
+                "1",
+                "--finetune-epochs",
+                "1",
+                "--fault-rate",
+                "0.1",
+                "--fault-trials",
+                "3",
+                "--fault-model",
+                "short",
+            ]
+        )
+        assert exit_code == 0
+        assert "combined" in capsys.readouterr().out
+
+    def test_fault_flag_validation(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure2"])
+        assert args.fault_rate is None and args.fault_trials is None
+        assert args.fault_model is None
+        args = parser.parse_args(
+            ["figure2", "--fault-rate", "0.05", "--fault-trials", "8"]
+        )
+        assert args.fault_rate == 0.05 and args.fault_trials == 8
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure2", "--fault-rate", "1.5"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure2", "--fault-trials", "-2"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure2", "--fault-model", "bridging"])
+
     def test_synth_command_with_verilog(self, capsys, tmp_path):
         verilog_path = tmp_path / "seeds.v"
         exit_code = main(

@@ -13,6 +13,8 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from strategies import operand_width_lists, rng_seeds, weight_tensors
 
 from repro.bespoke import BespokeConfig, synthesize, synthesize_cost_only
 from repro.clustering import cluster_model_weights
@@ -177,12 +179,15 @@ class TestMemoizedHardwareCosts:
         assert a == _ref_constant_multiplier(7, 4, egt)
         assert b == _ref_constant_multiplier(7, 4, silicon)
 
-    def test_adder_tree_from_widths_random_multisets(self, egt, rng):
-        for _ in range(200):
-            widths = rng.integers(1, 15, size=rng.integers(2, 24)).tolist()
-            assert adder_tree_from_widths(widths, egt) == _ref_adder_tree_from_widths(
-                widths, egt
-            ), widths
+    @given(widths=operand_width_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_adder_tree_from_widths_matches_reference(self, egt, widths):
+        """Property: the Huffman-heap kernel equals the seed sorted-list loop
+        on every operand-width multiset (hypothesis explores the domain and
+        shrinks failures to minimal multisets)."""
+        assert adder_tree_from_widths(widths, egt) == _ref_adder_tree_from_widths(
+            widths, egt
+        ), widths
 
     def test_adder_tree_uniform_matches_reference(self, egt):
         for n_operands in range(2, 33):
@@ -265,11 +270,15 @@ class TestQuantizerFastPath:
     """Fused fake-quantization == to_floats(to_integers(...))."""
 
     @pytest.mark.parametrize("bits", [2, 4, 8])
-    def test_matches_fixed_point_round_trip(self, bits, rng):
+    @given(values=weight_tensors())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_fixed_point_round_trip(self, bits, values):
+        """Property: the single-pass quantizer equals the two-step fixed-point
+        round trip on arbitrary weight tensors (all-zero and single-element
+        tensors included)."""
         quantizer = SymmetricQuantizer(bits=bits)
         for scale in (None, 0.125):
             quantizer.scale = scale
-            values = rng.normal(scale=3.0, size=(37, 11))
             fmt = quantizer.format_for(values)
             expected = fmt.to_floats(fmt.to_integers(values))
             got = quantizer(values)
@@ -289,13 +298,18 @@ class TestFusedAdam:
         return [rng.normal(size=shape) for shape in shapes]
 
     @pytest.mark.parametrize("weight_decay", [0.0, 0.01])
-    def test_trajectories_identical(self, rng, weight_decay):
+    @given(seed=rng_seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_trajectories_identical(self, weight_decay, seed):
+        """Property: fused and legacy Adam walk bitwise-identical trajectories
+        for any gradient stream (hypothesis drives the stream seed)."""
+        rng = np.random.default_rng(seed)
         shapes = [(7, 5), (5,), (5, 3), (3,)]
         params_fused = self._random_params(rng, shapes)
         params_legacy = [p.copy() for p in params_fused]
         fused = Adam(learning_rate=0.01, weight_decay=weight_decay)
         legacy = Adam(learning_rate=0.01, weight_decay=weight_decay, fused=False)
-        for _ in range(25):
+        for _ in range(10):
             grads = self._random_params(rng, shapes)
             fused.update(params_fused, grads)
             legacy.update(params_legacy, [g.copy() for g in grads])

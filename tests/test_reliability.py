@@ -1,5 +1,8 @@
 """Tests for the fault-injection / reliability analysis (repro.reliability)."""
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -14,6 +17,8 @@ from repro.reliability import (
     inject_faults,
     run_fault_injection,
 )
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "reliability_golden.json"
 
 
 class TestConfigValidation:
@@ -138,6 +143,22 @@ class TestCampaigns:
         )
         assert results[0].mean_accuracy >= results[1].mean_accuracy
 
+    def test_accuracy_std_matches_per_trial_accuracies(self, seeds_model, seeds_data):
+        result = run_fault_injection(
+            seeds_model,
+            seeds_data.test.features,
+            seeds_data.test.labels,
+            FaultInjectionConfig(fault_rate=0.2, n_trials=6, seed=1),
+        )
+        assert result.accuracy_std == float(np.std(result.accuracy_per_trial))
+        assert result.as_dict()["accuracy_std"] == result.accuracy_std
+        assert FaultInjectionResult(
+            config=result.config,
+            fault_free_accuracy=1.0,
+            mean_accuracy=1.0,
+            worst_accuracy=1.0,
+        ).accuracy_std == 0.0
+
     def test_compare_fault_tolerance_designs(self, seeds_model, seeds_data):
         quantized = seeds_model.clone()
         attach_quantizers(quantized, 3)
@@ -150,3 +171,58 @@ class TestCampaigns:
         assert set(comparison) == {"baseline", "quantized"}
         for result in comparison.values():
             assert 0.0 <= result.mean_accuracy <= 1.0
+
+
+class TestGoldenRegression:
+    """Pin the float-model sweep outputs with a checked-in fixture.
+
+    The fixture (``tests/data/reliability_golden.json``) was generated from
+    the shared Seeds classifier before the Monte-Carlo vectorization work
+    started, so any numeric drift in ``fault_rate_sweep`` /
+    ``compare_fault_tolerance`` — however it sneaks in — fails loudly. Exact
+    float equality is intended: these paths are fully seeded.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text())
+
+    @staticmethod
+    def _assert_matches(result, expected):
+        document = dict(
+            result.as_dict(),
+            accuracy_per_trial=result.accuracy_per_trial,
+            faults_per_trial=result.faults_per_trial,
+        )
+        assert document == expected
+
+    def test_fault_rate_sweep_pinned(self, seeds_model, seeds_data, golden):
+        sweep = fault_rate_sweep(
+            seeds_model,
+            seeds_data.test.features,
+            seeds_data.test.labels,
+            fault_rates=(0.01, 0.05, 0.2),
+            fault_model="open",
+            n_trials=6,
+            weight_bits=8,
+            seed=0,
+        )
+        assert len(sweep) == len(golden["fault_rate_sweep"])
+        for result, expected in zip(sweep, golden["fault_rate_sweep"]):
+            self._assert_matches(result, expected)
+
+    def test_compare_fault_tolerance_pinned(self, seeds_model, seeds_data, golden):
+        minimized = seeds_model.clone()
+        prune_by_magnitude(minimized, 0.4)
+        attach_quantizers(minimized, 4)
+        comparison = compare_fault_tolerance(
+            {"baseline": seeds_model, "minimized": minimized},
+            seeds_data.test.features,
+            seeds_data.test.labels,
+            FaultInjectionConfig(
+                fault_rate=0.1, fault_model="short", weight_bits=8, n_trials=5, seed=3
+            ),
+        )
+        assert set(comparison) == set(golden["compare_fault_tolerance"])
+        for name, result in comparison.items():
+            self._assert_matches(result, golden["compare_fault_tolerance"][name])

@@ -179,3 +179,69 @@ class TestExhaustiveBaselines:
         )
         assert len(points) == 4
         assert all(p.technique == "combined" for p in points)
+
+
+class TestRobustnessAwareGA:
+    """Fault tolerance as a third NSGA-II objective (PR-5 tentpole wiring)."""
+
+    @pytest.fixture(scope="class")
+    def robust_result(self, prepared):
+        config = GAConfig(
+            population_size=6, n_generations=2, finetune_epochs=2, seed=0,
+            fault_rate=0.1, n_fault_trials=4, fault_model="short",
+            bit_choices=(2, 4, 8), sparsity_choices=(0.0, 0.3, 0.6), cluster_choices=(0, 2),
+        )
+        return HardwareAwareGA(prepared, config=config).run()
+
+    def test_every_point_carries_robustness(self, robust_result):
+        for point in robust_result.front + robust_result.all_points:
+            assert point.robust_accuracy is not None
+            assert point.accuracy_std is not None
+            assert 0.0 <= point.robust_accuracy <= 1.0
+
+    def test_front_is_robust_nondominated(self, robust_result):
+        assert robust_result.front == pareto_front(robust_result.front, robust=True)
+
+    def test_deterministic_given_seed(self, prepared, robust_result):
+        config = GAConfig(
+            population_size=6, n_generations=2, finetune_epochs=2, seed=0,
+            fault_rate=0.1, n_fault_trials=4, fault_model="short",
+            bit_choices=(2, 4, 8), sparsity_choices=(0.0, 0.3, 0.6), cluster_choices=(0, 2),
+        )
+        repeat = HardwareAwareGA(prepared, config=config).run()
+        assert [
+            (p.accuracy, p.area, p.robust_accuracy, p.accuracy_std)
+            for p in repeat.front
+        ] == [
+            (p.accuracy, p.area, p.robust_accuracy, p.accuracy_std)
+            for p in robust_result.front
+        ]
+
+    def test_ga_inherits_pipeline_fault_knobs(self, prepared):
+        from dataclasses import replace
+
+        from repro.search import evaluation_settings_for
+
+        pipeline_config = replace(
+            prepared.config, fault_rate=0.2, n_fault_trials=3, fault_model="level_shift"
+        )
+        inherited = evaluation_settings_for(GAConfig(finetune_epochs=2), pipeline_config)
+        assert inherited.fault_rate == 0.2
+        assert inherited.n_fault_trials == 3
+        assert inherited.fault_model == "level_shift"
+        assert inherited.robustness_enabled
+        # Explicit GA knobs beat the pipeline's.
+        overridden = evaluation_settings_for(
+            GAConfig(finetune_epochs=2, fault_rate=0.05, n_fault_trials=0),
+            pipeline_config,
+        )
+        assert overridden.fault_rate == 0.05
+        assert overridden.n_fault_trials == 0
+        assert not overridden.robustness_enabled
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"fault_rate": 1.5}, {"fault_rate": -0.1}, {"n_fault_trials": -1}]
+    )
+    def test_invalid_fault_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GAConfig(**kwargs)

@@ -2,13 +2,16 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from strategies import genomes, objective_vectors, rng_seeds
 
 from repro.search.genome import Genome, GenomeSpace
 from repro.search.nsga2 import (
     crowding_distance,
+    crowding_distance_reference,
     dominates,
     fast_non_dominated_sort,
+    fast_non_dominated_sort_reference,
     nsga2_rank,
     select_survivors,
     tournament_select,
@@ -54,13 +57,11 @@ class TestNonDominatedSort:
     def test_empty_input(self):
         assert fast_non_dominated_sort([]) == []
 
-    @given(
-        st.lists(
-            st.tuples(st.floats(0, 10), st.floats(0, 10)), min_size=1, max_size=40
-        )
-    )
+    @given(objectives=objective_vectors(allow_ties=False))
     @settings(max_examples=50, deadline=None)
     def test_fronts_partition_population(self, objectives):
+        """Property over 2- AND 3-objective populations (the robustness-aware
+        search ranks on three)."""
         objectives = [list(o) for o in objectives]
         fronts = fast_non_dominated_sort(objectives)
         flattened = [i for front in fronts for i in front]
@@ -71,6 +72,20 @@ class TestNonDominatedSort:
                 for i in front:
                     for j in later_front:
                         assert not dominates(objectives[j], objectives[i])
+
+    @given(objectives=objective_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_sort_and_crowding_match_reference(self, objectives):
+        """Property: the vectorized NSGA-II primitives equal the retained
+        reference loops — duplicate (tied) objective vectors included — at
+        both objective arities."""
+        objectives = [list(o) for o in objectives]
+        assert fast_non_dominated_sort(objectives) == fast_non_dominated_sort_reference(
+            objectives
+        )
+        fast = crowding_distance(objectives)
+        reference = crowding_distance_reference(objectives)
+        assert fast.tobytes() == reference.tobytes()
 
 
 class TestCrowdingAndSelection:
@@ -148,17 +163,29 @@ class TestGenome:
 
 
 class TestGenomeSpace:
-    @pytest.fixture
+    # Module scope: GenomeSpace is immutable, and hypothesis-driven tests
+    # must not depend on function-scoped fixtures.
+    @pytest.fixture(scope="module")
     def space(self):
         return GenomeSpace(n_layers=2)
 
-    def test_random_genomes_within_alphabets(self, space):
-        generator = np.random.default_rng(0)
-        for _ in range(30):
-            genome = space.random_genome(generator)
-            assert all(b in space.bit_choices for b in genome.weight_bits)
-            assert all(s in space.sparsity_choices for s in genome.sparsity)
-            assert all(c in space.cluster_choices for c in genome.clusters)
+    @given(seed=rng_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_random_genomes_within_alphabets(self, space, seed):
+        generator = np.random.default_rng(seed)
+        genome = space.random_genome(generator)
+        assert all(b in space.bit_choices for b in genome.weight_bits)
+        assert all(s in space.sparsity_choices for s in genome.sparsity)
+        assert all(c in space.cluster_choices for c in genome.clusters)
+
+    @given(genome=genomes())
+    @settings(max_examples=40, deadline=None)
+    def test_strategy_genomes_are_valid_and_cacheable(self, genome):
+        """The shared genome strategy emits valid, hashable genomes whose
+        dict form round-trips (what the evaluation cache relies on)."""
+        assert genome.n_layers >= 1
+        assert hash(genome.key()) == hash(Genome(**genome.as_dict()).key())
+        assert Genome(**genome.as_dict()) == genome
 
     def test_baseline_genome_is_do_nothing(self, space):
         genome = space.baseline_genome()
@@ -173,24 +200,39 @@ class TestGenomeSpace:
         assert any(any(c > 0 for c in g.clusters) for g in seeds)       # clustering corner
         assert any(any(b < 8 for b in g.weight_bits) for g in seeds)    # quantization corner
 
-    def test_mutation_stays_in_space(self, space):
-        generator = np.random.default_rng(1)
-        genome = space.baseline_genome()
-        for _ in range(50):
+    @given(genome=genomes(min_layers=2, max_layers=2), seed=rng_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_mutation_stays_in_space(self, space, genome, seed):
+        """Property: mutation maps any space genome back into the space for
+        any RNG stream."""
+        generator = np.random.default_rng(seed)
+        for _ in range(10):
             genome = space.mutate_gene(genome, generator, mutation_rate=0.8)
             assert all(b in space.bit_choices for b in genome.weight_bits)
             assert all(s in space.sparsity_choices for s in genome.sparsity)
             assert all(c in space.cluster_choices for c in genome.clusters)
 
-    def test_crossover_genes_come_from_parents(self, space):
-        generator = np.random.default_rng(2)
-        parent_a = space.random_genome(generator)
-        parent_b = space.random_genome(generator)
+    @given(
+        parent_a=genomes(min_layers=2, max_layers=2),
+        parent_b=genomes(min_layers=2, max_layers=2),
+        seed=rng_seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_crossover_genes_come_from_parents(self, space, parent_a, parent_b, seed):
+        generator = np.random.default_rng(seed)
         child = space.crossover(parent_a, parent_b, generator)
         for layer in range(2):
             assert child.weight_bits[layer] in (
                 parent_a.weight_bits[layer],
                 parent_b.weight_bits[layer],
+            )
+            assert child.sparsity[layer] in (
+                parent_a.sparsity[layer],
+                parent_b.sparsity[layer],
+            )
+            assert child.clusters[layer] in (
+                parent_a.clusters[layer],
+                parent_b.clusters[layer],
             )
 
     def test_crossover_layer_mismatch_rejected(self, space):
