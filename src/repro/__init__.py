@@ -22,58 +22,99 @@ Sub-packages:
 * :mod:`repro.bespoke` — bespoke circuit generation and synthesis reports.
 * :mod:`repro.quantization` / :mod:`repro.pruning` / :mod:`repro.clustering`
   — the three minimization techniques.
-* :mod:`repro.core` — design points, Pareto analysis, the evaluation pipeline.
+* :mod:`repro.core` — design points, Pareto analysis, the evaluation
+  pipeline, and the pluggable array-backend registry
+  (:mod:`repro.core.backend`).
+* :mod:`repro.reliability` — Monte-Carlo fault injection for hard-wired
+  classifiers.
 * :mod:`repro.search` — the hardware-aware genetic algorithm.
 * :mod:`repro.campaign` — resumable multi-dataset search campaigns.
 * :mod:`repro.experiments` — Figure/Table reproduction drivers.
 """
 
-from .bespoke import BespokeConfig, SynthesisReport, synthesize, synthesize_baseline
-from .campaign import CampaignRunner, CampaignSpec, load_spec
+# ``repro.core`` is imported first on purpose: it loads the array-backend
+# registry (``repro.core.backend``) before any subsystem that consumes it,
+# which keeps the core -> bespoke -> nn -> core.backend import chain acyclic.
 from .core import (
+    ArrayBackend,
     DesignPoint,
     MinimizationPipeline,
     NormalizedPoint,
     PipelineConfig,
     SweepResult,
     area_gain_table,
+    available_backends,
     best_area_gain_at_loss,
     evaluate_dataset,
     fast_config,
+    get_backend,
     pareto_front,
+    register_backend,
+    resolve_backend,
 )
+
+from .bespoke import (
+    BespokeConfig,
+    FixedPointSimulator,
+    SynthesisReport,
+    synthesize,
+    synthesize_baseline,
+)
+from .campaign import CampaignRunner, CampaignSpec, load_spec
 from .datasets import load_dataset, prepare_split, train_val_test_split
 from .hardware import egt_library, get_technology
 from .nn import MLP, build_mlp, train_classifier
-from .search import GAConfig, HardwareAwareGA, run_combined_search
+from .reliability import monte_carlo_fault_injection
+from .search import (
+    EvaluationSettings,
+    GAConfig,
+    HardwareAwareGA,
+    ParallelEvaluator,
+    SerialEvaluator,
+    create_evaluator,
+    resolve_evaluation_settings,
+    run_combined_search,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArrayBackend",
     "BespokeConfig",
     "CampaignRunner",
     "CampaignSpec",
     "DesignPoint",
+    "EvaluationSettings",
+    "FixedPointSimulator",
     "GAConfig",
     "HardwareAwareGA",
     "MLP",
     "MinimizationPipeline",
     "NormalizedPoint",
+    "ParallelEvaluator",
     "PipelineConfig",
+    "SerialEvaluator",
     "SweepResult",
     "SynthesisReport",
     "__version__",
     "area_gain_table",
+    "available_backends",
     "best_area_gain_at_loss",
     "build_mlp",
+    "create_evaluator",
     "egt_library",
     "evaluate_dataset",
     "fast_config",
+    "get_backend",
     "get_technology",
     "load_dataset",
     "load_spec",
+    "monte_carlo_fault_injection",
     "pareto_front",
     "prepare_split",
+    "register_backend",
+    "resolve_backend",
+    "resolve_evaluation_settings",
     "run_combined_search",
     "synthesize",
     "synthesize_baseline",

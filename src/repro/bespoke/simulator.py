@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.backend import resolve_backend
 from ..hardware.fixed_point import FixedPointFormat, derive_format
 from ..nn.network import MLP
 from .circuit import BespokeConfig, _dense_relu_flags
@@ -258,7 +259,9 @@ def validate_population(simulators: Sequence["FixedPointSimulator"]) -> None:
 
 
 def simulate_population(
-    simulators: Sequence["FixedPointSimulator"], features: np.ndarray
+    simulators: Sequence["FixedPointSimulator"],
+    features: np.ndarray,
+    backend=None,
 ) -> np.ndarray:
     """Population-axis extension of :meth:`FixedPointSimulator.simulate_batch`.
 
@@ -267,13 +270,16 @@ def simulate_population(
     batch through every circuit with one batched integer matmul per layer:
     ``(G, n_samples, n_outputs)`` integer scores, where slice ``g`` is
     *exactly* ``simulators[g].simulate_batch(features)`` — the datapath is
-    pure int64 arithmetic, so batching cannot change a single bit.
+    pure int64 arithmetic, so batching cannot change a single bit (on any
+    backend: integer matmul is exact everywhere, see ``docs/backends.md``).
 
     All simulators must share input bit-width, layer shapes and ReLU flags
     (see :func:`validate_population`); only the integer coefficients may
-    differ.
+    differ. ``backend`` names the array backend (``None`` = resolve via
+    :func:`repro.core.backend.resolve_backend`).
     """
     validate_population(simulators)
+    ops = resolve_backend(backend)
     first = simulators[0]
     activations = first.quantize_inputs(features)
     if activations.shape[1] != first.layers[0].n_inputs:
@@ -288,7 +294,7 @@ def simulate_population(
         bias = np.stack(
             [simulator.layers[layer_index].bias for simulator in simulators]
         )
-        accumulators = np.matmul(out, weights) + bias[:, None, :]
+        accumulators = ops.matmul(out, weights) + bias[:, None, :]
         if first.layers[layer_index].relu:
             accumulators = np.maximum(accumulators, 0)
         out = accumulators
@@ -299,15 +305,19 @@ def population_accuracy(
     simulators: Sequence["FixedPointSimulator"],
     features: np.ndarray,
     labels: np.ndarray,
+    backend=None,
 ) -> np.ndarray:
     """Top-1 accuracy of every circuit of a population in one batched pass.
 
     Returns a ``(G,)`` float vector; entry ``g`` equals
-    ``simulators[g].evaluate_accuracy(features, labels)`` exactly.
+    ``simulators[g].evaluate_accuracy(features, labels)`` exactly (scores
+    are integers and every backend's argmax uses the first-occurrence tie
+    rule).
     """
+    ops = resolve_backend(backend)
     labels = np.asarray(labels).reshape(-1).astype(int)
-    scores = simulate_population(simulators, features)
-    predictions = np.argmax(scores, axis=-1)
+    scores = simulate_population(simulators, features, backend=ops)
+    predictions = ops.argmax(scores)
     return (predictions == labels).mean(axis=-1)
 
 

@@ -36,7 +36,7 @@ from ..core.config import PipelineConfig
 from ..core.results import DesignPoint
 from ..search.evaluator import EvaluationCache
 from ..search.genome import Genome
-from ..search.objectives import EvaluationSettings
+from ..search.settings import EvaluationSettings
 
 
 class SimulatedCrash(RuntimeError):

@@ -32,8 +32,8 @@ from ..core.pareto import best_area_gain_at_loss, pareto_front
 from ..core.pipeline import MinimizationPipeline
 from ..search.evaluator import EvaluationCache
 from ..search.exhaustive import grid_search, random_search
-from ..search.ga import GAConfig, HardwareAwareGA, evaluation_settings_for
-from ..search.objectives import EvaluationSettings
+from ..search.ga import GAConfig, HardwareAwareGA
+from ..search.settings import resolve_evaluation_settings
 from .cache import PersistentEvaluationCache, evaluation_context_key
 from .journal import CampaignJournal, read_json, write_json_atomic
 from .spec import CampaignSpec, JobSpec, parse_shard, select_shard
@@ -103,18 +103,14 @@ def execute_job(
     ga_config: Optional[GAConfig] = None
     if job.algorithm == "ga":
         ga_config = GAConfig(**params, seed=job.seed)
-        # Fault knobs resolve exactly as HardwareAwareGA would resolve them
-        # (GA params first, pipeline overrides as the fallback), so the
-        # cache context key and the search agree on what was evaluated.
-        settings = evaluation_settings_for(ga_config, config)
+        # Every knob (fault settings, backend) resolves exactly as
+        # HardwareAwareGA would resolve it (GA params first, pipeline
+        # overrides as the fallback), so the cache context key and the
+        # search agree on what was evaluated.
+        settings = resolve_evaluation_settings(config, ga_config=ga_config)
         cache_bound = ga_config.cache_size
     else:
-        settings = EvaluationSettings(
-            finetune_epochs=config.finetune_epochs,
-            fault_rate=config.fault_rate,
-            n_fault_trials=config.n_fault_trials,
-            fault_model=config.fault_model,
-        )
+        settings = resolve_evaluation_settings(config)
         cache_bound = config.cache_size
     if cache_bound is None:
         cache_bound = config.cache_size

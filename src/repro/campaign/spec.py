@@ -56,6 +56,7 @@ _GA_PARAMS = frozenset(
         "fault_rate",
         "n_fault_trials",
         "fault_model",
+        "backend",
         "bit_choices",
         "sparsity_choices",
         "cluster_choices",

@@ -39,6 +39,7 @@ from .campaign import (
 )
 from .campaign.journal import CampaignJournal
 from .core import MinimizationPipeline, PipelineConfig, fast_config, profiling
+from .core.backend import registered_backends
 from .datasets import resolve_dataset_names
 from .experiments import (
     PAPER_HEADLINE_GAINS,
@@ -52,11 +53,15 @@ from .search import GAConfig
 
 
 def _pipeline_config(
-    dataset: str, fast: bool, seed: int, workers: int = 1
+    dataset: str,
+    fast: bool,
+    seed: int,
+    workers: int = 1,
+    backend: Optional[str] = None,
 ) -> PipelineConfig:
     if fast:
-        return fast_config(dataset, seed=seed, n_workers=workers)
-    return PipelineConfig(dataset=dataset, seed=seed, n_workers=workers)
+        return fast_config(dataset, seed=seed, n_workers=workers, backend=backend)
+    return PipelineConfig(dataset=dataset, seed=seed, n_workers=workers, backend=backend)
 
 
 def _cache_size_argument(value: str) -> int:
@@ -102,7 +107,12 @@ def _datasets_argument(value: Optional[str]) -> List[str]:
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
     for dataset in _datasets_argument(args.dataset):
-        row = baseline_for(dataset, config=_pipeline_config(dataset, args.fast, args.seed, args.workers))
+        row = baseline_for(
+            dataset,
+            config=_pipeline_config(
+                dataset, args.fast, args.seed, args.workers, args.backend
+            ),
+        )
         print(row.format())
     return 0
 
@@ -110,7 +120,9 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
 def _cmd_figure1(args: argparse.Namespace) -> int:
     gains_by_dataset = {}
     for dataset in _datasets_argument(args.dataset):
-        config = _pipeline_config(dataset, args.fast, args.seed, args.workers)
+        config = _pipeline_config(
+            dataset, args.fast, args.seed, args.workers, args.backend
+        )
         panel = run_figure1_panel(dataset, config=config)
         gains_by_dataset[dataset] = panel.area_gains
         print()
@@ -128,7 +140,9 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
-    config = _pipeline_config(args.dataset, args.fast, args.seed, args.workers)
+    config = _pipeline_config(
+        args.dataset, args.fast, args.seed, args.workers, args.backend
+    )
     ga_config = GAConfig(
         population_size=args.population,
         n_generations=args.generations,
@@ -162,7 +176,9 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
-    config = _pipeline_config(args.dataset, args.fast, args.seed, args.workers)
+    config = _pipeline_config(
+        args.dataset, args.fast, args.seed, args.workers, args.backend
+    )
     pipeline = MinimizationPipeline(config)
     prepared = pipeline.prepare()
     model = prepared.baseline_model.clone()
@@ -305,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "GA — other subcommands only carry it in their "
                               "pipeline config. Results are bit-identical at "
                               "any worker count")
+        sub.add_argument("--backend", default=None,
+                         choices=sorted(registered_backends()),
+                         help="array backend for the population tensor engine "
+                              "(default: numpy, or REPRO_BACKEND if set). The "
+                              "numpy backend is the bit-exact reference; torch "
+                              "requires the 'torch' extra")
         sub.add_argument("--profile", action="store_true",
                          help="print a stage-timing breakdown after the run: "
                               "the search stages (ga_selection / ga_sort / "

@@ -1,0 +1,557 @@
+"""Pluggable array-ops backend for the population tensor engine.
+
+The four G-axis subsystems — the stacked QAT trainer
+(:mod:`repro.nn.stacked` + :class:`repro.nn.optimizers.StackedAdam`), the
+fixed-point population simulator (:func:`repro.bespoke.simulator.simulate_population`),
+the vectorized NSGA-II primitives (:mod:`repro.search.nsga2`) and the
+Monte-Carlo fault-injection kernels (:mod:`repro.reliability.monte_carlo`) —
+share a small set of hot array operations: batched ``matmul`` over
+``(G, ...)`` stacks, contiguous segment reductions, k-smallest selection,
+scatter along the trial axis, the rint/clip fake-quantization pass, argmax
+with numpy's first-occurrence tie rule, a fused Adam step, and turning
+SHAKE-256 byte streams into draw matrices.
+
+This module names those operations once (:class:`ArrayBackend`) so the
+kernels can be pointed at different array libraries without forking the
+engine. Two implementations ship:
+
+* :class:`NumpyBackend` (default) — every method is the *literal* numpy
+  call the kernels historically made, so routing through the seam is
+  byte-identical to the pre-seam code. All bit-identity contracts
+  (stacked-vs-serial training, vectorized-vs-reference Monte Carlo,
+  NSGA-II-vs-reference sorting) are stated for this backend.
+* :class:`TorchBackend` — optional, gated behind the ``torch`` extra.
+  Operations accept/return numpy arrays and run the heavy compute through
+  torch CPU tensors (``torch.from_numpy`` shares memory, so in-place ops
+  mutate the caller's buffers exactly like the numpy path). Integer
+  operations (the bespoke datapath, argmax outcomes) are exact; float
+  operations (stacked training) agree to BLAS reduction order —
+  ``allclose``, not byte equality. See ``docs/backends.md``.
+
+Selection precedence (resolved by :func:`resolve_backend`):
+
+1. an explicit ``backend=`` argument (name or :class:`ArrayBackend` instance),
+2. ``PipelineConfig.backend`` / ``GAConfig.backend`` / ``EvaluationSettings.backend``
+   (threaded by the evaluation-settings resolver),
+3. the ``REPRO_BACKEND`` environment variable,
+4. ``"numpy"``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+#: Environment variable consulted when no explicit backend is requested.
+ENV_VAR = "REPRO_BACKEND"
+
+#: The backend every contract is stated against.
+DEFAULT_BACKEND = "numpy"
+
+
+class ArrayBackend:
+    """The array-ops protocol the population kernels are written against.
+
+    Subclasses implement each operation for one array library. All methods
+    accept numpy arrays; operations documented as in-place (``quantize``,
+    ``put_along_axis``, ``adam_step``) must mutate the provided buffers so
+    callers can keep preallocated storage across steps.
+    """
+
+    #: Registry name of the backend (``"numpy"``, ``"torch"``, ...).
+    name: str = "abstract"
+
+    # -- linear algebra ----------------------------------------------------------
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Broadcasted matrix product (``(G, N, I) @ (G, I, O)`` and friends)."""
+        raise NotImplementedError
+
+    # -- reductions and selection ------------------------------------------------
+
+    def segment_max(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Per-row max of contiguous segments of ``values`` along axis 1.
+
+        ``starts`` holds the first flat index of each segment (the last
+        segment runs to the end of the row) — the ``np.maximum.reduceat``
+        geometry the stacked quantizer uses for per-tensor scales.
+        """
+        raise NotImplementedError
+
+    def take(
+        self, values: np.ndarray, indices: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Gather columns of ``values`` along axis 1 (broadcasts segment scales)."""
+        raise NotImplementedError
+
+    def smallest_k(self, keys: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the ``k`` smallest keys per row (order unspecified).
+
+        Backends may pick any of several equal-key tie-breaks; the
+        Monte-Carlo kernels draw 64-bit keys, where ties are vanishingly
+        rare, and sort the returned indices themselves.
+        """
+        raise NotImplementedError
+
+    def argmax(self, scores: np.ndarray) -> np.ndarray:
+        """Argmax over the last axis with numpy's first-occurrence tie rule."""
+        raise NotImplementedError
+
+    def argsort_stable(self, values: np.ndarray) -> np.ndarray:
+        """Stable ascending argsort of a 1-D vector (NSGA-II crowding order)."""
+        raise NotImplementedError
+
+    def domination_matrix(self, objectives: np.ndarray) -> np.ndarray:
+        """Boolean ``[i, j] = solution i Pareto-dominates solution j`` matrix."""
+        raise NotImplementedError
+
+    # -- scatter -----------------------------------------------------------------
+
+    def put_along_axis(
+        self, stack: np.ndarray, indices: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Scatter ``values`` into ``stack`` along the last axis, in place.
+
+        Indices are unique per row (fault sites are sampled without
+        replacement), so write order cannot matter.
+        """
+        raise NotImplementedError
+
+    # -- fused kernels -----------------------------------------------------------
+
+    def quantize(
+        self,
+        values: np.ndarray,
+        scale: np.ndarray,
+        neg_level: np.ndarray,
+        pos_level: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """The fake-quantization pass: divide, rint, clip, renormalize, rescale.
+
+        Writes into ``out`` with the exact float sequence of the serial
+        quantizer (including the ``+ 0.0`` negative-zero normalization).
+        """
+        raise NotImplementedError
+
+    def adam_step(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        m: np.ndarray,
+        v: np.ndarray,
+        step: np.ndarray,
+        sq: np.ndarray,
+        denom: np.ndarray,
+        learning_rates: np.ndarray,
+        beta1: float,
+        beta2: float,
+        epsilon: float,
+        t: int,
+    ) -> None:
+        """One fused in-place Adam step on a ``(G, P)`` parameter stack.
+
+        Must reproduce the per-element float sequence of
+        :class:`repro.nn.optimizers.Adam`'s fused path (moments, bias
+        correction, per-row learning rate, denominator, update).
+        """
+        raise NotImplementedError
+
+    # -- randomness --------------------------------------------------------------
+
+    def draws_from_bytes(self, raw: bytes, n_rows: int, n_cols: int) -> np.ndarray:
+        """Big-endian uint64 draw matrix from a SHAKE-256 byte stream.
+
+        Draw interpretation is part of the determinism contract (patterns
+        depend only on the byte stream), so the default implementation is
+        shared: backends keep draws as numpy uint64 and only accelerate the
+        arithmetic that consumes them.
+        """
+        return (
+            np.frombuffer(raw, dtype=">u8")
+            .astype(np.uint64, copy=False)
+            .reshape(n_rows, n_cols)
+        )
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: the literal numpy calls of the pre-seam kernels.
+
+    Every method is a thin alias for the exact call the hot loops used to
+    make, so the numpy path is byte-identical by construction — the
+    ``*_reference`` loops kept throughout the codebase remain its oracles.
+    """
+
+    name = "numpy"
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``np.matmul`` (BLAS per 2-D slice of the broadcasted stack)."""
+        return np.matmul(a, b)
+
+    def segment_max(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """``np.maximum.reduceat`` over contiguous row segments."""
+        return np.maximum.reduceat(values, starts, axis=1)
+
+    def take(
+        self, values: np.ndarray, indices: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """``np.take`` along axis 1 (optionally into a preallocated buffer)."""
+        return np.take(values, indices, axis=1, out=out)
+
+    def smallest_k(self, keys: np.ndarray, k: int) -> np.ndarray:
+        """``np.argpartition`` around the ``k``-th key, first ``k`` columns."""
+        return np.argpartition(keys, k - 1, axis=-1)[:, :k]
+
+    def argmax(self, scores: np.ndarray) -> np.ndarray:
+        """``np.argmax`` over the last axis (first-occurrence ties)."""
+        return np.argmax(scores, axis=-1)
+
+    def argsort_stable(self, values: np.ndarray) -> np.ndarray:
+        """``np.argsort(kind="stable")``."""
+        return np.argsort(values, kind="stable")
+
+    def domination_matrix(self, objectives: np.ndarray) -> np.ndarray:
+        """One broadcasted comparison for the full pairwise domination matrix."""
+        left = objectives[:, None, :]
+        right = objectives[None, :, :]
+        return np.logical_and(
+            np.all(left <= right, axis=-1), np.any(left < right, axis=-1)
+        )
+
+    def put_along_axis(
+        self, stack: np.ndarray, indices: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """``np.put_along_axis`` on the last axis, in place."""
+        np.put_along_axis(stack, indices, values, axis=-1)
+        return stack
+
+    def quantize(
+        self,
+        values: np.ndarray,
+        scale: np.ndarray,
+        neg_level: np.ndarray,
+        pos_level: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """The serial quantizer's literal divide/rint/clip/rescale sequence."""
+        np.divide(values, scale, out=out)
+        np.rint(out, out=out)
+        np.maximum(out, neg_level, out=out)
+        np.minimum(out, pos_level, out=out)
+        out += 0.0  # normalize IEEE -0.0 like the serial quantizer
+        out *= scale
+        return out
+
+    def adam_step(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        m: np.ndarray,
+        v: np.ndarray,
+        step: np.ndarray,
+        sq: np.ndarray,
+        denom: np.ndarray,
+        learning_rates: np.ndarray,
+        beta1: float,
+        beta2: float,
+        epsilon: float,
+        t: int,
+    ) -> None:
+        """Identical per-element float sequence to ``Adam._update_fused``."""
+        np.multiply(grads, 1.0 - beta1, out=step)
+        m *= beta1
+        m += step
+        np.multiply(grads, grads, out=sq)
+        sq *= 1.0 - beta2
+        v *= beta2
+        v += sq
+        np.divide(m, 1.0 - beta1**t, out=step)
+        step *= learning_rates
+        np.divide(v, 1.0 - beta2**t, out=denom)
+        np.sqrt(denom, out=denom)
+        denom += epsilon
+        step /= denom
+        params -= step
+
+
+class TorchBackend(ArrayBackend):  # pragma: no cover - exercised by the torch CI job
+    """Torch CPU implementation of the protocol, gated behind the extra.
+
+    Accepts and returns numpy arrays: ``torch.from_numpy`` shares memory,
+    so the in-place operations mutate the caller's buffers directly and the
+    kernels keep their preallocated-storage structure. Integer arithmetic
+    (the bespoke datapath, fault scatters, argmax outcomes) is exact; float
+    arithmetic matches numpy to BLAS reduction order (``allclose``).
+    """
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        import torch  # noqa: PLC0415 - the gate is the whole point
+
+        self._torch = torch
+
+    def _tensor(self, array: np.ndarray):
+        """Zero-copy view when possible, else a converted CPU tensor."""
+        array = np.ascontiguousarray(array)
+        return self._torch.from_numpy(array)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``torch.matmul`` with numpy-compatible leading-dim broadcasting."""
+        return self._torch.matmul(self._tensor(a), self._tensor(b)).numpy()
+
+    def segment_max(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Per-segment ``amax`` (segment counts are small: two per layer)."""
+        tensor = self._tensor(values)
+        bounds = [int(s) for s in starts] + [tensor.shape[1]]
+        columns = [
+            tensor[:, lo:hi].amax(dim=1) for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        return self._torch.stack(columns, dim=1).numpy()
+
+    def take(
+        self, values: np.ndarray, indices: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """``torch.index_select`` along dim 1."""
+        gathered = self._torch.index_select(
+            self._tensor(values), 1, self._tensor(np.asarray(indices, dtype=np.int64))
+        ).numpy()
+        if out is not None:
+            out[...] = gathered
+            return out
+        return gathered
+
+    def smallest_k(self, keys: np.ndarray, k: int) -> np.ndarray:
+        """``torch.topk(largest=False)`` on an order-preserving int64 view.
+
+        Torch has no uint64, so the unsigned keys are mapped through an XOR
+        of the sign bit — a strictly monotone reinterpretation — before the
+        top-k. Equal keys may break ties differently from
+        ``np.argpartition``; the kernels draw 64-bit keys where ties are
+        vanishingly rare.
+        """
+        signed = (keys ^ np.uint64(1 << 63)).view(np.int64)
+        picks = self._torch.topk(
+            self._tensor(signed), k, dim=-1, largest=False, sorted=False
+        ).indices
+        return picks.numpy()
+
+    def argmax(self, scores: np.ndarray) -> np.ndarray:
+        """``torch.argmax`` (documented first-occurrence ties on CPU)."""
+        return self._torch.argmax(self._tensor(scores), dim=-1).numpy()
+
+    def argsort_stable(self, values: np.ndarray) -> np.ndarray:
+        """``torch.argsort(stable=True)``."""
+        return self._torch.argsort(self._tensor(values), stable=True).numpy()
+
+    def domination_matrix(self, objectives: np.ndarray) -> np.ndarray:
+        """Broadcasted pairwise domination tests, as in the numpy backend."""
+        tensor = self._tensor(objectives)
+        left = tensor.unsqueeze(1)
+        right = tensor.unsqueeze(0)
+        dominated = (left <= right).all(dim=-1) & (left < right).any(dim=-1)
+        return dominated.numpy()
+
+    def put_along_axis(
+        self, stack: np.ndarray, indices: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """In-place ``scatter_`` through a shared-memory tensor view."""
+        tensor = self._torch.from_numpy(stack)
+        index = self._tensor(np.asarray(indices, dtype=np.int64))
+        tensor.scatter_(-1, index, self._tensor(values).to(tensor.dtype))
+        return stack
+
+    def quantize(
+        self,
+        values: np.ndarray,
+        scale: np.ndarray,
+        neg_level: np.ndarray,
+        pos_level: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """The quantization sequence with torch ops on shared-memory views.
+
+        ``torch.round`` rounds half to even, matching ``np.rint``.
+        """
+        torch = self._torch
+        buffer = torch.from_numpy(out)
+        torch.div(self._tensor(values), self._tensor(scale), out=buffer)
+        torch.round(buffer, out=buffer)
+        torch.maximum(buffer, self._tensor(neg_level), out=buffer)
+        torch.minimum(buffer, self._tensor(pos_level), out=buffer)
+        buffer += 0.0
+        buffer *= torch.from_numpy(scale)
+        return out
+
+    def adam_step(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        m: np.ndarray,
+        v: np.ndarray,
+        step: np.ndarray,
+        sq: np.ndarray,
+        denom: np.ndarray,
+        learning_rates: np.ndarray,
+        beta1: float,
+        beta2: float,
+        epsilon: float,
+        t: int,
+    ) -> None:
+        """The fused Adam sequence on shared-memory tensor views."""
+        torch = self._torch
+        g = self._tensor(grads)
+        m_t, v_t = torch.from_numpy(m), torch.from_numpy(v)
+        step_t, sq_t = torch.from_numpy(step), torch.from_numpy(sq)
+        denom_t = torch.from_numpy(denom)
+        torch.mul(g, 1.0 - beta1, out=step_t)
+        m_t *= beta1
+        m_t += step_t
+        torch.mul(g, g, out=sq_t)
+        sq_t *= 1.0 - beta2
+        v_t *= beta2
+        v_t += sq_t
+        torch.div(m_t, 1.0 - beta1**t, out=step_t)
+        step_t *= torch.from_numpy(learning_rates)
+        torch.div(v_t, 1.0 - beta2**t, out=denom_t)
+        torch.sqrt(denom_t, out=denom_t)
+        denom_t += epsilon
+        step_t /= denom_t
+        torch.from_numpy(params).sub_(step_t)
+
+
+#: Registered backend factories, by name.
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    "torch": TorchBackend,
+}
+
+#: Instantiated backends (they are stateless, so one instance each suffices).
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a custom backend factory under ``name``.
+
+    The factory is called lazily on first resolution; it should raise
+    ``ImportError`` when its array library is unavailable. Registering an
+    existing name replaces it (and drops any cached instance).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"Backend name must be a non-empty string, got {name!r}")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def registered_backends() -> List[str]:
+    """Names of every registered backend, available or not."""
+    return sorted(_FACTORIES)
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered and its array library is importable."""
+    if name not in _FACTORIES:
+        return False
+    if name in _INSTANCES or name == "numpy":
+        return True
+    if name == "torch":
+        return importlib.util.find_spec("torch") is not None
+    try:  # custom backends: availability is whether the factory constructs
+        _INSTANCES[name] = _FACTORIES[name]()
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> List[str]:
+    """Names of the registered backends usable in this environment."""
+    return [name for name in registered_backends() if backend_available(name)]
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """The (cached) backend instance registered under ``name``.
+
+    Raises:
+        ValueError: unknown name.
+        ImportError: the backend's array library is not installed.
+    """
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"Unknown array backend '{name}'. Registered: {registered_backends()}"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        try:
+            instance = _FACTORIES[name]()
+        except ImportError as error:
+            raise ImportError(
+                f"Array backend '{name}' is registered but its library is not "
+                f"installed (install the '{name}' extra, e.g. "
+                f"pip install repro-printed-mlp[{name}])"
+            ) from error
+        _INSTANCES[name] = instance
+    return instance
+
+
+def default_backend_name() -> str:
+    """The backend name used when nothing explicit is configured.
+
+    ``REPRO_BACKEND`` when set (and non-empty), else ``"numpy"``.
+    """
+    return os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+
+
+def resolve_backend(
+    backend: Optional[Union[str, ArrayBackend]] = None,
+) -> ArrayBackend:
+    """Resolve a backend request to an :class:`ArrayBackend` instance.
+
+    ``backend`` may be an instance (returned as-is), a registered name, or
+    ``None`` — which falls back to ``REPRO_BACKEND`` and then ``"numpy"``.
+    This is the single resolution path every kernel uses, so precedence can
+    never differ between subsystems.
+    """
+    if isinstance(backend, ArrayBackend):
+        return backend
+    if backend is not None and not isinstance(backend, str):
+        raise TypeError(
+            f"backend must be a name, an ArrayBackend or None, got {type(backend)!r}"
+        )
+    return get_backend(backend if backend is not None else default_backend_name())
+
+
+def validate_backend_name(backend: Optional[str], owner: str) -> None:
+    """Config-time validation shared by every ``backend`` knob.
+
+    ``None`` (inherit) and registered names pass; anything else raises with
+    the owner's field name in the message. Availability is deliberately not
+    checked here — a campaign spec naming ``torch`` should fail at kernel
+    resolution on the machine that lacks it, not at config parse time on
+    the machine that has it.
+    """
+    if backend is None:
+        return
+    if not isinstance(backend, str) or backend not in _FACTORIES:
+        raise ValueError(
+            f"{owner} must be None or one of {registered_backends()}, got {backend!r}"
+        )
+
+
+__all__ = [
+    "ArrayBackend",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backends",
+    "backend_available",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+    "validate_backend_name",
+]

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
+from .backend import validate_backend_name
+
 #: Default sweep ranges, matching the paper's evaluation section.
 DEFAULT_BIT_RANGE: Tuple[int, ...] = (2, 3, 4, 5, 6, 7)
 DEFAULT_SPARSITY_RANGE: Tuple[float, ...] = (0.2, 0.3, 0.4, 0.5, 0.6)
@@ -51,6 +53,11 @@ class PipelineConfig:
         n_fault_trials: Monte-Carlo trials per design point (0 = off).
         fault_model: defect mechanism injected (``"open"``, ``"short"`` or
             ``"level_shift"`` — see :mod:`repro.reliability`).
+        backend: array backend for the population tensor engine
+            (``"numpy"``, ``"torch"``, or a registered custom backend).
+            ``None`` (default) defers to the ``REPRO_BACKEND`` environment
+            variable and then numpy. See :mod:`repro.core.backend` and
+            ``docs/backends.md`` for exactness guarantees per backend.
     """
 
     dataset: str
@@ -73,8 +80,10 @@ class PipelineConfig:
     fault_rate: float = 0.0
     n_fault_trials: int = 0
     fault_model: str = "open"
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
+        validate_backend_name(self.backend, "PipelineConfig.backend")
         # Mirrors repro.reliability.FAULT_MODELS (not imported here: core
         # must stay dependency-free of the nn/bespoke stack).
         if self.fault_model not in ("open", "short", "level_shift"):
@@ -112,7 +121,9 @@ class PipelineConfig:
             raise ValueError("cluster_range entries must be >= 1")
 
 
-def fast_config(dataset: str, seed: int = 0, n_workers: int = 1) -> PipelineConfig:
+def fast_config(
+    dataset: str, seed: int = 0, n_workers: int = 1, backend: Optional[str] = None
+) -> PipelineConfig:
     """A reduced-cost configuration used by tests and quick examples.
 
     Smaller dataset realizations, fewer fine-tuning epochs and coarser sweep
@@ -129,4 +140,5 @@ def fast_config(dataset: str, seed: int = 0, n_workers: int = 1) -> PipelineConf
         cluster_range=(2, 4, 8),
         n_samples=600 if dataset.lower() != "seeds" else None,
         n_workers=n_workers,
+        backend=backend,
     )

@@ -11,6 +11,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
+from ..core.backend import resolve_backend
+
 
 class Optimizer:
     """Base optimizer: subclasses implement :meth:`update`."""
@@ -249,6 +251,9 @@ class StackedAdam:
     Args:
         learning_rates: per-genome learning rates, shape ``(G,)``.
         beta1 / beta2 / epsilon: Adam hyper-parameters (shared by all rows).
+        backend: array backend for the fused step (name, instance, or
+            ``None`` = resolve via :func:`repro.core.backend.resolve_backend`).
+            The bit-identity statement above is for the numpy backend.
     """
 
     def __init__(
@@ -257,6 +262,7 @@ class StackedAdam:
         beta1: float = 0.9,
         beta2: float = 0.999,
         epsilon: float = 1e-8,
+        backend=None,
     ) -> None:
         rates = np.asarray(learning_rates, dtype=np.float64).reshape(-1, 1)
         if rates.size == 0 or np.any(rates <= 0):
@@ -271,6 +277,7 @@ class StackedAdam:
         self.beta1 = float(beta1)
         self.beta2 = float(beta2)
         self.epsilon = float(epsilon)
+        self.ops = resolve_backend(backend)
         self.t = 0
         self._m: Optional[np.ndarray] = None
         self._v: Optional[np.ndarray] = None
@@ -296,26 +303,22 @@ class StackedAdam:
             self._step = np.empty_like(parameters)
             self._sq = np.empty_like(parameters)
             self._denom = np.empty_like(parameters)
-        g = gradients
-        m, v = self._m, self._v
-        step, sq, denom = self._step, self._sq, self._denom
         self.t += 1
-        t = self.t
         # Identical per-element float sequence to Adam._update_fused.
-        np.multiply(g, 1.0 - self.beta1, out=step)
-        m *= self.beta1
-        m += step
-        np.multiply(g, g, out=sq)
-        sq *= 1.0 - self.beta2
-        v *= self.beta2
-        v += sq
-        np.divide(m, 1.0 - self.beta1**t, out=step)
-        step *= self.learning_rates
-        np.divide(v, 1.0 - self.beta2**t, out=denom)
-        np.sqrt(denom, out=denom)
-        denom += self.epsilon
-        step /= denom
-        parameters -= step
+        self.ops.adam_step(
+            parameters,
+            gradients,
+            self._m,
+            self._v,
+            self._step,
+            self._sq,
+            self._denom,
+            self.learning_rates,
+            self.beta1,
+            self.beta2,
+            self.epsilon,
+            self.t,
+        )
 
     def compact(self, keep: np.ndarray) -> None:
         """Drop state rows of evicted genomes (``keep`` indexes surviving rows)."""

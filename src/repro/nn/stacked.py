@@ -34,10 +34,11 @@ early-stopping populations.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core.backend import ArrayBackend, resolve_backend
 from .layers import ActivationLayer, Dense
 from .network import MLP
 from .optimizers import StackedAdam
@@ -118,6 +119,10 @@ class StackedTrainer:
             genome then decays its own copy independently).
         config: training hyper-parameters, shared by the population.
         seeds: per-genome shuffle seeds (``None`` entries mean unseeded).
+        backend: array backend for the stacked tensor ops (name, instance,
+            or ``None`` = resolve via :func:`repro.core.backend.resolve_backend`).
+            The numpy backend reproduces the serial trainer byte for byte;
+            see ``docs/backends.md`` for other backends' guarantees.
 
     Use :func:`supports_stacking` first; construction raises ``ValueError``
     for unstackable populations.
@@ -129,6 +134,7 @@ class StackedTrainer:
         learning_rate: float,
         config: Optional[TrainerConfig] = None,
         seeds: Optional[Sequence[Optional[int]]] = None,
+        backend: Optional[Union[str, ArrayBackend]] = None,
     ) -> None:
         if not supports_stacking(models):
             raise ValueError(
@@ -145,6 +151,7 @@ class StackedTrainer:
         if len(seeds) != len(self.models):
             raise ValueError(f"Got {len(seeds)} seeds for {len(self.models)} models")
         self.seeds = list(seeds)
+        self.ops = resolve_backend(backend)
         self._plan = self._build_plan(self.models[0])
         self._segments = self._build_segments(self.models[0])
         self._flat_size = self._segments[-1]["slice"].stop if self._segments else 0
@@ -264,18 +271,15 @@ class StackedTrainer:
         np.abs(masked, out=abs_buf)
         # One contiguous-span reduce for every (genome, segment) max — max is
         # exact, so how it is reduced cannot change the derived scale.
-        seg_max = np.maximum.reduceat(abs_buf, pack["seg_starts"], axis=1)
+        seg_max = self.ops.segment_max(abs_buf, pack["seg_starts"])
         # derive_scale vectorized: same IEEE divide, same degenerate-tensor
         # fallbacks (all-zero -> 1.0, underflow-to-zero -> 1.0).
         seg_scale = np.where(seg_max > 0, seg_max / pack["max_levels"], 1.0)
         seg_scale = np.where(seg_scale == 0.0, 1.0, seg_scale)
-        np.take(seg_scale, pack["seg_map"], axis=1, out=scale)
-        np.divide(masked, scale, out=effective)
-        np.rint(effective, out=effective)
-        np.maximum(effective, pack["neg_level"], out=effective)
-        np.minimum(effective, pack["pos_level"], out=effective)
-        effective += 0.0
-        effective *= scale
+        self.ops.take(seg_scale, pack["seg_map"], out=scale)
+        self.ops.quantize(
+            masked, scale, pack["neg_level"], pack["pos_level"], out=effective
+        )
         for segment in self._segments:
             if not segment["quantized"]:
                 sl = segment["slice"]
@@ -336,7 +340,7 @@ class StackedTrainer:
         params = self._gather_stack()
         pack = self._build_pack()
         grad_flat = np.empty_like(params)
-        optimizer = StackedAdam([self.learning_rate] * n_models)
+        optimizer = StackedAdam([self.learning_rate] * n_models, backend=self.ops)
         rngs = [np.random.default_rng(seed) for seed in self.seeds]
 
         # Per-genome bookkeeping, indexed by ORIGINAL genome position.
@@ -360,12 +364,12 @@ class StackedTrainer:
             )
             # Post-epoch evaluation on the freshly re-quantized parameters.
             train_scores = self._forward(x_train, views)
-            train_predictions = np.argmax(train_scores, axis=-1)
+            train_predictions = self.ops.argmax(train_scores)
             train_accuracies = (train_predictions == y_train).mean(axis=-1)
             if has_val:
                 val_scores = self._forward(x_val, views)
                 val_losses = _softmax_cross_entropy_rows(val_scores, val_targets)
-                val_accuracies = (np.argmax(val_scores, axis=-1) == y_val).mean(axis=-1)
+                val_accuracies = (self.ops.argmax(val_scores) == y_val).mean(axis=-1)
 
             stopped_rows: List[int] = []
             for row, genome in enumerate(active):
@@ -460,7 +464,7 @@ class StackedTrainer:
                 layer_inputs.append(out)
                 if is_dense:
                     view = views[dense_index]
-                    out = np.matmul(out, view["weights"])
+                    out = self.ops.matmul(out, view["weights"])
                     if view["bias"] is not None:
                         out = out + view["bias"][:, None, :]
                 else:
@@ -483,7 +487,7 @@ class StackedTrainer:
                 layer_input = layer_inputs[plan_index]
                 if is_dense:
                     view = views[dense_index]
-                    grad_weights = np.matmul(layer_input.transpose(0, 2, 1), grad)
+                    grad_weights = self.ops.matmul(layer_input.transpose(0, 2, 1), grad)
                     weight_segment, bias_segment = self._dense_segments[dense_index]
                     grad_weights *= pack["mask"][:, weight_segment["slice"]].reshape(
                         grad_weights.shape
@@ -494,7 +498,7 @@ class StackedTrainer:
                     if bias_segment is not None:
                         grad_flat[:, bias_segment["slice"]] = grad.sum(axis=1)
                     if plan_index != 0:
-                        grad = np.matmul(grad, view["weights"].transpose(0, 2, 1))
+                        grad = self.ops.matmul(grad, view["weights"].transpose(0, 2, 1))
                 else:
                     grad = activation.backward(layer_input, grad)
 
@@ -525,7 +529,7 @@ class StackedTrainer:
         for is_dense, dense_index, activation in self._plan:
             if is_dense:
                 view = views[dense_index]
-                out = np.matmul(out, view["weights"])
+                out = self.ops.matmul(out, view["weights"])
                 if view["bias"] is not None:
                     out = out + view["bias"][:, None, :]
             else:
@@ -597,12 +601,14 @@ def finetune_stacked(
     learning_rate: float = 0.003,
     batch_size: int = 32,
     seeds: Optional[Sequence[Optional[int]]] = None,
+    backend: Optional[Union[str, ArrayBackend]] = None,
 ) -> List[TrainingHistory]:
     """Population counterpart of :func:`repro.nn.trainer.finetune`.
 
     Same hyper-parameter derivation (aggressive early stopping, small LR),
     one stacked trainer instead of G serial ones. Genome ``g`` ends with
-    byte-identical weights to ``finetune(models[g], ..., seed=seeds[g])``.
+    byte-identical weights to ``finetune(models[g], ..., seed=seeds[g])``
+    on the (default) numpy backend.
     """
     config = TrainerConfig(
         epochs=epochs,
@@ -610,20 +616,28 @@ def finetune_stacked(
         early_stopping_patience=max(3, epochs // 3),
         verbose=False,
     )
-    trainer = StackedTrainer(models, learning_rate, config=config, seeds=seeds)
+    trainer = StackedTrainer(
+        models, learning_rate, config=config, seeds=seeds, backend=backend
+    )
     return trainer.fit(x_train, y_train, x_val, y_val)
 
 
-def predict_stacked(models: Sequence[MLP], features: np.ndarray) -> np.ndarray:
+def predict_stacked(
+    models: Sequence[MLP],
+    features: np.ndarray,
+    backend: Optional[Union[str, ArrayBackend]] = None,
+) -> np.ndarray:
     """Batched class predictions for a population of same-topology models.
 
     Stacks each model's *effective* (masked + quantized) parameters — built
     per model with the exact serial ``effective_weights()`` path — and runs
     one batched forward pass; returns ``(G, n_samples)`` predicted classes,
-    byte-identical to calling ``model.predict`` per model.
+    byte-identical to calling ``model.predict`` per model on the (default)
+    numpy backend.
     """
     if not models:
         raise ValueError("Cannot predict with an empty population")
+    ops = resolve_backend(backend)
     features = np.asarray(features, dtype=np.float64)
     out = features
     n_layers = len(models[0].layers)
@@ -633,7 +647,7 @@ def predict_stacked(models: Sequence[MLP], features: np.ndarray) -> np.ndarray:
             weights = np.stack(
                 [model.layers[index].effective_weights() for model in models]
             )
-            out = np.matmul(out, weights)
+            out = ops.matmul(out, weights)
             if layer.use_bias:
                 bias = np.stack(
                     [model.layers[index].effective_bias() for model in models]
@@ -643,4 +657,4 @@ def predict_stacked(models: Sequence[MLP], features: np.ndarray) -> np.ndarray:
             out = layer.activation.forward(out)
         else:
             raise ValueError(f"Unsupported layer for stacked inference: {layer!r}")
-    return np.argmax(out, axis=-1)
+    return ops.argmax(out)

@@ -6,7 +6,6 @@ from .ga import (
     GAConfig,
     GAResult,
     HardwareAwareGA,
-    evaluation_settings_for,
     run_combined_search,
 )
 from .genome import (
@@ -27,13 +26,17 @@ from .nsga2 import (
     tournament_select,
 )
 from .objectives import (
-    EvaluationSettings,
     apply_genome,
     evaluate_genome,
     evaluate_genomes_stacked,
     objectives_of,
 )
 from .parallel import ParallelEvaluator, create_evaluator, resolve_workers
+from .settings import (
+    EvaluationSettings,
+    evaluation_settings_for,
+    resolve_evaluation_settings,
+)
 
 #: Backwards-compatible name for the serial engine (pre-engine API).
 #: Note one semantic change versus the legacy class: evaluations now use
@@ -72,6 +75,7 @@ __all__ = [
     "nsga2_rank",
     "objectives_of",
     "random_search",
+    "resolve_evaluation_settings",
     "resolve_workers",
     "run_combined_search",
     "select_survivors",

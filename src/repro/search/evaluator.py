@@ -38,11 +38,8 @@ from typing import Dict, List, Optional, Tuple
 from ..core.pipeline import PreparedPipeline
 from ..core.results import DesignPoint
 from .genome import Genome
-from .objectives import (
-    EvaluationSettings,
-    evaluate_genome,
-    evaluate_genomes_stacked,
-)
+from .objectives import evaluate_genome, evaluate_genomes_stacked
+from .settings import EvaluationSettings
 
 #: Seeds are reduced modulo 2**32 so they are valid ``numpy`` seeds everywhere.
 _SEED_SPACE = 2**32

@@ -27,7 +27,7 @@ from ..core.pareto import pareto_front
 from ..core.pipeline import PreparedPipeline
 from ..core.results import DesignPoint
 from .genome import Genome, GenomeSpace
-from .objectives import EvaluationSettings
+from .settings import EvaluationSettings
 from .parallel import create_evaluator
 
 

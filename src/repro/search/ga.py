@@ -9,12 +9,14 @@ front starts from — and can only improve on — the standalone fronts.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core import profiling
+from ..core.backend import validate_backend_name
 from ..core.pareto import dominates, pareto_front
 from ..core.pipeline import PreparedPipeline
 from ..core.results import DesignPoint
@@ -27,8 +29,25 @@ from .genome import (
     GenomeSpace,
 )
 from .nsga2 import nsga2_rank, select_survivors, tournament_select
-from .objectives import EvaluationSettings, objectives_of
+from .objectives import objectives_of
 from .parallel import create_evaluator
+from .settings import EvaluationSettings, resolve_evaluation_settings
+
+
+def __getattr__(name: str):
+    """Deprecation shim: ``evaluation_settings_for`` moved to ``repro.search.settings``."""
+    if name == "evaluation_settings_for":
+        from .settings import evaluation_settings_for
+
+        warnings.warn(
+            "Importing evaluation_settings_for from repro.search.ga is "
+            "deprecated; import it from repro.search (or use "
+            "repro.search.settings.resolve_evaluation_settings) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return evaluation_settings_for
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -61,6 +80,11 @@ class GAConfig:
             and Pareto archive all optimize fault tolerance as a third
             objective. Disabled searches are byte-identical to
             pre-robustness builds.
+        backend: array backend for the stacked evaluation and NSGA-II
+            kernels (``None`` inherits the prepared pipeline's
+            configuration, then ``REPRO_BACKEND``, then numpy — the same
+            inheritance pattern as the fault knobs). The numpy backend is
+            byte-identical to earlier versions; see ``docs/backends.md``.
         bit_choices / sparsity_choices / cluster_choices: gene alphabets.
     """
 
@@ -76,6 +100,7 @@ class GAConfig:
     fault_rate: Optional[float] = None
     n_fault_trials: Optional[int] = None
     fault_model: Optional[str] = None
+    backend: Optional[str] = None
     bit_choices: Sequence[int] = DEFAULT_BIT_CHOICES
     sparsity_choices: Sequence[float] = DEFAULT_SPARSITY_CHOICES
     cluster_choices: Sequence[int] = DEFAULT_CLUSTER_CHOICES
@@ -101,29 +126,7 @@ class GAConfig:
             raise ValueError(
                 f"fault_model must be one of {FAULT_MODELS}, got '{self.fault_model}'"
             )
-
-
-def evaluation_settings_for(config: GAConfig, pipeline_config) -> EvaluationSettings:
-    """Default :class:`EvaluationSettings` of a GA run.
-
-    ``None`` fault knobs on the :class:`GAConfig` inherit the prepared
-    pipeline's configuration (robustness off by default) — the same
-    inheritance pattern ``stacked``/``cache_size`` use. Shared by
-    :class:`HardwareAwareGA` and the campaign runner so the two can never
-    resolve the knobs differently.
-    """
-
-    def _resolve(value, name, default):
-        if value is not None:
-            return value
-        return getattr(pipeline_config, name, default)
-
-    return EvaluationSettings(
-        finetune_epochs=config.finetune_epochs,
-        fault_rate=_resolve(config.fault_rate, "fault_rate", 0.0),
-        n_fault_trials=_resolve(config.n_fault_trials, "n_fault_trials", 0),
-        fault_model=_resolve(config.fault_model, "fault_model", "open"),
-    )
+        validate_backend_name(self.backend, "GAConfig.backend")
 
 
 @dataclass
@@ -192,7 +195,7 @@ class HardwareAwareGA:
         self.settings = (
             settings
             if settings is not None
-            else evaluation_settings_for(self.config, prepared.config)
+            else resolve_evaluation_settings(prepared.config, ga_config=self.config)
         )
         # Robustness-aware searches rank, select and archive on a third
         # objective (fault-injected accuracy loss); disabled searches run
@@ -232,7 +235,7 @@ class HardwareAwareGA:
         # One NSGA-II ranking serves every tournament of the generation; the
         # RNG is consumed exactly as if each tournament re-ranked, so the
         # evolutionary trajectory is unchanged.
-        keys = nsga2_rank(objectives)
+        keys = nsga2_rank(objectives, backend=self.settings.backend)
         offspring: List[Genome] = []
         while len(offspring) < self.config.population_size:
             parent_a = population[tournament_select(objectives, self._rng, keys=keys)]
@@ -302,7 +305,9 @@ class HardwareAwareGA:
             ]
             with profiling.stage("ga_sort"):
                 survivors = select_survivors(
-                    combined_objectives, self.config.population_size
+                    combined_objectives,
+                    self.config.population_size,
+                    backend=self.settings.backend,
                 )
             population = [combined_population[i] for i in survivors]
             points = [combined_points[i] for i in survivors]

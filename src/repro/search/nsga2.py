@@ -18,9 +18,14 @@ tests in ``tests/test_search_nsga2_vectorized.py`` assert against the
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
+
+from ..core.backend import ArrayBackend, resolve_backend
+
+#: Either a backend name, a backend instance, or None (resolve via env/default).
+BackendLike = Optional[Union[str, ArrayBackend]]
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
@@ -42,7 +47,9 @@ def _objective_matrix(objectives: Sequence[Sequence[float]]) -> np.ndarray:
     return matrix
 
 
-def fast_non_dominated_sort(objectives: Sequence[Sequence[float]]) -> List[List[int]]:
+def fast_non_dominated_sort(
+    objectives: Sequence[Sequence[float]], backend: BackendLike = None
+) -> List[List[int]]:
     """Sort indices into Pareto fronts (front 0 is non-dominated).
 
     Vectorized form of the O(MN²) algorithm of Deb et al. (2002): the full
@@ -51,7 +58,8 @@ def fast_non_dominated_sort(objectives: Sequence[Sequence[float]]) -> List[List[
     fronts are peeled with numpy-indexed count updates that visit solutions
     in exactly the order of the reference double loop, so the returned
     fronts — including the order of indices *within* each front — are
-    identical to :func:`fast_non_dominated_sort_reference`.
+    identical to :func:`fast_non_dominated_sort_reference`. Domination is a
+    set of exact comparisons, so every backend returns the same fronts.
     """
     n = len(objectives)
     if n == 0:
@@ -59,12 +67,9 @@ def fast_non_dominated_sort(objectives: Sequence[Sequence[float]]) -> List[List[
     matrix = _objective_matrix(objectives)
     if matrix.shape[0] != n:
         raise ValueError("objectives rows must align with the solution count")
+    ops = resolve_backend(backend)
     # domination[i, j] == True when solution i dominates solution j.
-    left = matrix[:, None, :]
-    right = matrix[None, :, :]
-    domination = np.logical_and(
-        np.all(left <= right, axis=-1), np.any(left < right, axis=-1)
-    )
+    domination = ops.domination_matrix(matrix)
     domination_count = domination.sum(axis=0).astype(np.int64)
 
     fronts: List[List[int]] = []
@@ -121,7 +126,9 @@ def fast_non_dominated_sort_reference(
     return fronts
 
 
-def crowding_distance(objectives: Sequence[Sequence[float]]) -> np.ndarray:
+def crowding_distance(
+    objectives: Sequence[Sequence[float]], backend: BackendLike = None
+) -> np.ndarray:
     """Crowding distance of each solution within one front.
 
     Boundary solutions get infinite distance so they are always preferred,
@@ -129,15 +136,17 @@ def crowding_distance(objectives: Sequence[Sequence[float]]) -> np.ndarray:
     stable argsort plus a fancy-indexed scatter of the interior gaps,
     accumulating objectives in the same order as the reference loop so the
     distances are bit-identical (ties included — the stable argsort sees the
-    rows in the same order either way).
+    rows in the same order either way, and every backend's
+    ``argsort_stable`` preserves tie order by definition).
     """
     n = len(objectives)
     if n == 0:
         return np.array([])
     matrix = _objective_matrix(objectives)
+    ops = resolve_backend(backend)
     distances = np.zeros(n, dtype=np.float64)
     for m in range(matrix.shape[1]):
-        order = np.argsort(matrix[:, m], kind="stable")
+        order = ops.argsort_stable(matrix[:, m])
         distances[order[0]] = np.inf
         distances[order[-1]] = np.inf
         column = matrix[order, m]
@@ -170,28 +179,33 @@ def crowding_distance_reference(objectives: Sequence[Sequence[float]]) -> np.nda
     return distances
 
 
-def nsga2_rank(objectives: Sequence[Sequence[float]]) -> List[tuple]:
+def nsga2_rank(
+    objectives: Sequence[Sequence[float]], backend: BackendLike = None
+) -> List[tuple]:
     """Return ``(front_index, -crowding_distance)`` sort keys per solution.
 
     Lower keys are better: earlier front first, then larger crowding distance.
     """
-    fronts = fast_non_dominated_sort(objectives)
+    ops = resolve_backend(backend)
+    fronts = fast_non_dominated_sort(objectives, backend=ops)
     keys: List[tuple] = [(0, 0.0)] * len(objectives)
     for front_index, front in enumerate(fronts):
         front_objectives = [objectives[i] for i in front]
-        distances = crowding_distance(front_objectives)
+        distances = crowding_distance(front_objectives, backend=ops)
         for position, solution_index in enumerate(front):
             keys[solution_index] = (front_index, -float(distances[position]))
     return keys
 
 
 def select_survivors(
-    objectives: Sequence[Sequence[float]], n_survivors: int
+    objectives: Sequence[Sequence[float]],
+    n_survivors: int,
+    backend: BackendLike = None,
 ) -> List[int]:
     """Environmental selection: keep the best ``n_survivors`` by NSGA-II ranking."""
     if n_survivors < 0:
         raise ValueError(f"n_survivors must be >= 0, got {n_survivors}")
-    keys = nsga2_rank(objectives)
+    keys = nsga2_rank(objectives, backend=backend)
     order = sorted(range(len(objectives)), key=lambda i: keys[i])
     return order[:n_survivors]
 
@@ -201,6 +215,7 @@ def tournament_select(
     rng: np.random.Generator,
     tournament_size: int = 2,
     keys: Optional[Sequence[tuple]] = None,
+    backend: BackendLike = None,
 ) -> int:
     """Binary (or k-ary) tournament selection by NSGA-II ranking.
 
@@ -214,13 +229,15 @@ def tournament_select(
             many tournaments against one fixed population (the GA's offspring
             loop) should rank once and pass the keys in, instead of paying
             the full non-dominated sort per selection.
+        backend: array backend for the ranking (ignored when ``keys`` is
+            supplied — the caller already ranked).
     """
     if not objectives:
         raise ValueError("Cannot select from an empty population")
     if tournament_size < 1:
         raise ValueError(f"tournament_size must be >= 1, got {tournament_size}")
     if keys is None:
-        keys = nsga2_rank(objectives)
+        keys = nsga2_rank(objectives, backend=backend)
     elif len(keys) != len(objectives):
         raise ValueError(
             f"Got {len(keys)} precomputed keys for {len(objectives)} objectives"

@@ -16,7 +16,7 @@ scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,84 +32,32 @@ from ..nn.stacked import finetune_stacked, predict_stacked, supports_stacking
 from ..nn.trainer import finetune
 from ..pruning.magnitude import prune_by_magnitude
 from ..quantization.qat import attach_quantizers
-from ..reliability.fault_injection import FAULT_MODELS, FaultInjectionConfig
 from ..reliability.monte_carlo import (
     monte_carlo_fault_injection,
     monte_carlo_population,
 )
 from .genome import Genome
+from .settings import EvaluationSettings as _EvaluationSettings
 
 
-@dataclass(frozen=True)
-class EvaluationSettings:
-    """Knobs of the per-genome evaluation.
-
-    Attributes:
-        finetune_epochs: joint fine-tuning epochs (0 = no retraining, pure
-            post-training evaluation — used by the GA ablation).
-        finetune_learning_rate: learning rate of the joint fine-tuning pass.
-        per_position_clustering: cluster per input position (paper scheme).
-        simulate_accuracy: measure test accuracy on the bit-accurate
-            fixed-point simulator (batched integer datapath) instead of the
-            float software model, so the search optimizes the deployed
-            circuit's accuracy rather than its floating-point proxy.
-        fault_rate: fraction of hard-wired connections hit per Monte-Carlo
-            fault-injection trial. With ``n_fault_trials`` > 0 every design
-            point gains ``robust_accuracy``/``accuracy_std``, measured on
-            the deployed circuit's integer datapath with per-(genome, trial)
-            SHA-256-derived fault patterns. Default 0.0 — robustness off,
-            evaluation byte-identical to earlier versions. These settings
-            are part of the campaign cache's evaluation-context key, so
-            robust and non-robust evaluations can never collide in a shared
-            persistent cache.
-        n_fault_trials: Monte-Carlo trials per design point (0 = off).
-        fault_model: defect mechanism injected (one of
-            :data:`repro.reliability.FAULT_MODELS`).
-    """
-
-    finetune_epochs: int = 8
-    finetune_learning_rate: float = 0.003
-    per_position_clustering: bool = True
-    simulate_accuracy: bool = False
-    fault_rate: float = 0.0
-    n_fault_trials: int = 0
-    fault_model: str = "open"
-
-    def __post_init__(self) -> None:
-        if not 0.0 <= self.fault_rate <= 1.0:
-            raise ValueError(f"fault_rate must be in [0, 1], got {self.fault_rate}")
-        if self.n_fault_trials < 0:
-            raise ValueError(f"n_fault_trials must be >= 0, got {self.n_fault_trials}")
-        if self.fault_model not in FAULT_MODELS:
-            raise ValueError(
-                f"fault_model must be one of {FAULT_MODELS}, got '{self.fault_model}'"
-            )
-
-    @property
-    def robustness_enabled(self) -> bool:
-        """True when evaluations measure Monte-Carlo fault tolerance."""
-        return self.fault_rate > 0.0 and self.n_fault_trials > 0
-
-    def fault_config(self, seed: Optional[int]) -> FaultInjectionConfig:
-        """The per-design fault campaign these settings describe.
-
-        ``seed`` is the design's derived evaluation seed — each (genome,
-        trial) pair then gets its own SHA-256-derived fault pattern via
-        :func:`repro.reliability.fault_trial_seed`. ``weight_bits`` is
-        irrelevant here (the simulator's own formats define the level grid).
-        """
-        return FaultInjectionConfig(
-            fault_rate=self.fault_rate,
-            fault_model=self.fault_model,
-            n_trials=self.n_fault_trials,
-            seed=0 if seed is None else int(seed),
+def __getattr__(name: str):
+    """Deprecation shim: ``EvaluationSettings`` moved to ``repro.search.settings``."""
+    if name == "EvaluationSettings":
+        warnings.warn(
+            "Importing EvaluationSettings from repro.search.objectives is "
+            "deprecated; import it from repro.search (or "
+            "repro.search.settings) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return _EvaluationSettings
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _apply_minimizations(
     genome: Genome,
     prepared: PreparedPipeline,
-    settings: EvaluationSettings,
+    settings: _EvaluationSettings,
     seed: Optional[int],
 ):
     """Prune, cluster and attach quantizers on a fresh baseline clone.
@@ -150,14 +98,14 @@ def _apply_minimizations(
 def apply_genome(
     genome: Genome,
     prepared: PreparedPipeline,
-    settings: Optional[EvaluationSettings] = None,
+    settings: Optional[_EvaluationSettings] = None,
     seed: Optional[int] = None,
 ):
     """Apply a genome's minimizations to a clone of the prepared baseline.
 
     Returns the minimized model (the prepared baseline itself is untouched).
     """
-    settings = settings if settings is not None else EvaluationSettings()
+    settings = settings if settings is not None else _EvaluationSettings()
     model, clustering_result = _apply_minimizations(genome, prepared, settings, seed)
     _finetune_model(prepared, settings, model, clustering_result, seed)
     return model
@@ -166,7 +114,7 @@ def apply_genome(
 def evaluate_genome(
     genome: Genome,
     prepared: PreparedPipeline,
-    settings: Optional[EvaluationSettings] = None,
+    settings: Optional[_EvaluationSettings] = None,
     seed: Optional[int] = None,
 ) -> DesignPoint:
     """Full evaluation of one genome: minimized accuracy and synthesized area.
@@ -177,7 +125,7 @@ def evaluate_genome(
     the full netlist's. Ask :func:`~repro.bespoke.build_bespoke_circuit` for
     the netlist when a winning genome needs inspection or Verilog export.
     """
-    settings = settings if settings is not None else EvaluationSettings()
+    settings = settings if settings is not None else _EvaluationSettings()
     with profiling.stage("evaluate_genome"):
         model = apply_genome(genome, prepared, settings, seed=seed)
         point = _score_model(genome, prepared, settings, model, seed=seed)
@@ -186,7 +134,7 @@ def evaluate_genome(
 
 def _finetune_model(
     prepared: PreparedPipeline,
-    settings: EvaluationSettings,
+    settings: _EvaluationSettings,
     model,
     clustering_result,
     seed: Optional[int],
@@ -212,7 +160,7 @@ def _finetune_model(
 def _score_model(
     genome: Genome,
     prepared: PreparedPipeline,
-    settings: EvaluationSettings,
+    settings: _EvaluationSettings,
     model,
     seed: Optional[int] = None,
 ) -> DesignPoint:
@@ -237,6 +185,7 @@ def _score_model(
                 data.test.features,
                 data.test.labels,
                 settings.fault_config(seed),
+                backend=settings.backend,
             )
         robust_accuracy = fault_result.mean_accuracy
         accuracy_std = fault_result.accuracy_std
@@ -291,7 +240,7 @@ def _synthesize_point(
 def evaluate_genomes_stacked(
     genomes: Sequence[Genome],
     prepared: PreparedPipeline,
-    settings: Optional[EvaluationSettings] = None,
+    settings: Optional[_EvaluationSettings] = None,
     seeds: Optional[Sequence[Optional[int]]] = None,
 ) -> List[DesignPoint]:
     """Evaluate a whole population as one stacked tensor program.
@@ -318,7 +267,7 @@ def evaluate_genomes_stacked(
     epochs, non-symmetric quantizers) silently fall back to the serial
     per-genome loop.
     """
-    settings = settings if settings is not None else EvaluationSettings()
+    settings = settings if settings is not None else _EvaluationSettings()
     genomes = list(genomes)
     if seeds is None:
         seeds = [None] * len(genomes)
@@ -369,6 +318,7 @@ def evaluate_genomes_stacked(
                 epochs=settings.finetune_epochs,
                 learning_rate=settings.finetune_learning_rate,
                 seeds=seeds,
+                backend=settings.backend,
             )
         for model, clustering_result in zip(models, clusterings):
             if clustering_result is not None:
@@ -385,9 +335,13 @@ def evaluate_genomes_stacked(
             ]
         with profiling.stage("accuracy"):
             if settings.simulate_accuracy:
-                accuracies = population_accuracy(simulators, test.features, labels)
+                accuracies = population_accuracy(
+                    simulators, test.features, labels, backend=settings.backend
+                )
             else:
-                predictions = predict_stacked(models, test.features)
+                predictions = predict_stacked(
+                    models, test.features, backend=settings.backend
+                )
                 accuracies = (predictions == labels).mean(axis=-1)
         robust_accuracies: List[Optional[float]] = [None] * len(genomes)
         accuracy_stds: List[Optional[float]] = [None] * len(genomes)
@@ -398,6 +352,7 @@ def evaluate_genomes_stacked(
                     test.features,
                     labels,
                     [settings.fault_config(seed) for seed in seeds],
+                    backend=settings.backend,
                 )
             robust_accuracies = [result.mean_accuracy for result in fault_results]
             accuracy_stds = [result.accuracy_std for result in fault_results]

@@ -41,7 +41,8 @@ from ..core.pipeline import PreparedPipeline
 from ..core.results import DesignPoint
 from .evaluator import SerialEvaluator, genome_seed
 from .genome import Genome
-from .objectives import EvaluationSettings, evaluate_genome, evaluate_genomes_stacked
+from .objectives import evaluate_genome, evaluate_genomes_stacked
+from .settings import EvaluationSettings
 
 #: Per-process evaluation state, populated by :func:`_init_worker`.
 _WORKER_STATE: dict = {}

@@ -1,0 +1,285 @@
+"""Cross-backend parity of the population tensor kernels.
+
+Every test here is written against the parametrized ``backend`` fixture
+(``tests/conftest.py``): the numpy reference backend always runs, and any
+optional backend (torch) runs whenever its library is installed, skipping
+cleanly otherwise. The contract being checked:
+
+* on the **numpy** backend, results are *byte-identical* to the retained
+  serial/reference implementations (the seam is a pure refactor there);
+* on **torch**, integer outcomes (fault patterns, predictions, NSGA-II
+  ranks) are exact and float training state agrees to BLAS reduction order
+  (``allclose``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bespoke import BespokeConfig, FixedPointSimulator, population_accuracy
+from repro.core.backend import NumpyBackend
+from repro.nn.network import build_mlp
+from repro.nn.stacked import finetune_stacked, predict_stacked, supports_stacking
+from repro.nn.trainer import finetune
+from repro.pruning.magnitude import prune_by_magnitude
+from repro.quantization.qat import attach_quantizers
+from repro.reliability import (
+    FaultInjectionConfig,
+    monte_carlo_fault_injection,
+    monte_carlo_fault_injection_reference,
+    monte_carlo_population,
+)
+from repro.search.nsga2 import (
+    crowding_distance,
+    crowding_distance_reference,
+    fast_non_dominated_sort,
+    fast_non_dominated_sort_reference,
+    nsga2_rank,
+    select_survivors,
+)
+
+REFERENCE = NumpyBackend()
+
+
+def _float_assert(backend, actual, expected):
+    """Byte equality on the numpy backend, allclose on accelerated ones."""
+    actual, expected = np.asarray(actual), np.asarray(expected)
+    if backend.name == "numpy":
+        assert actual.tobytes() == expected.tobytes()
+    else:
+        np.testing.assert_allclose(actual, expected, rtol=1e-9, atol=1e-12)
+
+
+# -- operation-level parity -----------------------------------------------------------
+
+
+class TestOpParity:
+    def test_matmul(self, backend, rng):
+        a = rng.standard_normal((4, 6, 5))
+        b = rng.standard_normal((4, 5, 3))
+        _float_assert(backend, backend.matmul(a, b), REFERENCE.matmul(a, b))
+
+    def test_segment_max(self, backend, rng):
+        values = rng.standard_normal((5, 14))
+        starts = np.array([0, 4, 9])
+        _float_assert(
+            backend,
+            backend.segment_max(values, starts),
+            REFERENCE.segment_max(values, starts),
+        )
+
+    def test_take(self, backend, rng):
+        values = rng.standard_normal((3, 6))
+        indices = np.array([5, 0, 0, 3])
+        _float_assert(
+            backend,
+            backend.take(values, indices),
+            REFERENCE.take(values, indices),
+        )
+
+    def test_smallest_k_same_selection(self, backend, rng):
+        keys = rng.integers(0, 2**64, size=(8, 30), dtype=np.uint64)
+        k = 6
+        picks = np.sort(backend.smallest_k(keys, k), axis=-1)
+        expected = np.sort(REFERENCE.smallest_k(keys, k), axis=-1)
+        assert np.array_equal(picks, expected)
+
+    def test_argmax_ties(self, backend):
+        scores = np.array([[2.0, 5.0, 5.0, 1.0], [7.0, 7.0, 7.0, 7.0]])
+        assert np.array_equal(backend.argmax(scores), REFERENCE.argmax(scores))
+
+    def test_argsort_stable_with_duplicates(self, backend, rng):
+        values = rng.integers(0, 5, size=40).astype(np.float64)
+        assert np.array_equal(
+            backend.argsort_stable(values), REFERENCE.argsort_stable(values)
+        )
+
+    def test_domination_matrix(self, backend, rng):
+        objectives = rng.standard_normal((9, 3))
+        assert np.array_equal(
+            backend.domination_matrix(objectives),
+            REFERENCE.domination_matrix(objectives),
+        )
+
+    def test_put_along_axis(self, backend, rng):
+        base = rng.standard_normal((4, 10))
+        indices = np.stack([rng.choice(10, size=3, replace=False) for _ in range(4)])
+        values = rng.standard_normal((4, 3))
+        ours, theirs = base.copy(), base.copy()
+        backend.put_along_axis(ours, indices, values)
+        REFERENCE.put_along_axis(theirs, indices, values)
+        assert np.array_equal(ours, theirs)
+
+    def test_quantize(self, backend, rng):
+        values = rng.standard_normal((3, 12)) * 4
+        scale = np.full((3, 12), 0.5)
+        neg, pos = np.full_like(scale, -3.0), np.full_like(scale, 3.0)
+        ours, theirs = np.empty_like(values), np.empty_like(values)
+        backend.quantize(values, scale, neg, pos, out=ours)
+        REFERENCE.quantize(values, scale, neg, pos, out=theirs)
+        _float_assert(backend, ours, theirs)
+
+    def test_adam_step(self, backend):
+        shape = (3, 20)
+        state = {}
+        for ops, key in ((backend, "ours"), (REFERENCE, "theirs")):
+            # fresh identically-seeded generators so both runs see the same data
+            arrays = {
+                name: np.random.default_rng(7 + i).standard_normal(shape)
+                for i, name in enumerate(["params", "grads", "m", "v"])
+            }
+            arrays["v"] = np.abs(arrays["v"])
+            buffers = {name: np.empty(shape) for name in ["step", "sq", "denom"]}
+            rates = np.full((shape[0], 1), 0.003)
+            ops.adam_step(
+                arrays["params"], arrays["grads"], arrays["m"], arrays["v"],
+                buffers["step"], buffers["sq"], buffers["denom"],
+                rates, 0.9, 0.999, 1e-8, 3,
+            )
+            state[key] = arrays
+        for name in ["params", "m", "v"]:
+            _float_assert(backend, state["ours"][name], state["theirs"][name])
+
+    def test_draws_from_bytes_is_shared(self, backend):
+        raw = bytes(range(32))
+        assert np.array_equal(
+            backend.draws_from_bytes(raw, 2, 2), REFERENCE.draws_from_bytes(raw, 2, 2)
+        )
+
+
+# -- subsystem parity -----------------------------------------------------------------
+
+
+def _quantized_population(n_features=7, n_classes=3):
+    models = []
+    for bits, do_prune, seed in [(3, True, 0), (4, False, 1), (6, True, 2)]:
+        model = build_mlp(n_features, [4], n_classes, seed=seed)
+        if do_prune:
+            prune_by_magnitude(model, [0.4, 0.2], global_ranking=False)
+        attach_quantizers(model, bits)
+        models.append(model)
+    return models
+
+
+class TestStackedTrainingParity:
+    def test_finetune_matches_serial(self, rng):
+        generator = np.random.default_rng(5)
+        x = generator.normal(size=(120, 7))
+        y = generator.integers(0, 3, size=120)
+        seeds = [21, 22, 23]
+        serial = _quantized_population()
+        for model, seed in zip(serial, seeds):
+            finetune(model, x, y, epochs=4, learning_rate=0.003, seed=seed)
+        stacked = _quantized_population()
+        assert supports_stacking(stacked)
+        finetune_stacked(
+            stacked, x, y, epochs=4, learning_rate=0.003, seeds=seeds, backend="numpy"
+        )
+        for a, b in zip(serial, stacked):
+            for la, lb in zip(a.dense_layers, b.dense_layers):
+                assert la.weights.tobytes() == lb.weights.tobytes()
+                assert la.bias.tobytes() == lb.bias.tobytes()
+
+    def test_finetune_across_backends(self, backend):
+        generator = np.random.default_rng(6)
+        x = generator.normal(size=(100, 7))
+        y = generator.integers(0, 3, size=100)
+        seeds = [31, 32, 33]
+        baseline = _quantized_population()
+        finetune_stacked(baseline, x, y, epochs=3, seeds=seeds, backend=REFERENCE)
+        routed = _quantized_population()
+        finetune_stacked(routed, x, y, epochs=3, seeds=seeds, backend=backend)
+        for a, b in zip(baseline, routed):
+            for la, lb in zip(a.dense_layers, b.dense_layers):
+                _float_assert(backend, lb.weights, la.weights)
+                _float_assert(backend, lb.bias, la.bias)
+
+    def test_predict_stacked_across_backends(self, backend):
+        generator = np.random.default_rng(8)
+        features = generator.normal(size=(50, 7))
+        models = _quantized_population()
+        assert np.array_equal(
+            predict_stacked(models, features, backend=backend),
+            predict_stacked(models, features, backend=REFERENCE),
+        )
+
+
+class TestSimulatorParity:
+    def test_population_accuracy_across_backends(self, backend, seeds_model, seeds_data):
+        simulators = [
+            FixedPointSimulator(seeds_model, BespokeConfig(input_bits=4, weight_bits=w))
+            for w in (3, 4, 6)
+        ]
+        features, labels = seeds_data.test.features, seeds_data.test.labels
+        routed = population_accuracy(simulators, features, labels, backend=backend)
+        serial = np.array(
+            [sim.evaluate_accuracy(features, labels) for sim in simulators]
+        )
+        assert np.array_equal(routed, serial)
+
+
+class TestNsga2Parity:
+    def test_sort_and_crowding_match_reference(self, backend, rng):
+        objectives = rng.standard_normal((24, 2))
+        objectives[5] = objectives[11]  # duplicated point exercises co-ranking
+        fronts = fast_non_dominated_sort(objectives, backend=backend)
+        assert fronts == fast_non_dominated_sort_reference(objectives)
+        _float_assert(
+            backend,
+            crowding_distance(objectives, backend=backend),
+            crowding_distance_reference(objectives),
+        )
+
+    def test_rank_and_survivors_across_backends(self, backend, rng):
+        objectives = rng.standard_normal((30, 3))
+        assert np.array_equal(
+            nsga2_rank(objectives, backend=backend), nsga2_rank(objectives)
+        )
+        assert np.array_equal(
+            select_survivors(objectives, 12, backend=backend),
+            select_survivors(objectives, 12),
+        )
+
+
+class TestMonteCarloParity:
+    @pytest.fixture(scope="class")
+    def simulator(self, seeds_model):
+        return FixedPointSimulator(
+            seeds_model, BespokeConfig(input_bits=4, weight_bits=4)
+        )
+
+    @pytest.mark.parametrize("fault_model", ["open", "short", "level_shift"])
+    def test_single_simulator_matches_reference(
+        self, backend, simulator, seeds_data, fault_model
+    ):
+        config = FaultInjectionConfig(
+            fault_rate=0.08, fault_model=fault_model, n_trials=5, seed=3
+        )
+        features, labels = seeds_data.test.features, seeds_data.test.labels
+        routed = monte_carlo_fault_injection(
+            simulator, features, labels, config, backend=backend
+        )
+        reference = monte_carlo_fault_injection_reference(
+            simulator, features, labels, config
+        )
+        assert routed.accuracy_per_trial == reference.accuracy_per_trial
+        assert routed.faults_per_trial == reference.faults_per_trial
+        assert routed.fault_free_accuracy == reference.fault_free_accuracy
+
+    def test_population_across_backends(self, backend, seeds_model, seeds_data):
+        simulators = [
+            FixedPointSimulator(seeds_model, BespokeConfig(input_bits=4, weight_bits=w))
+            for w in (3, 6)
+        ]
+        configs = [
+            FaultInjectionConfig(fault_rate=0.05, n_trials=4, seed=s) for s in (1, 2)
+        ]
+        features, labels = seeds_data.test.features, seeds_data.test.labels
+        routed = monte_carlo_population(
+            simulators, features, labels, configs, backend=backend
+        )
+        baseline = monte_carlo_population(simulators, features, labels, configs)
+        for a, b in zip(routed, baseline):
+            assert a.accuracy_per_trial == b.accuracy_per_trial
+            assert a.faults_per_trial == b.faults_per_trial

@@ -1,0 +1,341 @@
+"""Unit tests for the pluggable array-backend seam (`repro.core.backend`).
+
+Three concerns:
+
+* the registry and its resolution/validation API (precedence, env var,
+  unknown/uninstalled errors, custom registration),
+* the :class:`NumpyBackend` operations agreeing element-for-element with
+  the raw numpy sequences they alias (the byte-identity contract),
+* the `backend` knob on `PipelineConfig` / `GAConfig` / `EvaluationSettings`
+  and its consolidation through `resolve_evaluation_settings`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig
+from repro.core.backend import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    backend_available,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    validate_backend_name,
+)
+from repro.search.ga import GAConfig
+from repro.search.settings import (
+    EvaluationSettings,
+    evaluation_settings_for,
+    resolve_evaluation_settings,
+)
+
+
+# -- registry and resolution ---------------------------------------------------------
+
+
+class TestRegistry:
+    def test_numpy_and_torch_are_registered(self):
+        assert "numpy" in registered_backends()
+        assert "torch" in registered_backends()
+
+    def test_numpy_is_always_available(self):
+        assert backend_available("numpy")
+        assert "numpy" in available_backends()
+
+    def test_available_is_subset_of_registered(self):
+        assert set(available_backends()) <= set(registered_backends())
+
+    def test_get_backend_caches_instances(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_unknown_backend_raises_value_error(self):
+        with pytest.raises(ValueError, match="Unknown array backend 'nope'"):
+            get_backend("nope")
+
+    def test_unavailable_backend_raises_import_error_with_extra_hint(self):
+        if backend_available("torch"):
+            pytest.skip("torch installed; the gate cannot fire here")
+        with pytest.raises(ImportError, match="torch"):
+            get_backend("torch")
+
+    def test_backend_available_false_for_unknown(self):
+        assert not backend_available("nope")
+
+    def test_register_backend_round_trip(self):
+        class _Custom(NumpyBackend):
+            name = "custom-test"
+
+        register_backend("custom-test", _Custom)
+        try:
+            assert "custom-test" in registered_backends()
+            assert backend_available("custom-test")
+            assert isinstance(get_backend("custom-test"), _Custom)
+            assert resolve_backend("custom-test") is get_backend("custom-test")
+        finally:
+            from repro.core import backend as backend_module
+
+            backend_module._FACTORIES.pop("custom-test", None)
+            backend_module._INSTANCES.pop("custom-test", None)
+
+    def test_register_backend_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            register_backend("", NumpyBackend)
+
+
+class TestResolution:
+    def test_none_resolves_to_default(self):
+        assert isinstance(resolve_backend(None), NumpyBackend)
+
+    def test_name_resolves_to_instance(self):
+        assert isinstance(resolve_backend("numpy"), NumpyBackend)
+
+    def test_instance_passes_through(self):
+        ops = NumpyBackend()
+        assert resolve_backend(ops) is ops
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert default_backend_name() == "numpy"
+        monkeypatch.setenv(ENV_VAR, "torch")
+        assert default_backend_name() == "torch"
+
+    def test_empty_env_var_falls_back(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "")
+        assert default_backend_name() == DEFAULT_BACKEND
+
+    def test_unset_env_var_falls_back(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert default_backend_name() == DEFAULT_BACKEND
+
+
+class TestValidation:
+    def test_none_and_registered_names_pass(self):
+        validate_backend_name(None, "owner")
+        validate_backend_name("numpy", "owner")
+        # availability is not checked at config time: torch validates even
+        # when the library is absent (it fails at kernel resolution instead)
+        validate_backend_name("torch", "owner")
+
+    @pytest.mark.parametrize("bad", ["nope", 42, 3.14, ["numpy"]])
+    def test_bad_values_raise_with_owner_name(self, bad):
+        with pytest.raises(ValueError, match="MyConfig.backend"):
+            validate_backend_name(bad, "MyConfig.backend")
+
+
+# -- NumpyBackend op equality vs raw numpy -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def ops() -> NumpyBackend:
+    return NumpyBackend()
+
+
+class TestNumpyBackendOps:
+    def test_base_class_ops_are_abstract(self):
+        base = ArrayBackend()
+        with pytest.raises(NotImplementedError):
+            base.matmul(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_matmul(self, ops, rng):
+        a = rng.standard_normal((3, 5, 4))
+        b = rng.standard_normal((3, 4, 2))
+        assert np.array_equal(ops.matmul(a, b), np.matmul(a, b))
+
+    def test_segment_max(self, ops, rng):
+        values = rng.standard_normal((4, 12))
+        starts = np.array([0, 3, 7])
+        assert np.array_equal(
+            ops.segment_max(values, starts),
+            np.maximum.reduceat(values, starts, axis=1),
+        )
+
+    def test_take(self, ops, rng):
+        values = rng.standard_normal((3, 4))
+        indices = np.array([0, 2, 2, 1, 3])
+        expected = np.take(values, indices, axis=1)
+        assert np.array_equal(ops.take(values, indices), expected)
+        out = np.empty_like(expected)
+        result = ops.take(values, indices, out=out)
+        assert result is out and np.array_equal(out, expected)
+
+    def test_smallest_k_selects_the_k_smallest(self, ops, rng):
+        keys = rng.integers(0, 2**63, size=(6, 40), dtype=np.uint64)
+        k = 5
+        picks = ops.smallest_k(keys, k)
+        assert picks.shape == (6, k)
+        for row in range(keys.shape[0]):
+            chosen = np.sort(keys[row, picks[row]])
+            expected = np.sort(keys[row])[:k]
+            assert np.array_equal(chosen, expected)
+
+    def test_argmax_first_occurrence_ties(self, ops):
+        scores = np.array([[1.0, 3.0, 3.0], [2.0, 2.0, 1.0]])
+        assert np.array_equal(ops.argmax(scores), np.array([1, 0]))
+
+    def test_argsort_stable(self, ops):
+        values = np.array([2.0, 1.0, 2.0, 0.5, 1.0])
+        assert np.array_equal(
+            ops.argsort_stable(values), np.argsort(values, kind="stable")
+        )
+
+    def test_domination_matrix(self, ops, rng):
+        objectives = rng.standard_normal((7, 3))
+        matrix = ops.domination_matrix(objectives)
+        for i in range(7):
+            for j in range(7):
+                dominates = bool(
+                    np.all(objectives[i] <= objectives[j])
+                    and np.any(objectives[i] < objectives[j])
+                )
+                assert matrix[i, j] == dominates
+
+    def test_put_along_axis_in_place(self, ops, rng):
+        stack = rng.standard_normal((3, 8))
+        indices = np.array([[0, 2], [1, 3], [4, 7]])
+        values = rng.standard_normal((3, 2))
+        expected = stack.copy()
+        np.put_along_axis(expected, indices, values, axis=-1)
+        result = ops.put_along_axis(stack, indices, values)
+        assert result is stack and np.array_equal(stack, expected)
+
+    def test_quantize_matches_literal_sequence(self, ops, rng):
+        values = rng.standard_normal((2, 10))
+        scale = np.full((2, 10), 0.25)
+        neg_level, pos_level = np.full_like(scale, -3.0), np.full_like(scale, 3.0)
+        expected = np.empty_like(values)
+        np.divide(values, scale, out=expected)
+        np.rint(expected, out=expected)
+        np.maximum(expected, neg_level, out=expected)
+        np.minimum(expected, pos_level, out=expected)
+        expected += 0.0
+        expected *= scale
+        out = np.empty_like(values)
+        ops.quantize(values, scale, neg_level, pos_level, out=out)
+        assert np.array_equal(
+            out.view(np.uint64), expected.view(np.uint64)
+        )  # byte equality, -0.0 included
+
+    def test_draws_from_bytes_big_endian(self, ops):
+        raw = bytes(range(16))
+        draws = ops.draws_from_bytes(raw, 1, 2)
+        assert draws.dtype == np.uint64 and draws.shape == (1, 2)
+        assert draws[0, 0] == int.from_bytes(raw[:8], "big")
+        assert draws[0, 1] == int.from_bytes(raw[8:], "big")
+
+
+# -- the backend knob on the configs --------------------------------------------------
+
+
+class TestBackendKnob:
+    def test_pipeline_config_accepts_and_validates(self):
+        assert PipelineConfig(dataset="seeds", backend="numpy").backend == "numpy"
+        assert PipelineConfig(dataset="seeds").backend is None
+        with pytest.raises(ValueError, match="PipelineConfig.backend"):
+            PipelineConfig(dataset="seeds", backend="nope")
+
+    def test_ga_config_accepts_and_validates(self):
+        assert GAConfig(backend="numpy").backend == "numpy"
+        with pytest.raises(ValueError, match="GAConfig.backend"):
+            GAConfig(backend="nope")
+
+    def test_evaluation_settings_accepts_and_validates(self):
+        assert EvaluationSettings(backend="numpy").backend == "numpy"
+        with pytest.raises(ValueError, match="EvaluationSettings.backend"):
+            EvaluationSettings(backend="nope")
+
+
+# -- resolve_evaluation_settings: every inheritance combination -----------------------
+
+
+class TestResolveEvaluationSettings:
+    def test_defaults_with_no_configs(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        settings = resolve_evaluation_settings()
+        assert settings == EvaluationSettings(
+            finetune_epochs=8,
+            fault_rate=0.0,
+            n_fault_trials=0,
+            fault_model="open",
+            backend="numpy",
+        )
+
+    def test_backend_materializes_from_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "torch")
+        assert resolve_evaluation_settings().backend == "torch"
+
+    def test_pipeline_values_inherited(self):
+        config = PipelineConfig(
+            dataset="seeds",
+            finetune_epochs=3,
+            fault_rate=0.1,
+            n_fault_trials=7,
+            fault_model="short",
+            backend="numpy",
+        )
+        settings = resolve_evaluation_settings(config)
+        assert settings.finetune_epochs == 3
+        assert settings.fault_rate == 0.1
+        assert settings.n_fault_trials == 7
+        assert settings.fault_model == "short"
+        assert settings.backend == "numpy"
+
+    def test_ga_values_override_pipeline(self):
+        config = PipelineConfig(
+            dataset="seeds",
+            finetune_epochs=3,
+            fault_rate=0.1,
+            n_fault_trials=7,
+            fault_model="short",
+            backend="numpy",
+        )
+        ga_config = GAConfig(
+            finetune_epochs=5,
+            fault_rate=0.2,
+            n_fault_trials=9,
+            fault_model="level_shift",
+            backend="torch",
+        )
+        settings = resolve_evaluation_settings(config, ga_config=ga_config)
+        assert settings.finetune_epochs == 5
+        assert settings.fault_rate == 0.2
+        assert settings.n_fault_trials == 9
+        assert settings.fault_model == "level_shift"
+        assert settings.backend == "torch"
+
+    def test_none_ga_knobs_fall_through_to_pipeline(self):
+        config = PipelineConfig(dataset="seeds", fault_rate=0.3, backend="torch")
+        ga_config = GAConfig()  # every inheritable knob defaults to None
+        settings = resolve_evaluation_settings(config, ga_config=ga_config)
+        assert settings.fault_rate == 0.3
+        assert settings.backend == "torch"
+        # GAConfig.finetune_epochs is never None: the GA default (6) wins
+        assert settings.finetune_epochs == ga_config.finetune_epochs
+
+    def test_ga_only_without_pipeline(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        settings = resolve_evaluation_settings(
+            ga_config=GAConfig(fault_rate=0.05, n_fault_trials=2)
+        )
+        assert settings.fault_rate == 0.05
+        assert settings.n_fault_trials == 2
+        assert settings.fault_model == "open"
+        assert settings.backend == "numpy"
+
+    def test_legacy_wrapper_matches_resolver(self):
+        config = PipelineConfig(dataset="seeds", fault_rate=0.2)
+        ga_config = GAConfig(n_fault_trials=4)
+        assert evaluation_settings_for(ga_config, config) == resolve_evaluation_settings(
+            config, ga_config=ga_config
+        )
