@@ -27,14 +27,32 @@ Typical use (also exposed as ``repro campaign run|resume|status|report``)::
     summary = CampaignRunner(spec, "campaign_out").run()
 
 See ``docs/campaigns.md`` for the spec format, resume semantics and the
-cache/journal layout on disk.
+cache/journal layout on disk, and ``docs/fabric.md`` for the multi-worker
+fault-tolerant fabric (:mod:`repro.campaign.fabric`) layered on top — a
+lease/heartbeat/requeue coordinator (``repro campaign coordinate``) plus
+elastic workers (``repro campaign work``) over the same campaign
+directory, with the byte-identical-results guarantee intact.
 """
 
 from .cache import PersistentEvaluationCache, SimulatedCrash, evaluation_context_key
+from .fabric import (
+    ChaosPolicy,
+    FabricCoordinator,
+    FabricRunSummary,
+    FabricStatus,
+    FabricWorker,
+    FaultSpec,
+    LeaseDirectory,
+    LeaseLost,
+    RetryPolicy,
+    WorkerRunSummary,
+)
 from .journal import (
     CampaignJournal,
     campaign_status,
     format_status,
+    mark_campaign_completed,
+    persist_spec,
     read_json,
     write_json_atomic,
 )
@@ -56,11 +74,21 @@ __all__ = [
     "CampaignRunSummary",
     "CampaignRunner",
     "CampaignSpec",
+    "ChaosPolicy",
+    "FabricCoordinator",
+    "FabricRunSummary",
+    "FabricStatus",
+    "FabricWorker",
+    "FaultSpec",
     "JobOutcome",
     "JobSpec",
+    "LeaseDirectory",
+    "LeaseLost",
     "PersistentEvaluationCache",
+    "RetryPolicy",
     "SearchSpec",
     "SimulatedCrash",
+    "WorkerRunSummary",
     "build_report",
     "campaign_status",
     "collect_fronts",
@@ -69,7 +97,9 @@ __all__ = [
     "format_report",
     "format_status",
     "load_spec",
+    "mark_campaign_completed",
     "parse_shard",
+    "persist_spec",
     "read_json",
     "select_shard",
     "write_json_atomic",

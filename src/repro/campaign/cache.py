@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import IO, Optional, Union
@@ -86,6 +87,17 @@ class PersistentEvaluationCache(EvaluationCache):
             re-appended if re-evaluated meanwhile).
         fail_after_puts: test hook — raise :class:`SimulatedCrash` after
             this many fresh points have been journaled by this instance.
+        fsync: fsync the shard after every journaled point. Durable against
+            power loss (not just process death) at a per-put latency cost;
+            off by default because evaluations dominate runtime anyway.
+        rotate_max_bytes: optional shard-rotation threshold. When the
+            active generation file reaches this size it is sealed and a new
+            generation (``<context>.gNNNN.jsonl``) opened; loading reads
+            every generation in order. Bounds the blast radius of tail
+            corruption and keeps per-file sizes bounded on long campaigns.
+        fsync_on_rotation: fsync a sealed generation before opening the
+            next one (default on — rotation is rare, durability is cheap
+            there), independent of the per-put ``fsync`` flag.
     """
 
     def __init__(
@@ -94,13 +106,22 @@ class PersistentEvaluationCache(EvaluationCache):
         context_key: str,
         max_entries: Optional[int] = None,
         fail_after_puts: Optional[int] = None,
+        fsync: bool = False,
+        rotate_max_bytes: Optional[int] = None,
+        fsync_on_rotation: bool = True,
     ) -> None:
         super().__init__(max_entries=max_entries)
+        if rotate_max_bytes is not None and rotate_max_bytes <= 0:
+            raise ValueError(f"rotate_max_bytes must be > 0, got {rotate_max_bytes}")
         self.directory = Path(directory)
         self.context_key = str(context_key)
         self.path = self.directory / f"{self.context_key}.jsonl"
         self.n_loaded = 0
         self.n_persisted = 0
+        self.n_rotations = 0
+        self.fsync = bool(fsync)
+        self.rotate_max_bytes = rotate_max_bytes
+        self.fsync_on_rotation = bool(fsync_on_rotation)
         self._persisted_keys: set = set()
         self._handle: Optional[IO[str]] = None
         self._fail_after_puts = fail_after_puts
@@ -108,35 +129,72 @@ class PersistentEvaluationCache(EvaluationCache):
 
     # -- persistence -------------------------------------------------------------
 
+    def _generation_paths(self) -> list:
+        """Every shard generation in write order: base file, then rotations."""
+        paths = []
+        if self.path.exists():
+            paths.append(self.path)
+        paths.extend(sorted(self.directory.glob(f"{self.context_key}.g[0-9]*.jsonl")))
+        return paths
+
+    def _active_path(self) -> Path:
+        """The generation currently being appended to (the newest one)."""
+        generations = self._generation_paths()
+        return generations[-1] if generations else self.path
+
+    def _next_generation_path(self) -> Path:
+        """The path the next rotation seals into."""
+        return self.directory / f"{self.context_key}.g{self.n_rotations + 1:04d}.jsonl"
+
     def _load(self) -> None:
-        """Preload the shard, skipping corrupt/truncated lines."""
-        if not self.path.exists():
-            return
-        for line in self.path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-                genome = Genome(**entry["genome"])
-                point = DesignPoint(**entry["point"])
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                # A killed process can leave a truncated trailing line; any
-                # undecodable record is simply re-evaluated on demand.
-                continue
-            key = genome.key()
-            if key not in self._persisted_keys:
-                self.n_loaded += 1
-            self._persisted_keys.add(key)
-            EvaluationCache.put(self, genome, point)
+        """Preload every shard generation, skipping corrupt records.
+
+        Corruption tolerance is per *record*, not just the trailing line: a
+        torn mid-file write (partial sector on power loss) corrupts exactly
+        one line, and every decodable record after it still loads.
+        """
+        generations = self._generation_paths()
+        self.n_rotations = max(0, len(generations) - 1)
+        for path in generations:
+            for line in path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    genome = Genome(**entry["genome"])
+                    point = DesignPoint(**entry["point"])
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    # A killed process can leave a truncated trailing line
+                    # (or a torn sector a garbage middle one); any
+                    # undecodable record is simply re-evaluated on demand.
+                    continue
+                key = genome.key()
+                if key not in self._persisted_keys:
+                    self.n_loaded += 1
+                self._persisted_keys.add(key)
+                EvaluationCache.put(self, genome, point)
 
     def _ensure_handle(self) -> IO[str]:
         if self._handle is None:
             self.directory.mkdir(parents=True, exist_ok=True)
             # O_APPEND single-line writes: safe under concurrent shard use by
             # cooperating runner processes (duplicate records are tolerated).
-            self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle = open(self._active_path(), "a", encoding="utf-8")
         return self._handle
+
+    def _maybe_rotate(self) -> None:
+        """Seal the active generation and open the next when over the bound."""
+        if self.rotate_max_bytes is None or self._handle is None:
+            return
+        if self._handle.tell() < self.rotate_max_bytes:
+            return
+        if self.fsync_on_rotation:
+            os.fsync(self._handle.fileno())
+        self._handle.close()
+        next_path = self._next_generation_path()
+        self.n_rotations += 1
+        self._handle = open(next_path, "a", encoding="utf-8")
 
     def put(self, genome: Genome, point: DesignPoint) -> None:
         """Insert a point and journal it to the shard if it is new on disk."""
@@ -148,6 +206,9 @@ class PersistentEvaluationCache(EvaluationCache):
         handle = self._ensure_handle()
         handle.write(json.dumps(record, sort_keys=True) + "\n")
         handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self._maybe_rotate()
         self._persisted_keys.add(key)
         self.n_persisted += 1
         if self._fail_after_puts is not None and self.n_persisted >= self._fail_after_puts:

@@ -1,0 +1,388 @@
+"""The fabric coordinator: publish, merge, reap, requeue, quarantine.
+
+The coordinator is the campaign's single writer of canonical state. It
+
+* expands the :class:`~repro.campaign.spec.CampaignSpec` grid and
+  **publishes** one queue entry per pending job,
+* **merges** every worker's append-only journal into the canonical
+  ``manifest.jsonl`` (per-worker merge cursors in ``cursors.json``; worker
+  timestamps and identities are preserved, so the manifest reads like one
+  interleaved history),
+* **reaps** state: completed/failed jobs leave the queue, expired leases
+  are cleared and their jobs **requeued** with a bumped requeue count,
+* **quarantines** poison jobs that exhaust the requeue cap (a job that
+  keeps killing its workers must not wedge the campaign), and
+* **degrades to serial execution** when no worker heartbeats within
+  ``worker_timeout`` — an inline, unregistered worker drains the queue in
+  the coordinator's own process, so ``repro campaign coordinate`` with no
+  workers behaves exactly like ``repro campaign run``.
+
+Crash-safety of the merge: the coordinator appends merged events *before*
+advancing ``cursors.json``, so a coordinator killed between the two can
+only re-merge events (duplicates in the manifest), never lose them — and
+every consumer of the manifest (status, ``failed_job_ids``) already
+tolerates duplicate events. Completion is detected from artifact markers
+(``result.json``), never from journal events, so a torn worker journal
+tail costs log detail only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from ..journal import (
+    CampaignJournal,
+    mark_campaign_completed,
+    persist_spec,
+    write_json_atomic,
+)
+from ..spec import CampaignSpec
+from .layout import FabricLayout, read_json_tolerant, read_worker_events
+from .leases import LeaseDirectory
+from .retry import RetryPolicy
+from .worker import FabricWorker
+
+#: Worker id used by the coordinator's serial-fallback inline worker.
+INLINE_WORKER_ID = "coordinator-inline"
+
+
+@dataclass
+class FabricStatus:
+    """One coordinator observation of the fabric (returned by ``step``)."""
+
+    total: int
+    completed: int
+    failed: int
+    quarantined: int
+    pending: int
+    live_workers: List[str] = field(default_factory=list)
+    live_leases: int = 0
+
+    @property
+    def all_done(self) -> bool:
+        """No job is pending: everything completed, failed or quarantined."""
+        return self.pending == 0
+
+    @property
+    def complete(self) -> bool:
+        """The entire grid completed successfully."""
+        return self.completed == self.total
+
+
+@dataclass
+class FabricRunSummary:
+    """Aggregate outcome of one :meth:`FabricCoordinator.run` call."""
+
+    directory: Path
+    status: FabricStatus
+    requeues: int = 0
+    serial_fallback: bool = False
+    inline_completed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the whole grid completed."""
+        return self.status.complete
+
+
+class FabricCoordinator:
+    """Drive one campaign over the fabric work queue.
+
+    Args:
+        spec: the campaign to run (fingerprint-checked against any existing
+            ``spec.json`` exactly like the single-host runner).
+        directory: campaign directory; fabric state goes under ``fabric/``.
+        lease_ttl: lease lifetime handed to the lease directory — a lease
+            older than this with no heartbeat is considered abandoned.
+        worker_timeout: seconds to wait for any worker heartbeat before
+            degrading to serial in-process execution (``0`` degrades
+            immediately; used by tests and the no-workers CLI path).
+        max_requeues: requeue cap per job; exceeding it quarantines the
+            job as poison instead of requeueing forever.
+        use_cache: passed to the inline fallback worker.
+        retry: transient-failure policy for the inline fallback worker.
+        now_fn: clock for lease/heartbeat decisions (injectable).
+        sleep_fn: poll-loop sleep (injectable).
+        execute_fn: job executor for the inline fallback worker (tests).
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        directory: Union[str, Path],
+        lease_ttl: float = 30.0,
+        worker_timeout: float = 10.0,
+        max_requeues: int = 2,
+        use_cache: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        now_fn: Callable[[], float] = time.time,
+        sleep_fn: Callable[[float], None] = time.sleep,
+        execute_fn: Optional[Callable[..., object]] = None,
+    ) -> None:
+        if max_requeues < 0:
+            raise ValueError(f"max_requeues must be >= 0, got {max_requeues}")
+        self.spec = spec
+        self.directory = Path(directory)
+        self.journal = CampaignJournal(self.directory)
+        self.layout = FabricLayout(self.directory)
+        self.leases = LeaseDirectory(self.layout.leases_dir, ttl=lease_ttl, now_fn=now_fn)
+        self.lease_ttl = float(lease_ttl)
+        self.worker_timeout = float(worker_timeout)
+        self.max_requeues = int(max_requeues)
+        self.use_cache = bool(use_cache)
+        self.retry = retry
+        self.now_fn = now_fn
+        self.sleep_fn = sleep_fn
+        self.execute_fn = execute_fn
+        self.requeues_issued = 0
+
+    # -- publishing --------------------------------------------------------------
+
+    def publish(self) -> int:
+        """Expand the grid and publish queue entries for every pending job.
+
+        Idempotent: existing queue entries, completed jobs and quarantined
+        jobs are skipped. A leftover deterministic-failure record is
+        cleared — starting a coordinator is an explicit decision to retry
+        failed jobs, exactly like ``repro campaign resume`` (quarantine is
+        stickier: it survives restarts and must be cleared by hand).
+        Returns the number of newly published jobs.
+        """
+        persist_spec(self.journal, self.spec)
+        completed = self.journal.completed_job_ids()
+        quarantined = set(self.layout.quarantined_job_ids())
+        published = 0
+        for job in self.spec.expand():
+            if job.job_id in completed or job.job_id in quarantined:
+                continue
+            failed_entry = self.layout.failed_entry(job.job_id)
+            if failed_entry.exists():
+                failed_entry.unlink()
+            entry_path = self.layout.queue_entry(job.job_id)
+            if entry_path.exists():
+                continue
+            write_json_atomic(
+                entry_path,
+                {
+                    "job": job.as_dict(),
+                    "requeues": 0,
+                    "published": round(self.now_fn(), 3),
+                },
+            )
+            self.journal.append("job_published", job_id=job.job_id)
+            published += 1
+        return published
+
+    # -- the merge ---------------------------------------------------------------
+
+    def merge_worker_journals(self) -> int:
+        """Fold new per-worker journal events into the canonical manifest.
+
+        Reads each worker journal's decodable *prefix*, appends every event
+        past that worker's merge cursor to ``manifest.jsonl`` (preserving
+        the worker's ``unix_time`` and ``worker_id``), then advances the
+        cursor. Append-before-advance means a crash here duplicates events
+        rather than losing them. Returns the number of events merged.
+        """
+        cursors = read_json_tolerant(self.layout.cursors_path) or {}
+        merged = 0
+        if not self.layout.workers_dir.is_dir():
+            return 0
+        for journal_path in sorted(self.layout.workers_dir.glob("*.jsonl")):
+            worker_id = journal_path.stem
+            events = read_worker_events(journal_path)
+            cursor = cursors.get(worker_id, 0)
+            if not isinstance(cursor, int) or cursor < 0:
+                cursor = 0
+            for event in events[cursor:]:
+                payload = {key: value for key, value in event.items() if key != "event"}
+                self.journal.append(str(event["event"]), **payload)
+                merged += 1
+            if len(events) != cursor:
+                cursors[worker_id] = len(events)
+        if merged:
+            write_json_atomic(self.layout.cursors_path, cursors)
+        return merged
+
+    # -- reaping and requeueing --------------------------------------------------
+
+    def _requeue_or_quarantine(self, entry: dict, worker_id: str) -> None:
+        """Handle one expired lease: bump the requeue count or quarantine."""
+        job_id = str(entry["job"]["job_id"])
+        requeues = int(entry.get("requeues", 0)) + 1
+        self.journal.append(
+            "lease_expired", job_id=job_id, worker_id=worker_id, requeues=requeues
+        )
+        self.requeues_issued += 1
+        if requeues > self.max_requeues:
+            write_json_atomic(
+                self.layout.quarantine_entry(job_id),
+                {
+                    "job_id": job_id,
+                    "requeues": requeues,
+                    "last_worker": worker_id,
+                    "quarantined": round(self.now_fn(), 3),
+                },
+            )
+            self.journal.append(
+                "job_quarantined", job_id=job_id, requeues=requeues, last_worker=worker_id
+            )
+            self.layout.queue_entry(job_id).unlink(missing_ok=True)
+            return
+        write_json_atomic(
+            self.layout.queue_entry(job_id),
+            {**entry, "requeues": requeues, "requeued": round(self.now_fn(), 3)},
+        )
+        self.journal.append("job_requeued", job_id=job_id, requeues=requeues)
+
+    def step(self) -> FabricStatus:
+        """One coordination pass: merge, reap, requeue, summarize.
+
+        Safe to call at any frequency; every action is idempotent. Writes
+        the terminal ``complete.json`` marker (and the once-only
+        ``campaign_completed`` manifest event) when no job remains pending.
+        """
+        self.merge_worker_journals()
+        now = self.now_fn()
+        completed = self.journal.completed_job_ids()
+        for entry in self.layout.queue_entries():
+            job = entry.get("job")
+            if not isinstance(job, dict) or "job_id" not in job:
+                continue
+            job_id = str(job["job_id"])
+            if job_id in completed or self.layout.failed_entry(job_id).exists():
+                self.leases.remove(job_id)
+                self.layout.queue_entry(job_id).unlink(missing_ok=True)
+                continue
+            lease = self.leases.read(job_id)
+            if lease is not None and lease.expires <= now:
+                self.leases.remove(job_id)
+                self._requeue_or_quarantine(entry, lease.worker_id)
+        # Leases with no pending queue entry are leftovers (forged, or the
+        # job completed/failed since): clear them so nothing looks in-flight.
+        pending_ids = {
+            str(entry["job"]["job_id"])
+            for entry in self.layout.queue_entries()
+            if isinstance(entry.get("job"), dict) and "job_id" in entry["job"]
+        }
+        for lease in self.leases.all_leases():
+            if lease.job_id not in pending_ids:
+                self.leases.remove(lease.job_id)
+        status = self._status()
+        if status.all_done and not self.layout.complete_path.exists():
+            write_json_atomic(
+                self.layout.complete_path,
+                {
+                    "total": status.total,
+                    "completed": status.completed,
+                    "failed": status.failed,
+                    "quarantined": status.quarantined,
+                },
+            )
+            self.journal.append(
+                "fabric_drained",
+                completed=status.completed,
+                failed=status.failed,
+                quarantined=status.quarantined,
+            )
+            mark_campaign_completed(self.journal, self.spec)
+        return status
+
+    def _status(self) -> FabricStatus:
+        """Counts + liveness as of now (artifact markers are the truth)."""
+        jobs = self.spec.expand()
+        grid_ids = {job.job_id for job in jobs}
+        completed = self.journal.completed_job_ids() & grid_ids
+        quarantined = set(self.layout.quarantined_job_ids()) & grid_ids
+        failed = (set(self.layout.failed_job_ids()) & grid_ids) - completed - quarantined
+        pending = grid_ids - completed - failed - quarantined
+        now = self.now_fn()
+        window = self.worker_timeout if self.worker_timeout > 0 else self.lease_ttl
+        live_workers = []
+        for worker_id in self.layout.worker_ids():
+            registration = read_json_tolerant(self.layout.worker_registration(worker_id))
+            if registration is None:
+                continue
+            heartbeat = registration.get("heartbeat")
+            if isinstance(heartbeat, (int, float)) and now - heartbeat < window:
+                live_workers.append(worker_id)
+        live, _expired = self.leases.partition()
+        return FabricStatus(
+            total=len(jobs),
+            completed=len(completed),
+            failed=len(failed),
+            quarantined=len(quarantined),
+            pending=len(pending),
+            live_workers=live_workers,
+            live_leases=len(live),
+        )
+
+    # -- the drive loop ----------------------------------------------------------
+
+    def run(
+        self,
+        poll_interval: float = 0.2,
+        max_wall_s: Optional[float] = None,
+        serial_fallback: bool = True,
+    ) -> FabricRunSummary:
+        """Publish, then coordinate until the campaign is terminal.
+
+        When ``serial_fallback`` is on and no worker has heartbeated (and
+        no lease is live) for ``worker_timeout`` seconds, an inline,
+        unregistered :class:`~.worker.FabricWorker` starts draining jobs in
+        this process between coordination passes — elastic workers joining
+        later still pick up whatever the inline worker has not claimed.
+
+        Args:
+            poll_interval: sleep between passes while waiting on workers.
+            max_wall_s: optional hard wall-clock bound (summary reports
+                whatever state was reached).
+            serial_fallback: disable to make the coordinator purely
+                supervisory (it will wait for workers forever).
+        """
+        self.publish()
+        started = time.monotonic()
+        inline: Optional[FabricWorker] = None
+        inline_completed = 0
+        used_fallback = False
+        while True:
+            status = self.step()
+            if status.all_done:
+                break
+            if max_wall_s is not None and time.monotonic() - started >= max_wall_s:
+                break
+            waited = time.monotonic() - started
+            idle_fabric = not status.live_workers and status.live_leases == 0
+            if serial_fallback and idle_fabric and waited >= self.worker_timeout:
+                if inline is None:
+                    inline = FabricWorker(
+                        self.directory,
+                        worker_id=INLINE_WORKER_ID,
+                        lease_ttl=self.lease_ttl,
+                        use_cache=self.use_cache,
+                        retry=self.retry,
+                        now_fn=self.now_fn,
+                        sleep_fn=self.sleep_fn,
+                        execute_fn=self.execute_fn,
+                        register=False,
+                    )
+                    used_fallback = True
+                    self.journal.append("serial_fallback", worker_timeout=self.worker_timeout)
+                step_status = inline.step()
+                if step_status == "completed":
+                    inline_completed += 1
+                elif step_status in ("idle", "stalled"):
+                    self.sleep_fn(poll_interval)
+            else:
+                self.sleep_fn(poll_interval)
+        final = self.step()
+        return FabricRunSummary(
+            directory=self.directory,
+            status=final,
+            requeues=self.requeues_issued,
+            serial_fallback=used_fallback,
+            inline_completed=inline_completed,
+        )

@@ -1,0 +1,178 @@
+"""On-disk layout of a campaign's fabric state.
+
+Everything the fabric coordinates through lives under one subdirectory of
+the campaign::
+
+    <campaign>/fabric/
+      queue/<job_id>.json        # published, claimable work (atomic writes)
+      leases/<job_id>.json       # live claims (see fabric.leases)
+      workers/<worker_id>.json   # worker registration + heartbeat
+      workers/<worker_id>.jsonl  # per-worker append-only event journal
+      failed/<job_id>.json       # deterministic-failure records (fail fast)
+      quarantine/<job_id>.json   # poison jobs that exhausted the requeue cap
+      cursors.json               # coordinator's per-worker merge positions
+      complete.json              # terminal marker: workers drain and exit
+
+Job *artifacts* stay where the single-host runner puts them
+(``jobs/<job_id>/front.json`` + ``result.json``) and the shared evaluation
+cache stays in ``cache/`` — the fabric adds coordination state only, so a
+fabric campaign directory is a superset of a single-host one and every
+existing tool (``status``, ``report``, ``resume``) keeps working on it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+FABRIC_DIR = "fabric"
+QUEUE_DIR = "queue"
+LEASES_DIR = "leases"
+WORKERS_DIR = "workers"
+FAILED_DIR = "failed"
+QUARANTINE_DIR = "quarantine"
+CURSORS_NAME = "cursors.json"
+COMPLETE_NAME = "complete.json"
+
+
+def read_json_tolerant(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """One JSON object from ``path``, or ``None`` (missing/torn/not a dict).
+
+    Fabric state files are written atomically, so a torn file signals
+    external corruption, not a crash window — returning ``None`` makes
+    every reader treat it as absent rather than dying on it.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+class FabricLayout:
+    """Path arithmetic for one campaign's fabric directory."""
+
+    def __init__(self, campaign_directory: Union[str, Path]) -> None:
+        """Anchor the layout at ``<campaign_directory>/fabric``."""
+        self.campaign_directory = Path(campaign_directory)
+        self.root = self.campaign_directory / FABRIC_DIR
+
+    # -- directories -------------------------------------------------------------
+
+    @property
+    def queue_dir(self) -> Path:
+        """Published, claimable jobs."""
+        return self.root / QUEUE_DIR
+
+    @property
+    def leases_dir(self) -> Path:
+        """Live lease files (managed by :class:`~.leases.LeaseDirectory`)."""
+        return self.root / LEASES_DIR
+
+    @property
+    def workers_dir(self) -> Path:
+        """Worker registrations and per-worker journals."""
+        return self.root / WORKERS_DIR
+
+    @property
+    def failed_dir(self) -> Path:
+        """Deterministic-failure records."""
+        return self.root / FAILED_DIR
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Poison jobs that exhausted the requeue cap."""
+        return self.root / QUARANTINE_DIR
+
+    # -- files -------------------------------------------------------------------
+
+    @property
+    def cursors_path(self) -> Path:
+        """The coordinator's per-worker journal merge positions."""
+        return self.root / CURSORS_NAME
+
+    @property
+    def complete_path(self) -> Path:
+        """Terminal marker telling workers to drain and exit."""
+        return self.root / COMPLETE_NAME
+
+    def queue_entry(self, job_id: str) -> Path:
+        """Queue file of one job."""
+        return self.queue_dir / f"{job_id}.json"
+
+    def failed_entry(self, job_id: str) -> Path:
+        """Failure record of one job."""
+        return self.failed_dir / f"{job_id}.json"
+
+    def quarantine_entry(self, job_id: str) -> Path:
+        """Quarantine record of one job."""
+        return self.quarantine_dir / f"{job_id}.json"
+
+    def worker_registration(self, worker_id: str) -> Path:
+        """Registration/heartbeat file of one worker."""
+        return self.workers_dir / f"{worker_id}.json"
+
+    def worker_journal(self, worker_id: str) -> Path:
+        """Append-only event journal of one worker."""
+        return self.workers_dir / f"{worker_id}.jsonl"
+
+    # -- scans -------------------------------------------------------------------
+
+    def queue_entries(self) -> List[Dict[str, object]]:
+        """Every decodable queue entry, sorted by job id (deterministic claim order)."""
+        if not self.queue_dir.is_dir():
+            return []
+        entries = []
+        for path in sorted(self.queue_dir.glob("*.json")):
+            entry = read_json_tolerant(path)
+            if entry is not None:
+                entries.append(entry)
+        return entries
+
+    def failed_job_ids(self) -> List[str]:
+        """Jobs with a deterministic-failure record, sorted."""
+        if not self.failed_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.failed_dir.glob("*.json"))
+
+    def quarantined_job_ids(self) -> List[str]:
+        """Jobs in quarantine, sorted."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.quarantine_dir.glob("*.json"))
+
+    def worker_ids(self) -> List[str]:
+        """Every registered worker id, sorted."""
+        if not self.workers_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.workers_dir.glob("*.json"))
+
+
+def read_worker_events(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """The decodable *prefix* of a per-worker journal.
+
+    Stops at the first undecodable line instead of skipping it: a partial
+    trailing line may be an append still in flight, and stopping keeps the
+    event count prefix-stable so the coordinator's merge cursor (an index
+    into this list) never drifts when the line completes on the next read.
+    A torn tail from a dead worker is simply never merged — job completion
+    is detected from artifact markers, not journal events, so nothing is
+    lost but log detail.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    events: List[Dict[str, object]] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if not isinstance(record, dict) or "event" not in record:
+            break
+        events.append(record)
+    return events

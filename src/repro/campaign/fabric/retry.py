@@ -1,0 +1,108 @@
+"""Failure classification and bounded exponential backoff with jitter.
+
+The fabric (and the single-host :class:`~repro.campaign.runner.CampaignRunner`)
+distinguish two failure classes:
+
+* **Transient** failures — I/O hiccups, timeouts, broken process pools —
+  are worth retrying: the same job re-executed a moment later usually
+  succeeds, and because job results are pure functions of their specs a
+  retry can never change the outcome, only rescue it.
+* **Deterministic** failures — bad configurations, assertion errors,
+  :class:`~repro.campaign.cache.SimulatedCrash` and anything else that
+  would recur on every attempt — fail fast so a campaign surfaces them
+  immediately instead of burning retry budget.
+
+Backoff delays grow exponentially and carry *deterministic* jitter: the
+jitter fraction is derived from ``sha256(key, attempt)``, so two workers
+retrying different jobs decorrelate (no thundering herd on a shared
+filesystem) while any single retry schedule is exactly reproducible in
+tests and journals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+
+#: Exception types treated as transient (retryable). ``TimeoutError`` is an
+#: ``OSError`` subclass since Python 3.10 but is listed for clarity;
+#: ``ConnectionError`` covers the socket family for future remote stores.
+TRANSIENT_EXCEPTION_TYPES = (OSError, TimeoutError, ConnectionError, BrokenExecutor)
+
+
+def is_transient(error: BaseException) -> bool:
+    """True when ``error`` is worth retrying (I/O, timeout or pool shaped).
+
+    Anything deriving from the transient exception types qualifies, as does
+    any exception whose *type name* mentions a timeout — third-party
+    timeout errors rarely subclass :class:`TimeoutError` but are just as
+    retryable.
+    """
+    if isinstance(error, TRANSIENT_EXCEPTION_TYPES):
+        return True
+    return "timeout" in type(error).__name__.lower()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Attributes:
+        max_attempts: total attempts per job, first try included. ``1``
+            disables retries entirely.
+        base_delay: delay before the first retry, in seconds. Doubles per
+            subsequent retry. ``0.0`` retries immediately (tests).
+        max_delay: ceiling on any single delay.
+        jitter: maximum extra fraction added to each delay (``0.25`` means
+            up to +25%), drawn deterministically from ``(key, attempt)``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    max_delay: float = 30.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        """Validate the attempt and delay bounds."""
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be >= 0")
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) may be followed by another."""
+        return attempt < self.max_attempts and is_transient(error)
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before the retry that follows attempt ``attempt`` (1-based).
+
+        Exponential in the attempt number, capped at :attr:`max_delay`,
+        plus a jitter fraction derived from ``sha256(key, attempt)`` — the
+        same (key, attempt) always waits exactly as long.
+        """
+        raw = min(self.base_delay * (2.0 ** (attempt - 1)), self.max_delay)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return min(raw * (1.0 + self.jitter * fraction), self.max_delay)
+
+    def as_dict(self) -> dict:
+        """Plain-data form (picklable across pool workers, journal-friendly)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+            "jitter": self.jitter,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RetryPolicy":
+        """Inverse of :meth:`as_dict`."""
+        return RetryPolicy(
+            max_attempts=int(data.get("max_attempts", 3)),
+            base_delay=float(data.get("base_delay", 0.5)),
+            max_delay=float(data.get("max_delay", 30.0)),
+            jitter=float(data.get("jitter", 0.25)),
+        )

@@ -176,12 +176,59 @@ class CampaignJournal:
         return self.directory / REPORT_DIR
 
 
+def persist_spec(journal: CampaignJournal, spec) -> None:
+    """Write ``spec.json`` on first use; verify the fingerprint afterwards.
+
+    Shared by the single-host runner and the fabric coordinator so both
+    paths enforce the same rule: a campaign directory is bound to exactly
+    one spec, and resuming with a different one is an error, not silent
+    corruption.
+    """
+    from .spec import CampaignSpec  # deferred: spec imports nothing from here
+
+    if journal.spec_path.exists():
+        existing = CampaignSpec.from_dict(read_json(journal.spec_path))  # type: ignore[arg-type]
+        if existing.fingerprint() != spec.fingerprint():
+            raise ValueError(
+                f"Campaign directory {journal.directory} was created from a "
+                "different spec (fingerprint mismatch). Use a fresh "
+                "directory, or resume with the original spec."
+            )
+        return
+    write_json_atomic(journal.spec_path, spec.as_dict())
+
+
+def mark_campaign_completed(journal: CampaignJournal, spec) -> bool:
+    """Append the once-only ``campaign_completed`` event if the grid is done.
+
+    The single predicate shared by every execution path (serial runner,
+    sharded runners, fabric coordinator): the event is appended exactly
+    when *every* job in the spec's grid has its completion marker and the
+    manifest does not already record completion. Returns whether the event
+    was appended.
+    """
+    completed = journal.completed_job_ids()
+    jobs = spec.expand()
+    if not all(job.job_id in completed for job in jobs):
+        return False
+    if any(event.get("event") == "campaign_completed" for event in journal.events()):
+        return False
+    journal.append("campaign_completed", n_jobs=len(jobs))
+    return True
+
+
 def campaign_status(directory: Union[str, Path]) -> Dict[str, object]:
     """Summarize a campaign directory for ``repro campaign status``.
 
-    Returns total/completed/failed/pending counts plus per-job rows; raises
-    ``FileNotFoundError`` when the directory holds no campaign spec.
+    Returns total/completed/failed/quarantined/pending counts, a top-level
+    campaign ``state``, and per-job rows; raises ``FileNotFoundError`` when
+    the directory holds no campaign spec. The same predicate serves every
+    execution path — serial runs, sharded runs and the multi-worker fabric
+    all report through artifact markers (plus the fabric's failure and
+    quarantine records when present), so ``repro campaign status`` agrees
+    with itself no matter which mode produced the directory.
     """
+    from .fabric.layout import FabricLayout  # deferred: fabric imports this module
     from .spec import CampaignSpec  # deferred: spec imports nothing from here
 
     journal = CampaignJournal(directory)
@@ -192,11 +239,15 @@ def campaign_status(directory: Union[str, Path]) -> Dict[str, object]:
     spec = CampaignSpec.from_dict(read_json(journal.spec_path))  # type: ignore[arg-type]
     jobs = spec.expand()
     completed = journal.completed_job_ids()
-    failed = journal.failed_job_ids()
+    layout = FabricLayout(directory)
+    quarantined = set(layout.quarantined_job_ids())
+    failed = (journal.failed_job_ids() | set(layout.failed_job_ids())) - completed
     rows = []
     for job in jobs:
         if job.job_id in completed:
             state = "completed"
+        elif job.job_id in quarantined:
+            state = "quarantined"
         elif job.job_id in failed:
             state = "failed"
         else:
@@ -210,13 +261,26 @@ def campaign_status(directory: Union[str, Path]) -> Dict[str, object]:
                 "state": state,
             }
         )
+    grid_ids = {job.job_id for job in jobs}
+    n_completed = len(completed & grid_ids)
+    n_failed = sum(1 for row in rows if row["state"] == "failed")
+    n_quarantined = sum(1 for row in rows if row["state"] == "quarantined")
+    n_pending = sum(1 for row in rows if row["state"] == "pending")
+    if n_completed == len(jobs):
+        campaign_state = "completed"
+    elif n_pending == 0:
+        campaign_state = "failed"
+    else:
+        campaign_state = "in-progress"
     return {
         "name": spec.name,
         "fingerprint": spec.fingerprint(),
+        "state": campaign_state,
         "total": len(jobs),
-        "completed": len(completed & {job.job_id for job in jobs}),
-        "failed": len(failed & {job.job_id for job in jobs}),
-        "pending": sum(1 for row in rows if row["state"] == "pending"),
+        "completed": n_completed,
+        "failed": n_failed,
+        "quarantined": n_quarantined,
+        "pending": n_pending,
         "jobs": rows,
     }
 
@@ -225,9 +289,12 @@ def format_status(status: Dict[str, object]) -> str:
     """Human-readable status block printed by the CLI."""
     lines = [
         f"campaign   : {status['name']}",
+        f"state      : {status.get('state', 'unknown')}",
         f"jobs       : {status['completed']}/{status['total']} completed, "
         f"{status['failed']} failed, {status['pending']} pending",
     ]
+    if status.get("quarantined"):
+        lines.append(f"quarantined: {status['quarantined']}")
     for row in status["jobs"]:  # type: ignore[union-attr]
         lines.append(f"  [{row['state']:>9}] {row['job_id']}")
     return "\n".join(lines)

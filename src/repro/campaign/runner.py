@@ -35,7 +35,8 @@ from ..search.exhaustive import grid_search, random_search
 from ..search.ga import GAConfig, HardwareAwareGA
 from ..search.settings import resolve_evaluation_settings
 from .cache import PersistentEvaluationCache, evaluation_context_key
-from .journal import CampaignJournal, read_json, write_json_atomic
+from .fabric.retry import RetryPolicy
+from .journal import CampaignJournal, mark_campaign_completed, persist_spec
 from .spec import CampaignSpec, JobSpec, parse_shard, select_shard
 
 #: Signature of a cache factory:
@@ -53,6 +54,7 @@ class JobOutcome:
     n_evaluations: int = 0
     front_size: int = 0
     error: Optional[str] = None
+    attempts: int = 1
 
 
 @dataclass
@@ -209,24 +211,55 @@ def _default_cache_factory(
     return PersistentEvaluationCache(cache_dir, context_key, max_entries=max_entries)
 
 
-def _run_job_task(job_data: Dict[str, object], directory: str, use_cache: bool) -> Dict[str, object]:
-    """Pool-worker entry: execute one job, never raise (failures are data)."""
+def _run_job_task(
+    job_data: Dict[str, object],
+    directory: str,
+    use_cache: bool,
+    retry_data: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Pool-worker entry: execute one job, never raise (failures are data).
+
+    Transient failures are retried in the worker process per the (plain
+    data, picklable) retry policy; the retry history travels back in the
+    payload so the parent journals it in the manifest.
+    """
     job = JobSpec.from_dict(job_data)
-    try:
-        outcome = execute_job(job, directory, use_cache=use_cache)
-    except Exception as error:  # noqa: BLE001 - worker must report, not crash the pool
+    retry = RetryPolicy.from_dict(retry_data) if retry_data is not None else RetryPolicy()
+    retries: List[Dict[str, object]] = []
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            outcome = execute_job(job, directory, use_cache=use_cache)
+        except Exception as error:  # noqa: BLE001 - worker must report, not crash the pool
+            if retry.should_retry(error, attempt):
+                delay = retry.delay(job.job_id, attempt)
+                retries.append(
+                    {
+                        "attempt": attempt,
+                        "delay": round(delay, 6),
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            return {
+                "job_id": job.job_id,
+                "status": "failed",
+                "error": f"{type(error).__name__}: {error}",
+                "attempts": attempt,
+                "retries": retries,
+            }
         return {
-            "job_id": job.job_id,
-            "status": "failed",
-            "error": f"{type(error).__name__}: {error}",
+            "job_id": outcome.job_id,
+            "status": outcome.status,
+            "wall_s": outcome.wall_s,
+            "n_evaluations": outcome.n_evaluations,
+            "front_size": outcome.front_size,
+            "attempts": attempt,
+            "retries": retries,
         }
-    return {
-        "job_id": outcome.job_id,
-        "status": outcome.status,
-        "wall_s": outcome.wall_s,
-        "n_evaluations": outcome.n_evaluations,
-        "front_size": outcome.front_size,
-    }
 
 
 class CampaignRunner:
@@ -246,6 +279,10 @@ class CampaignRunner:
             forces serial execution because factories don't cross processes.
         shard: optional ``"i/n"`` selector — this runner only executes jobs
             whose grid index is congruent to ``i`` mod ``n``.
+        retry: transient-failure policy (default :class:`RetryPolicy`):
+            I/O- and timeout-shaped job failures retry with bounded
+            exponential backoff; deterministic failures fail fast. Pass
+            ``RetryPolicy(max_attempts=1)`` to disable retries.
     """
 
     def __init__(
@@ -256,6 +293,7 @@ class CampaignRunner:
         use_cache: bool = True,
         cache_factory: Optional[CacheFactory] = None,
         shard: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -266,21 +304,13 @@ class CampaignRunner:
         self.use_cache = bool(use_cache)
         self.cache_factory = cache_factory
         self.shard = parse_shard(shard)
+        self.retry = retry if retry is not None else RetryPolicy()
 
     # -- lifecycle ---------------------------------------------------------------
 
     def _persist_spec(self) -> None:
         """Write ``spec.json`` on first run; verify the fingerprint afterwards."""
-        if self.journal.spec_path.exists():
-            existing = CampaignSpec.from_dict(read_json(self.journal.spec_path))  # type: ignore[arg-type]
-            if existing.fingerprint() != self.spec.fingerprint():
-                raise ValueError(
-                    f"Campaign directory {self.directory} was created from a "
-                    "different spec (fingerprint mismatch). Use a fresh "
-                    "directory, or resume with the original spec."
-                )
-            return
-        write_json_atomic(self.journal.spec_path, self.spec.as_dict())
+        persist_spec(self.journal, self.spec)
 
     def run(self, max_jobs: Optional[int] = None) -> CampaignRunSummary:
         """Run every pending job (resuming past work), up to ``max_jobs``.
@@ -326,43 +356,62 @@ class CampaignRunner:
             1 for job in jobs if job.job_id not in completed_now
         )
         # "campaign_completed" means the WHOLE grid is done, not just this
-        # runner's shard — another shard's jobs may still be pending.
-        all_jobs = self.spec.expand()
-        if all(job.job_id in completed_now for job in all_jobs):
-            self.journal.append("campaign_completed", n_jobs=len(all_jobs))
+        # runner's shard — another shard's jobs may still be pending. The
+        # once-only predicate is shared with the fabric coordinator so
+        # every execution mode reports completion identically.
+        mark_campaign_completed(self.journal, self.spec)
         return summary
 
     # -- execution strategies ----------------------------------------------------
 
     def _run_serial(self, job: JobSpec) -> JobOutcome:
-        """Run one job in-process, journaling start/completion/failure."""
+        """Run one job in-process, journaling start/retries/completion/failure.
+
+        Transient failures (I/O, timeouts, broken pools) retry with the
+        runner's backoff policy; deterministic failures are journaled and
+        surfaced after the first attempt.
+        """
         self.journal.append("job_started", job_id=job.job_id)
-        try:
-            outcome = execute_job(
-                job,
-                self.directory,
-                use_cache=self.use_cache,
-                cache_factory=self.cache_factory,
-            )
-        except Exception as error:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                outcome = execute_job(
+                    job,
+                    self.directory,
+                    use_cache=self.use_cache,
+                    cache_factory=self.cache_factory,
+                )
+            except Exception as error:
+                message = f"{type(error).__name__}: {error}"
+                if self.retry.should_retry(error, attempt):
+                    delay = self.retry.delay(job.job_id, attempt)
+                    self.journal.append(
+                        "job_retrying",
+                        job_id=job.job_id,
+                        attempt=attempt,
+                        delay=round(delay, 6),
+                        error=message,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                self.journal.append(
+                    "job_failed", job_id=job.job_id, error=message, attempts=attempt
+                )
+                return JobOutcome(
+                    job_id=job.job_id, status="failed", error=message, attempts=attempt
+                )
+            outcome.attempts = attempt
             self.journal.append(
-                "job_failed",
+                "job_completed",
                 job_id=job.job_id,
-                error=f"{type(error).__name__}: {error}",
+                wall_s=round(outcome.wall_s, 6),
+                n_evaluations=outcome.n_evaluations,
+                front_size=outcome.front_size,
+                attempts=attempt,
             )
-            return JobOutcome(
-                job_id=job.job_id,
-                status="failed",
-                error=f"{type(error).__name__}: {error}",
-            )
-        self.journal.append(
-            "job_completed",
-            job_id=job.job_id,
-            wall_s=round(outcome.wall_s, 6),
-            n_evaluations=outcome.n_evaluations,
-            front_size=outcome.front_size,
-        )
-        return outcome
+            return outcome
 
     def _run_pool(self, jobs: List[JobSpec]) -> List[JobOutcome]:
         """Fan whole jobs out over a process pool, journaling in submit order.
@@ -379,7 +428,11 @@ class CampaignRunner:
                     self.journal.append("job_started", job_id=job.job_id)
                     futures.append(
                         pool.submit(
-                            _run_job_task, job.as_dict(), str(self.directory), self.use_cache
+                            _run_job_task,
+                            job.as_dict(),
+                            str(self.directory),
+                            self.use_cache,
+                            self.retry.as_dict(),
                         )
                     )
                 for future in futures:
@@ -399,8 +452,21 @@ class CampaignRunner:
         return outcomes
 
     def _journal_pool_outcome(self, payload: Dict[str, object]) -> JobOutcome:
-        """Translate a worker's outcome dict into journal events + JobOutcome."""
+        """Translate a worker's outcome dict into journal events + JobOutcome.
+
+        The worker's retry history (if any) is journaled first so the
+        manifest reads in causal order: retries, then the terminal event.
+        """
         job_id = str(payload["job_id"])
+        attempts = int(payload.get("attempts", 1))
+        for retried in payload.get("retries", []):  # type: ignore[union-attr]
+            self.journal.append(
+                "job_retrying",
+                job_id=job_id,
+                attempt=int(retried.get("attempt", 1)),
+                delay=float(retried.get("delay", 0.0)),
+                error=str(retried.get("error", "")),
+            )
         if payload["status"] == "completed":
             self.journal.append(
                 "job_completed",
@@ -408,6 +474,7 @@ class CampaignRunner:
                 wall_s=round(float(payload.get("wall_s", 0.0)), 6),
                 n_evaluations=int(payload.get("n_evaluations", 0)),
                 front_size=int(payload.get("front_size", 0)),
+                attempts=attempts,
             )
             return JobOutcome(
                 job_id=job_id,
@@ -415,7 +482,8 @@ class CampaignRunner:
                 wall_s=float(payload.get("wall_s", 0.0)),
                 n_evaluations=int(payload.get("n_evaluations", 0)),
                 front_size=int(payload.get("front_size", 0)),
+                attempts=attempts,
             )
         error = str(payload.get("error", "unknown error"))
-        self.journal.append("job_failed", job_id=job_id, error=error)
-        return JobOutcome(job_id=job_id, status="failed", error=error)
+        self.journal.append("job_failed", job_id=job_id, error=error, attempts=attempts)
+        return JobOutcome(job_id=job_id, status="failed", error=error, attempts=attempts)

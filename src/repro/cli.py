@@ -282,6 +282,81 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _retry_policy_from_args(args: argparse.Namespace):
+    """Build a RetryPolicy from the CLI's ``--max-attempts`` (None = default)."""
+    from .campaign import RetryPolicy
+
+    if getattr(args, "max_attempts", None) is None:
+        return None
+    return RetryPolicy(max_attempts=max(1, int(args.max_attempts)))
+
+
+def _cmd_campaign_coordinate(args: argparse.Namespace) -> int:
+    from .campaign import FabricCoordinator
+
+    try:
+        spec = load_spec(args.spec)
+    except FileNotFoundError:
+        print(f"error: campaign spec not found: {args.spec}")
+        return 1
+    except (ValueError, KeyError, RuntimeError) as error:  # invalid spec / no YAML
+        print(f"error: invalid campaign spec '{args.spec}': {error}")
+        return 1
+    try:
+        coordinator = FabricCoordinator(
+            spec,
+            args.out,
+            lease_ttl=args.lease_ttl,
+            worker_timeout=args.worker_timeout,
+            max_requeues=args.max_requeues,
+            use_cache=not args.no_cache,
+            retry=_retry_policy_from_args(args),
+        )
+        summary = coordinator.run(
+            poll_interval=args.poll_interval,
+            max_wall_s=args.max_wall,
+            serial_fallback=not args.no_serial_fallback,
+        )
+    except ValueError as error:  # spec fingerprint mismatch, bad bounds
+        print(f"error: {error}")
+        return 1
+    status = summary.status
+    print(
+        f"{status.completed}/{status.total} jobs completed, "
+        f"{status.failed} failed, {status.quarantined} quarantined "
+        f"({summary.requeues} requeues"
+        + (", serial fallback engaged" if summary.serial_fallback else "")
+        + ")"
+    )
+    return 0 if summary.ok else 1
+
+
+def _cmd_campaign_work(args: argparse.Namespace) -> int:
+    from .campaign import FabricWorker
+
+    out = Path(args.out)
+    if not out.is_dir():
+        print(f"error: campaign directory not found: {out.resolve()}")
+        return 1
+    worker = FabricWorker(
+        out,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        use_cache=not args.no_cache,
+        retry=_retry_policy_from_args(args),
+    )
+    summary = worker.run(
+        poll_interval=args.poll_interval,
+        max_idle_s=args.max_idle,
+        max_jobs=args.max_jobs,
+    )
+    print(
+        f"worker {summary.worker_id}: {summary.completed} completed, "
+        f"{summary.failed} failed"
+    )
+    return 0
+
+
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
     try:
         report = build_report(args.out)
@@ -395,11 +470,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = subparsers.add_parser(
         "campaign",
-        help="declarative multi-dataset search campaigns (run/resume/status/report)",
+        help="declarative multi-dataset search campaigns "
+             "(run/resume/coordinate/work/status/report)",
         description="Resumable multi-dataset search campaigns: a YAML/JSON "
                     "spec expands into {dataset x search x seed} jobs whose "
                     "state is journaled so a killed campaign resumes "
-                    "bit-identically. See docs/campaigns.md.",
+                    "bit-identically. Single host: run/resume. Multi-worker "
+                    "fabric: coordinate + work. See docs/campaigns.md and "
+                    "docs/fabric.md.",
     )
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
 
@@ -433,6 +511,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_campaign_run_args(campaign_resume)
     campaign_resume.set_defaults(func=_cmd_campaign_resume)
+
+    campaign_coordinate = campaign_sub.add_parser(
+        "coordinate",
+        help="coordinate a campaign over the multi-worker fabric "
+             "(publish jobs, merge worker journals, requeue expired leases)",
+        description="Publish the spec's job grid to <out>/fabric/queue and "
+                    "supervise elastic `repro campaign work` processes: merge "
+                    "their journals into the manifest, requeue jobs whose "
+                    "lease expired, quarantine poison jobs, and fall back to "
+                    "serial in-process execution when no workers show up. "
+                    "See docs/fabric.md.",
+    )
+    campaign_coordinate.add_argument("--spec", required=True,
+                                     help="campaign spec file (YAML or JSON)")
+    campaign_coordinate.add_argument("--out", required=True, help="campaign directory")
+    campaign_coordinate.add_argument("--lease-ttl", type=float, default=30.0,
+                                     help="lease lifetime in seconds; a job whose "
+                                          "lease is this stale is requeued")
+    campaign_coordinate.add_argument("--worker-timeout", type=float, default=10.0,
+                                     help="seconds to wait for a worker heartbeat "
+                                          "before degrading to serial execution")
+    campaign_coordinate.add_argument("--max-requeues", type=int, default=2,
+                                     help="requeue cap per job before quarantine")
+    campaign_coordinate.add_argument("--poll-interval", type=float, default=0.2,
+                                     help="coordination pass interval in seconds")
+    campaign_coordinate.add_argument("--max-wall", type=float, default=None,
+                                     help="optional wall-clock bound in seconds")
+    campaign_coordinate.add_argument("--max-attempts", type=int, default=None,
+                                     help="retry budget for transient job failures "
+                                          "(inline fallback worker)")
+    campaign_coordinate.add_argument("--no-serial-fallback", action="store_true",
+                                     help="never execute jobs in-process; wait for "
+                                          "workers indefinitely")
+    campaign_coordinate.add_argument("--no-cache", action="store_true",
+                                     help="disable the persistent evaluation cache")
+    campaign_coordinate.set_defaults(func=_cmd_campaign_coordinate)
+
+    campaign_work = campaign_sub.add_parser(
+        "work",
+        help="join a coordinated campaign as an elastic worker",
+        description="Lease jobs from <out>/fabric/queue, execute them, "
+                    "heartbeat the lease, and journal results for the "
+                    "coordinator to merge. Any number of workers may join or "
+                    "leave at any time. See docs/fabric.md.",
+    )
+    campaign_work.add_argument("--out", required=True, help="campaign directory")
+    campaign_work.add_argument("--worker-id", default=None,
+                               help="stable worker identity (default: w<pid>)")
+    campaign_work.add_argument("--lease-ttl", type=float, default=30.0,
+                               help="lease lifetime in seconds (must match the "
+                                    "coordinator's)")
+    campaign_work.add_argument("--poll-interval", type=float, default=0.5,
+                               help="idle poll interval in seconds")
+    campaign_work.add_argument("--max-idle", type=float, default=300.0,
+                               help="exit after this many idle seconds")
+    campaign_work.add_argument("--max-jobs", type=int, default=None,
+                               help="stop after executing this many jobs")
+    campaign_work.add_argument("--max-attempts", type=int, default=None,
+                               help="retry budget for transient job failures")
+    campaign_work.add_argument("--no-cache", action="store_true",
+                               help="disable the persistent evaluation cache")
+    campaign_work.set_defaults(func=_cmd_campaign_work)
 
     campaign_status_cmd = campaign_sub.add_parser(
         "status", help="show per-job completion state of a campaign directory"

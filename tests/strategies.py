@@ -133,3 +133,43 @@ def objective_vectors(
 operand_width_lists = st.lists(
     st.integers(1, 15), min_size=2, max_size=24
 )
+
+
+# -- campaign-fabric lease protocol -------------------------------------------------
+
+
+#: Operation vocabulary for :func:`lease_event_sequences`.
+LEASE_OPS = ("acquire", "renew", "release", "advance", "remove")
+
+
+@st.composite
+def lease_event_sequences(
+    draw,
+    n_workers: int = 3,
+    n_jobs: int = 3,
+    max_events: int = 40,
+    ttl: float = 10.0,
+):
+    """Operation sequences over a shared lease directory.
+
+    Each event is a tuple ``(op, worker, job)`` with ``op`` drawn from
+    :data:`LEASE_OPS` (``advance`` carries seconds instead of a job, and
+    ``remove`` models administrative reaping by a coordinator). Sequences
+    deliberately include nonsense (renewing a lease never held, releasing
+    twice, advancing past several TTLs) — the lease-safety invariant must
+    hold under arbitrary interleavings, not just polite ones.
+    """
+    workers = [f"w{i}" for i in range(n_workers)]
+    jobs = [f"job{i}" for i in range(n_jobs)]
+    events = []
+    for _ in range(draw(st.integers(1, max_events))):
+        op = draw(st.sampled_from(LEASE_OPS))
+        if op == "advance":
+            events.append((op, None, draw(st.floats(0.1, ttl * 1.5))))
+        elif op == "remove":
+            events.append((op, None, draw(st.sampled_from(jobs))))
+        else:
+            events.append(
+                (op, draw(st.sampled_from(workers)), draw(st.sampled_from(jobs)))
+            )
+    return events

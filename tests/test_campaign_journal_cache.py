@@ -179,3 +179,70 @@ class TestPersistentEvaluationCache:
         reloaded = PersistentEvaluationCache(tmp_path, "ctx")
         assert reloaded.n_loaded == 2
         reloaded.close()
+
+
+class TestCacheHardening:
+    """ISSUE-7 satellite: torn mid-record writes, fsync, shard rotation."""
+
+    def test_torn_mid_record_write_does_not_poison_later_records(self, tmp_path):
+        from repro.campaign.fabric import corrupt_record
+
+        with PersistentEvaluationCache(tmp_path, "ctx") as cache:
+            cache.put(_genome(2), _point(0.90, 10.0))
+            cache.put(_genome(4), _point(0.91, 11.0))
+            cache.put(_genome(6), _point(0.92, 12.0))
+        corrupt_record(tmp_path / "ctx.jsonl", 1)  # torn sector, NOT the tail
+        reloaded = PersistentEvaluationCache(tmp_path, "ctx")
+        # exactly the corrupted record is lost; the one AFTER it still loads
+        assert reloaded.n_loaded == 2
+        assert reloaded.get(_genome(2)) is not None
+        assert reloaded.get(_genome(4)) is None
+        assert reloaded.get(_genome(6)) is not None
+        # re-evaluating the lost genome re-journals it for the next load
+        reloaded.put(_genome(4), _point(0.91, 11.0))
+        reloaded.close()
+        again = PersistentEvaluationCache(tmp_path, "ctx")
+        assert again.n_loaded == 3
+        again.close()
+
+    def test_rotation_seals_generations_and_reloads_all(self, tmp_path):
+        with PersistentEvaluationCache(
+            tmp_path, "ctx", rotate_max_bytes=1, fsync_on_rotation=True
+        ) as cache:  # every put overflows: one generation per record
+            cache.put(_genome(2), _point(0.90, 10.0))
+            cache.put(_genome(4), _point(0.91, 11.0))
+            cache.put(_genome(6), _point(0.92, 12.0))
+            assert cache.n_rotations == 3
+        shards = sorted(p.name for p in tmp_path.glob("ctx*.jsonl"))
+        assert shards == [
+            "ctx.g0001.jsonl", "ctx.g0002.jsonl", "ctx.g0003.jsonl", "ctx.jsonl"
+        ]
+        reloaded = PersistentEvaluationCache(tmp_path, "ctx")
+        assert reloaded.n_loaded == 3
+        assert reloaded.n_rotations == 3  # resumes appending the last generation
+        for bits in (2, 4, 6):
+            assert reloaded.get(_genome(bits)) is not None
+        reloaded.close()
+
+    def test_corruption_in_one_generation_spares_the_others(self, tmp_path):
+        from repro.campaign.fabric import truncate_tail
+
+        with PersistentEvaluationCache(tmp_path, "ctx", rotate_max_bytes=1) as cache:
+            cache.put(_genome(2), _point())
+            cache.put(_genome(4), _point())
+        truncate_tail(tmp_path / "ctx.jsonl", 5)  # tear the base generation
+        reloaded = PersistentEvaluationCache(tmp_path, "ctx")
+        assert reloaded.n_loaded == 1
+        assert reloaded.get(_genome(4)) is not None
+        reloaded.close()
+
+    def test_fsync_per_put_roundtrips(self, tmp_path):
+        with PersistentEvaluationCache(tmp_path, "ctx", fsync=True) as cache:
+            cache.put(_genome(4), _point())
+        reloaded = PersistentEvaluationCache(tmp_path, "ctx")
+        assert reloaded.n_loaded == 1
+        reloaded.close()
+
+    def test_rotate_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            PersistentEvaluationCache(tmp_path, "ctx", rotate_max_bytes=0)

@@ -323,3 +323,92 @@ class TestExecuteJob:
         assert result["status"] == "completed"
         assert result["cache"]["enabled"] is True
         assert result["cache"]["persisted"] == outcome.n_evaluations
+
+
+class TestTransientRetry:
+    """ISSUE-7 satellite: transient failures retry with backoff, deterministic
+    failures fail fast, and the attempt count lands in the manifest."""
+
+    def _events(self, directory):
+        from repro.campaign import CampaignJournal
+
+        return CampaignJournal(directory).events()
+
+    def test_transient_failure_is_retried_to_success(self, tmp_path):
+        from repro.campaign import RetryPolicy
+
+        attempts = []
+
+        def flaky_factory(cache_dir, context_key, max_entries):
+            if not attempts:
+                attempts.append(1)
+                raise OSError("transient filesystem hiccup")
+            return PersistentEvaluationCache(
+                cache_dir, context_key, max_entries=max_entries
+            )
+
+        spec = _spec(datasets=("seeds",))
+        summary = CampaignRunner(
+            spec,
+            tmp_path / "camp",
+            cache_factory=flaky_factory,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+        ).run()
+        assert summary.ok and summary.completed == 1
+        assert summary.outcomes[0].attempts == 2
+        events = self._events(tmp_path / "camp")
+        retrying = [e for e in events if e["event"] == "job_retrying"]
+        assert len(retrying) == 1
+        assert retrying[0]["attempt"] == 1 and "OSError" in retrying[0]["error"]
+        completed = [e for e in events if e["event"] == "job_completed"]
+        assert completed[0]["attempts"] == 2
+
+    def test_deterministic_failure_fails_fast(self, tmp_path):
+        from repro.campaign import RetryPolicy
+
+        def poisoned_factory(cache_dir, context_key, max_entries):
+            raise ValueError("deterministic misconfiguration")
+
+        spec = _spec(datasets=("seeds",))
+        summary = CampaignRunner(
+            spec,
+            tmp_path / "camp",
+            cache_factory=poisoned_factory,
+            retry=RetryPolicy(max_attempts=5, base_delay=0.0),
+        ).run()
+        assert summary.failed == 1
+        assert summary.outcomes[0].attempts == 1  # no retry budget burned
+        events = self._events(tmp_path / "camp")
+        assert not [e for e in events if e["event"] == "job_retrying"]
+        failed = [e for e in events if e["event"] == "job_failed"]
+        assert failed[0]["attempts"] == 1
+
+    def test_transient_failure_exhausts_the_budget(self, tmp_path):
+        from repro.campaign import RetryPolicy
+
+        def always_flaky(cache_dir, context_key, max_entries):
+            raise TimeoutError("never recovers")
+
+        spec = _spec(datasets=("seeds",))
+        summary = CampaignRunner(
+            spec,
+            tmp_path / "camp",
+            cache_factory=always_flaky,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+        ).run()
+        assert summary.failed == 1
+        assert summary.outcomes[0].attempts == 2
+        events = self._events(tmp_path / "camp")
+        assert len([e for e in events if e["event"] == "job_retrying"]) == 1
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        from repro.campaign import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.5, max_delay=4.0, jitter=0.25)
+        delays = [policy.delay("job-x", attempt) for attempt in (1, 2, 3, 4)]
+        assert delays == [policy.delay("job-x", a) for a in (1, 2, 3, 4)]  # replayable
+        assert all(d <= 4.0 for d in delays)
+        assert delays[0] >= 0.5 and delays[1] >= 1.0  # exponential floor
+        assert policy.delay("job-x", 1) != policy.delay("job-y", 1)  # decorrelated
+        # round-trips through plain data for process pools
+        assert RetryPolicy.from_dict(policy.as_dict()) == policy

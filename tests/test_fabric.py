@@ -1,0 +1,390 @@
+"""Fabric mechanics: publish, claim, merge, requeue, quarantine, fallback.
+
+These tests drive the coordinator/worker protocol with a *stub* executor
+(instant artifact writes, no real search) so they can exercise hundreds of
+protocol interleavings in milliseconds. End-to-end byte-identity under
+chaos runs with the real executor in ``test_fabric_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import CampaignJournal, CampaignSpec, JobOutcome, campaign_status
+from repro.campaign.fabric import (
+    ChaosPolicy,
+    FabricCoordinator,
+    FabricLayout,
+    FabricWorker,
+    FaultSpec,
+    ManualClock,
+    RetryPolicy,
+)
+
+TTL = 10.0
+
+#: Small spec: 2 datasets x 1 search x 1 seed = 2 jobs.
+def _spec(datasets=("seeds", "redwine"), seeds=(0,)):
+    return CampaignSpec.from_dict(
+        {
+            "name": "fabric-test",
+            "datasets": list(datasets),
+            "seeds": list(seeds),
+            "pipeline": {"train_epochs": 3, "n_samples": 120, "finetune_epochs": 1},
+            "searches": [{"algorithm": "random", "n_evaluations": 3}],
+        }
+    )
+
+
+def stub_execute(job, directory, use_cache=True, cache_factory=None):
+    """Instant fake executor: writes valid artifacts, returns a JobOutcome."""
+    journal = CampaignJournal(directory)
+    front = {"job_id": job.job_id, "dataset": job.dataset, "front": []}
+    result = {"job": job.as_dict(), "status": "completed", "wall_s": 0.0}
+    journal.write_job_artifacts(job.job_id, front, result)
+    return JobOutcome(job_id=job.job_id, status="completed", front_size=0)
+
+
+def _fabric(tmp_path, clock, spec=None, **kwargs):
+    kwargs.setdefault("lease_ttl", TTL)
+    kwargs.setdefault("worker_timeout", 0.0)
+    kwargs.setdefault("execute_fn", stub_execute)
+    kwargs.setdefault("now_fn", clock)
+    kwargs.setdefault("sleep_fn", lambda s: None)
+    return FabricCoordinator(spec or _spec(), tmp_path / "camp", **kwargs)
+
+
+def _worker(coordinator, worker_id, clock, **kwargs):
+    kwargs.setdefault("lease_ttl", TTL)
+    kwargs.setdefault("execute_fn", stub_execute)
+    kwargs.setdefault("now_fn", clock)
+    kwargs.setdefault("sleep_fn", lambda s: None)
+    return FabricWorker(coordinator.directory, worker_id=worker_id, **kwargs)
+
+
+class TestPublish:
+    def test_publish_creates_one_queue_entry_per_job(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        assert coordinator.publish() == 2
+        layout = FabricLayout(coordinator.directory)
+        ids = sorted(str(e["job"]["job_id"]) for e in layout.queue_entries())
+        assert ids == ["redwine-random-s0", "seeds-random-s0"]
+
+    def test_publish_is_idempotent(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        assert coordinator.publish() == 2
+        assert coordinator.publish() == 0
+
+    def test_publish_skips_completed_and_quarantined(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        worker = _worker(coordinator, "w1", clock)
+        assert worker.step() == "completed"
+        coordinator.step()
+        layout = FabricLayout(coordinator.directory)
+        # simulate a quarantined second job
+        remaining = str(layout.queue_entries()[0]["job"]["job_id"])
+        layout.queue_entry(remaining).unlink()
+        layout.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        layout.quarantine_entry(remaining).write_text(
+            json.dumps({"job_id": remaining, "requeues": 3})
+        )
+        fresh = _fabric(tmp_path, clock)
+        assert fresh.publish() == 0
+
+    def test_restarted_coordinator_republishes_failed_jobs(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        layout = FabricLayout(coordinator.directory)
+        job_id = str(layout.queue_entries()[0]["job"]["job_id"])
+        layout.queue_entry(job_id).unlink()
+        layout.failed_dir.mkdir(parents=True, exist_ok=True)
+        layout.failed_entry(job_id).write_text(
+            json.dumps({"job_id": job_id, "error": "ValueError: boom"})
+        )
+        fresh = _fabric(tmp_path, clock)
+        assert fresh.publish() == 1  # the failure record is cleared and retried
+        assert not layout.failed_entry(job_id).exists()
+
+
+class TestWorkerLifecycle:
+    def test_two_workers_split_the_queue(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        w1 = _worker(coordinator, "w1", clock)
+        w2 = _worker(coordinator, "w2", clock)
+        assert w1.step() == "completed"
+        assert w2.step() == "completed"
+        status = coordinator.step()
+        assert status.all_done and status.complete
+        # terminal marker tells both workers to exit
+        assert w1.step() == "done"
+        assert w2.step() == "done"
+
+    def test_worker_journal_events_are_merged_with_identity(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        _worker(coordinator, "w1", clock).step()
+        coordinator.step()
+        events = CampaignJournal(coordinator.directory).events()
+        leased = [e for e in events if e["event"] == "job_leased"]
+        completed = [e for e in events if e["event"] == "job_completed"]
+        assert leased and leased[0]["worker_id"] == "w1"
+        assert completed and completed[0]["worker_id"] == "w1"
+
+    def test_merge_is_cursor_stable(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        worker = _worker(coordinator, "w1", clock)
+        worker.step()
+        assert coordinator.merge_worker_journals() > 0
+        assert coordinator.merge_worker_journals() == 0  # nothing new
+        worker.step()
+        assert coordinator.merge_worker_journals() > 0
+
+    def test_deterministic_failure_writes_failed_record(self, tmp_path):
+        def exploding(job, directory, use_cache=True, cache_factory=None):
+            raise ValueError("deterministic boom")
+
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        worker = _worker(coordinator, "w1", clock, execute_fn=exploding)
+        assert worker.step() == "failed"
+        layout = FabricLayout(coordinator.directory)
+        assert len(layout.failed_job_ids()) == 1
+        record = json.loads(layout.failed_entry(layout.failed_job_ids()[0]).read_text())
+        assert record["attempts"] == 1  # fail fast: no retries
+        status = coordinator.step()
+        assert status.failed == 1
+
+    def test_transient_failure_retries_then_succeeds(self, tmp_path):
+        calls = itertools.count()
+
+        def flaky(job, directory, use_cache=True, cache_factory=None):
+            if next(calls) == 0:
+                raise OSError("transient filesystem hiccup")
+            return stub_execute(job, directory, use_cache, cache_factory)
+
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        worker = _worker(
+            coordinator,
+            "w1",
+            clock,
+            execute_fn=flaky,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+        )
+        assert worker.step() == "completed"
+        coordinator.step()
+        events = CampaignJournal(coordinator.directory).events()
+        retrying = [e for e in events if e["event"] == "job_retrying"]
+        assert len(retrying) == 1 and retrying[0]["attempt"] == 1
+        done = [e for e in events if e["event"] == "job_completed"]
+        assert done[0]["attempts"] == 2
+
+    def test_transient_failure_exhausts_attempts(self, tmp_path):
+        def always_flaky(job, directory, use_cache=True, cache_factory=None):
+            raise TimeoutError("never recovers")
+
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        worker = _worker(
+            coordinator,
+            "w1",
+            clock,
+            execute_fn=always_flaky,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+        )
+        assert worker.step() == "failed"
+        layout = FabricLayout(coordinator.directory)
+        record = json.loads(layout.failed_entry(layout.failed_job_ids()[0]).read_text())
+        assert record["attempts"] == 2
+
+
+class TestRequeueAndQuarantine:
+    def test_expired_lease_is_requeued(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        stall = ChaosPolicy(faults=(FaultSpec("job_started", "stall", count=99),))
+        hung = _worker(coordinator, "w1", clock, chaos=stall)
+        assert hung.step() == "stalled"
+        clock.advance(TTL + 1)
+        coordinator.step()
+        events = CampaignJournal(coordinator.directory).events()
+        assert any(e["event"] == "lease_expired" for e in events)
+        requeued = [e for e in events if e["event"] == "job_requeued"]
+        assert len(requeued) == 1 and requeued[0]["requeues"] == 1
+        # a healthy worker now drains everything
+        w2 = _worker(coordinator, "w2", clock)
+        while w2.step() == "completed":
+            pass
+        assert coordinator.step().complete
+
+    def test_poison_job_is_quarantined_after_requeue_cap(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock, max_requeues=1)
+        coordinator.publish()
+        stall = ChaosPolicy(faults=(FaultSpec("job_started", "stall", count=999),))
+        for n in range(2):  # hang the same job max_requeues + 1 times
+            hung = _worker(coordinator, f"hang{n}", clock, chaos=stall)
+            assert hung.step() == "stalled"
+            clock.advance(TTL + 1)
+            coordinator.step()
+        layout = FabricLayout(coordinator.directory)
+        assert len(layout.quarantined_job_ids()) == 1
+        events = CampaignJournal(coordinator.directory).events()
+        assert any(e["event"] == "job_quarantined" for e in events)
+        # the rest of the campaign still completes; the quarantined job
+        # is terminal and reported as such
+        w2 = _worker(coordinator, "w2", clock)
+        while w2.step() == "completed":
+            pass
+        status = coordinator.step()
+        assert status.all_done and not status.complete
+        assert status.quarantined == 1 and status.completed == 1
+
+    def test_abandoned_worker_drops_a_stolen_job(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        stall = ChaosPolicy(faults=(FaultSpec("job_started", "stall", count=2),))
+        hung = _worker(coordinator, "w1", clock, chaos=stall)
+        assert hung.step() == "stalled"
+        clock.advance(TTL + 1)
+        coordinator.step()  # requeues the stalled job
+        w2 = _worker(coordinator, "w2", clock)
+        while w2.step() == "completed":
+            pass
+        assert hung.step() == "stalled"  # second stalled hit
+        assert hung.step() == "abandoned"  # wakes, lease gone, drops the job
+        assert coordinator.step().complete
+
+
+class TestSerialFallbackAndStatus:
+    def test_coordinator_degrades_to_serial_without_workers(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock, worker_timeout=0.0)
+        summary = coordinator.run(poll_interval=0.0)
+        assert summary.ok and summary.serial_fallback
+        assert summary.inline_completed == 2
+        events = CampaignJournal(coordinator.directory).events()
+        assert any(e["event"] == "serial_fallback" for e in events)
+        assert (
+            sum(1 for e in events if e["event"] == "campaign_completed") == 1
+        )
+
+    def test_status_predicate_is_unified_across_modes(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock, worker_timeout=0.0)
+        coordinator.run(poll_interval=0.0)
+        status = campaign_status(coordinator.directory)
+        assert status["state"] == "completed"
+        assert status["completed"] == status["total"] == 2
+        assert status["quarantined"] == 0
+
+    def test_status_reports_quarantined_jobs(self, tmp_path):
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock, max_requeues=0)
+        coordinator.publish()
+        stall = ChaosPolicy(faults=(FaultSpec("job_started", "stall", count=999),))
+        hung = _worker(coordinator, "w1", clock, chaos=stall)
+        hung.step()
+        clock.advance(TTL + 1)
+        coordinator.step()
+        w2 = _worker(coordinator, "w2", clock)
+        while w2.step() == "completed":
+            pass
+        coordinator.step()
+        status = campaign_status(coordinator.directory)
+        assert status["quarantined"] == 1
+        assert status["state"] == "failed"  # terminal but not fully completed
+        rows = {row["job_id"]: row["state"] for row in status["jobs"]}
+        assert "quarantined" in rows.values()
+
+    def test_forged_lease_on_completed_job_is_reaped(self, tmp_path):
+        from repro.campaign.fabric import forge_lease
+
+        clock = ManualClock()
+        coordinator = _fabric(tmp_path, clock)
+        coordinator.publish()
+        w1 = _worker(coordinator, "w1", clock)
+        while w1.step() == "completed":
+            pass
+        forge_lease(coordinator.leases, "seeds-random-s0", expires_in=TTL)
+        coordinator.step()
+        assert coordinator.leases.read("seeds-random-s0") is None
+
+
+class TestFabricTerminationProperty:
+    @given(
+        script=st.lists(
+            st.sampled_from(["w0", "w1", "coord", "advance"]), min_size=0, max_size=25
+        ),
+        stalls=st.tuples(st.integers(0, 3), st.integers(0, 3)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_published_job_terminates(self, tmp_path_factory, script, stalls):
+        """Liveness: any interleaving + drain ends with every job terminal,
+        and no job is requeued more than the cap."""
+        root = tmp_path_factory.mktemp("fabric-prop")
+        clock = ManualClock()
+        max_requeues = 2
+        coordinator = _fabric(root, clock, max_requeues=max_requeues)
+        coordinator.publish()
+        workers = {
+            f"w{i}": _worker(
+                coordinator,
+                f"w{i}",
+                clock,
+                chaos=ChaosPolicy(
+                    faults=(FaultSpec("job_started", "stall", count=stalls[i]),)
+                    if stalls[i]
+                    else ()
+                ),
+            )
+            for i in range(2)
+        }
+        for action in script:
+            if action == "advance":
+                clock.advance(TTL / 2)
+            elif action == "coord":
+                coordinator.step()
+            else:
+                workers[action].step()
+        # drain: a healthy worker plus the coordinator must converge
+        drainer = _worker(coordinator, "drain", clock)
+        for _ in range(40):
+            status = coordinator.step()
+            if status.all_done:
+                break
+            if drainer.step() == "idle":
+                clock.advance(TTL + 1)  # expire any stalled leases
+        else:
+            pytest.fail("fabric failed to converge")
+        status = coordinator.step()
+        assert status.pending == 0
+        assert status.completed + status.failed + status.quarantined == status.total
+        events = CampaignJournal(coordinator.directory).events()
+        requeues_per_job = {}
+        for event in events:
+            if event["event"] == "job_requeued":
+                job_id = event["job_id"]
+                requeues_per_job[job_id] = requeues_per_job.get(job_id, 0) + 1
+        for job_id, count in requeues_per_job.items():
+            assert count <= max_requeues, f"{job_id} requeued {count} times"
