@@ -1,0 +1,160 @@
+"""Surrogate-assisted search benchmark: evaluations saved vs front quality.
+
+Runs the 3-objective (robustness-aware) figure2 smoke workload twice — a
+plain NSGA-II baseline and the surrogate-assisted GA — and records the
+ratio of real full-budget evaluations alongside the hypervolume ratio of
+the two measured fronts. The acceptance floors: the assisted run must use
+at least 3x (CI smoke) / 5x (default and full modes) fewer real
+evaluations while keeping at least 98 % of the baseline hypervolume.
+
+Both runs are fully seeded, so the recorded numbers are reproducible
+bit-for-bit on any machine.
+"""
+
+import time
+
+import pytest
+
+from benchlib import FULL, SMOKE, WORKERS, record_bench
+from repro.core import MinimizationPipeline, PipelineConfig
+from repro.core.pareto import hypervolume_objectives
+from repro.search import GAConfig, HardwareAwareGA, objectives_of
+
+#: Fixed nadir reference for the minimized 3-objective space (accuracy
+#: loss, normalized area, robust accuracy loss) — all three are <= 1 for
+#: any point that beats "predict nothing", so (1.1, 1.1, 1.1) dominates
+#: every front point and keeps hypervolumes comparable across runs.
+REFERENCE = (1.1, 1.1, 1.1)
+
+#: Floors enforced on the recorded numbers (the ISSUE acceptance bars).
+MIN_EVALUATIONS_SAVED = 3.0 if SMOKE else 5.0
+MIN_HYPERVOLUME_RATIO = 0.98
+
+
+def _pipeline_config() -> PipelineConfig:
+    """The figure2 smoke workload (identical across bench modes: the A/B
+    compares search strategies, not evaluation budgets)."""
+    return PipelineConfig(
+        dataset="whitewine",
+        seed=0,
+        train_epochs=25,
+        finetune_epochs=4,
+        bit_range=(2, 4, 6),
+        sparsity_range=(0.3, 0.5),
+        cluster_range=(2, 4),
+        n_samples=500,
+        n_workers=WORKERS,
+    )
+
+
+def _ga_knobs() -> dict:
+    """Shared GA budget of both runs (robustness on => 3 objectives)."""
+    if SMOKE:
+        return dict(population_size=10, n_generations=20)
+    if FULL:
+        return dict(population_size=20, n_generations=28)
+    return dict(population_size=20, n_generations=20)
+
+
+def _surrogate_knobs() -> dict:
+    if SMOKE:
+        return dict(
+            surrogate="ridge",
+            surrogate_candidates=4,
+            surrogate_prefilter=0.2,
+            halving_budgets=(1, 2),
+        )
+    return dict(
+        surrogate="ridge",
+        surrogate_candidates=8,
+        surrogate_prefilter=0.1,
+        halving_budgets=(1, 2),
+    )
+
+
+def _ga_config(**extra) -> GAConfig:
+    knobs = dict(
+        finetune_epochs=4, seed=0, fault_rate=0.05, n_fault_trials=4,
+        n_workers=WORKERS, **_ga_knobs(),
+    )
+    knobs.update(extra)
+    return GAConfig(**knobs)
+
+
+def _front_hypervolume(result, prepared) -> float:
+    objectives = [
+        objectives_of(point, prepared.baseline_point, robust=True)
+        for point in result.front
+    ]
+    return hypervolume_objectives(objectives, REFERENCE)
+
+
+def _run_ab():
+    prepared = MinimizationPipeline(_pipeline_config()).prepare()
+
+    start = time.perf_counter()
+    baseline = HardwareAwareGA(prepared, config=_ga_config()).run()
+    baseline_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    assisted = HardwareAwareGA(
+        prepared, config=_ga_config(**_surrogate_knobs())
+    ).run()
+    assisted_s = time.perf_counter() - start
+
+    return {
+        "prepared": prepared,
+        "baseline": baseline,
+        "assisted": assisted,
+        "baseline_s": baseline_s,
+        "assisted_s": assisted_s,
+    }
+
+
+@pytest.mark.benchmark(group="surrogate", min_rounds=1, max_time=1.0, warmup=False)
+def test_surrogate_saves_evaluations(benchmark, print_rows):
+    run = benchmark.pedantic(_run_ab, rounds=1, iterations=1)
+    baseline, assisted = run["baseline"], run["assisted"]
+
+    hv_baseline = _front_hypervolume(baseline, run["prepared"])
+    hv_assisted = _front_hypervolume(assisted, run["prepared"])
+    evaluations_saved = baseline.n_evaluations / assisted.n_evaluations
+    hypervolume_ratio = hv_assisted / hv_baseline
+
+    payload = {
+        "baseline_evaluations": baseline.n_evaluations,
+        "assisted_evaluations": assisted.n_evaluations,
+        "assisted_partial_evaluations": assisted.n_partial_evaluations,
+        "evaluations_saved_ratio": round(evaluations_saved, 4),
+        "hypervolume_ratio": round(hypervolume_ratio, 4),
+        "baseline_hypervolume": round(hv_baseline, 6),
+        "assisted_hypervolume": round(hv_assisted, 6),
+        "baseline_wall_clock_s": round(run["baseline_s"], 3),
+        "assisted_wall_clock_s": round(run["assisted_s"], 3),
+        "workers": WORKERS,
+    }
+    benchmark.extra_info.update(payload)
+    record_bench("surrogate", payload)
+    print_rows(
+        [
+            f"baseline GA: {baseline.n_evaluations} real evaluations, "
+            f"hypervolume {hv_baseline:.4f}",
+            f"assisted GA: {assisted.n_evaluations} real evaluations "
+            f"(+{assisted.n_partial_evaluations} short-budget), "
+            f"hypervolume {hv_assisted:.4f}",
+            f"evaluations saved: {evaluations_saved:.2f}x, "
+            f"hypervolume kept: {hypervolume_ratio:.4f}",
+        ]
+    )
+
+    assert evaluations_saved >= MIN_EVALUATIONS_SAVED
+    assert hypervolume_ratio >= MIN_HYPERVOLUME_RATIO
+    # The short-budget races must never outnumber the evaluations the
+    # surrogate saved (they cost ~finetune_epochs/budget less each, but a
+    # runaway halving schedule would silently erode the win).
+    saved = baseline.n_evaluations - assisted.n_evaluations
+    budgets = _surrogate_knobs()["halving_budgets"]
+    partial_cost = sum(
+        assisted.n_partial_evaluations * b / (4 * len(budgets)) for b in budgets
+    )
+    assert partial_cost < saved

@@ -34,7 +34,14 @@ elastic workers (``repro campaign work``) over the same campaign
 directory, with the byte-identical-results guarantee intact.
 """
 
-from .cache import PersistentEvaluationCache, SimulatedCrash, evaluation_context_key
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    JournalRecord,
+    PersistentEvaluationCache,
+    SimulatedCrash,
+    evaluation_context_key,
+    load_journal_records,
+)
 from .fabric import (
     ChaosPolicy,
     FabricCoordinator,
@@ -70,6 +77,7 @@ from .spec import (
 
 __all__ = [
     "ALGORITHMS",
+    "CACHE_SCHEMA_VERSION",
     "CampaignJournal",
     "CampaignRunSummary",
     "CampaignRunner",
@@ -82,6 +90,7 @@ __all__ = [
     "FaultSpec",
     "JobOutcome",
     "JobSpec",
+    "JournalRecord",
     "LeaseDirectory",
     "LeaseLost",
     "PersistentEvaluationCache",
@@ -96,6 +105,7 @@ __all__ = [
     "execute_job",
     "format_report",
     "format_status",
+    "load_journal_records",
     "load_spec",
     "mark_campaign_completed",
     "parse_shard",

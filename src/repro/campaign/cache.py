@@ -20,8 +20,11 @@ the same context preloads all of them. Two properties follow:
   stale results into a changed configuration.
 
 The shard format is one JSON object per line (``{"genome": ..., "point":
-...}``). Loading tolerates a truncated final line — exactly what a
+..., "v": 1}``). Loading tolerates a truncated final line — exactly what a
 ``SIGKILL`` mid-append leaves behind — by skipping undecodable lines.
+:func:`load_journal_records` exposes the same tolerant reader as a public
+API (the surrogate trainer consumes it); records written before the
+schema-version field existed load as version 0.
 """
 
 from __future__ import annotations
@@ -29,15 +32,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import IO, Optional, Union
+from typing import IO, List, Optional, Union
 
 from ..core.config import PipelineConfig
 from ..core.results import DesignPoint
 from ..search.evaluator import EvaluationCache
 from ..search.genome import Genome
 from ..search.settings import EvaluationSettings
+
+#: Version stamped on every journal record written by this build. Bump when
+#: the record layout changes incompatibly; the reader accepts every version
+#: up to and including this one (and unversioned legacy records as 0).
+CACHE_SCHEMA_VERSION = 1
 
 
 class SimulatedCrash(RuntimeError):
@@ -62,15 +70,134 @@ def evaluation_context_key(
     derived seed of ``(base seed, genome)``. Hashing ``(config, settings,
     base seed)`` therefore identifies exactly the set of evaluations that
     may be shared. Returns a 16-hex-digit digest used as the shard filename.
+
+    Surrogate-search knobs are excluded on purpose: they steer *which*
+    genomes get evaluated, never what an evaluation returns, so
+    surrogate-assisted and plain searches share one context — the surrogate
+    trainer feeds on exactly the records the plain search produced (and
+    context keys stay stable across builds that added the knobs).
     """
     settings = settings if settings is not None else EvaluationSettings()
+    pipeline = asdict(config)
+    for search_only_knob in (
+        "surrogate",
+        "surrogate_candidates",
+        "surrogate_prefilter",
+        "halving_budgets",
+    ):
+        pipeline.pop(search_only_knob, None)
     payload = {
-        "pipeline": asdict(config),
+        "pipeline": pipeline,
         "settings": asdict(settings),
         "seed": None if seed is None else int(seed),
     }
     canonical = json.dumps(payload, sort_keys=True, default=list)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded evaluation-journal record.
+
+    Attributes:
+        genome: the evaluated genome.
+        point: the design point the evaluation produced.
+        context_key: digest of the evaluation context the record belongs to
+            (the shard filename stem).
+        schema_version: the ``"v"`` field of the on-disk record; records
+            written before the field existed report 0.
+    """
+
+    genome: Genome
+    point: DesignPoint
+    context_key: str
+    schema_version: int
+
+
+def _journal_generation_paths(directory: Path, context_key: str) -> List[Path]:
+    """Every shard generation of one context in write order."""
+    paths = []
+    base = directory / f"{context_key}.jsonl"
+    if base.exists():
+        paths.append(base)
+    paths.extend(sorted(directory.glob(f"{context_key}.g[0-9]*.jsonl")))
+    return paths
+
+
+def _journal_context_keys(directory: Path) -> List[str]:
+    """Every evaluation-context key with at least one shard in ``directory``."""
+    keys = set()
+    for path in directory.glob("*.jsonl"):
+        stem = path.name[: -len(".jsonl")]
+        head, dot, generation = stem.rpartition(".")
+        if dot and generation.startswith("g") and generation[1:].isdigit():
+            stem = head
+        keys.add(stem)
+    return sorted(keys)
+
+
+def _decode_journal_line(line: str, context_key: str) -> Optional[JournalRecord]:
+    """Decode one journal line, or ``None`` if it is torn or unreadable."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        entry = json.loads(line)
+        version = int(entry.get("v", 0))
+        if version > CACHE_SCHEMA_VERSION:
+            return None  # written by a newer build; layout unknown
+        genome = Genome(**entry["genome"])
+        point = DesignPoint(**entry["point"])
+    except (json.JSONDecodeError, AttributeError, KeyError, TypeError, ValueError):
+        # A killed process can leave a truncated trailing line (or a torn
+        # sector a garbage middle one); undecodable records are skipped.
+        return None
+    return JournalRecord(
+        genome=genome, point=point, context_key=context_key, schema_version=version
+    )
+
+
+def load_journal_records(
+    cache_dir: Union[str, Path],
+    context_key: Optional[str] = None,
+) -> List[JournalRecord]:
+    """Read every decodable evaluation record journaled under ``cache_dir``.
+
+    The public counterpart of the loader inside
+    :class:`PersistentEvaluationCache` — the surrogate trainer
+    (:func:`repro.surrogate.fit_from_cache`) uses it to turn a campaign's
+    journal shards into a training set without constructing caches.
+
+    Args:
+        cache_dir: shard directory (``<campaign>/cache/``). A missing
+            directory yields an empty list, not an error.
+        context_key: restrict to one evaluation context (the digest from
+            :func:`evaluation_context_key`); ``None`` reads every context
+            found in the directory.
+
+    Returns:
+        Decoded records in journal order (base shard first, then rotated
+        ``.gNNNN`` generations; contexts in sorted key order when reading
+        all of them), deduplicated by genome key *within* each context —
+        the first decodable occurrence wins, matching cache-load semantics.
+        Torn tails, corrupt middles, and records from newer schema versions
+        are skipped silently; unversioned legacy records load as version 0.
+    """
+    directory = Path(cache_dir)
+    if not directory.is_dir():
+        return []
+    keys = [context_key] if context_key is not None else _journal_context_keys(directory)
+    records: List[JournalRecord] = []
+    for key in keys:
+        seen: set = set()
+        for path in _journal_generation_paths(directory, key):
+            for line in path.read_text().splitlines():
+                record = _decode_journal_line(line, key)
+                if record is None or record.genome.key() in seen:
+                    continue
+                seen.add(record.genome.key())
+                records.append(record)
+    return records
 
 
 class PersistentEvaluationCache(EvaluationCache):
@@ -157,23 +284,14 @@ class PersistentEvaluationCache(EvaluationCache):
         self.n_rotations = max(0, len(generations) - 1)
         for path in generations:
             for line in path.read_text().splitlines():
-                line = line.strip()
-                if not line:
+                record = _decode_journal_line(line, self.context_key)
+                if record is None:
                     continue
-                try:
-                    entry = json.loads(line)
-                    genome = Genome(**entry["genome"])
-                    point = DesignPoint(**entry["point"])
-                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                    # A killed process can leave a truncated trailing line
-                    # (or a torn sector a garbage middle one); any
-                    # undecodable record is simply re-evaluated on demand.
-                    continue
-                key = genome.key()
+                key = record.genome.key()
                 if key not in self._persisted_keys:
                     self.n_loaded += 1
                 self._persisted_keys.add(key)
-                EvaluationCache.put(self, genome, point)
+                EvaluationCache.put(self, record.genome, record.point)
 
     def _ensure_handle(self) -> IO[str]:
         if self._handle is None:
@@ -202,7 +320,11 @@ class PersistentEvaluationCache(EvaluationCache):
         key = genome.key()
         if key in self._persisted_keys:
             return
-        record = {"genome": genome.as_dict(), "point": point.as_dict()}
+        record = {
+            "genome": genome.as_dict(),
+            "point": point.as_dict(),
+            "v": CACHE_SCHEMA_VERSION,
+        }
         handle = self._ensure_handle()
         handle.write(json.dumps(record, sort_keys=True) + "\n")
         handle.flush()

@@ -57,6 +57,10 @@ _GA_PARAMS = frozenset(
         "n_fault_trials",
         "fault_model",
         "backend",
+        "surrogate",
+        "surrogate_candidates",
+        "surrogate_prefilter",
+        "halving_budgets",
         "bit_choices",
         "sparsity_choices",
         "cluster_choices",

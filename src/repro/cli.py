@@ -22,7 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .analysis import export_sweep, gains_table, sweep_plot, sweep_table
 from .bespoke import BespokeConfig, FixedPointSimulator, export_verilog, synthesize
@@ -94,6 +94,33 @@ def _fault_trials_argument(value: str) -> int:
     return trials
 
 
+def _surrogate_prefilter_argument(value: str) -> float:
+    fraction = float(value)
+    if not 0.0 < fraction <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1], got {fraction}")
+    return fraction
+
+
+def _surrogate_candidates_argument(value: str) -> int:
+    multiplier = int(value)
+    if multiplier < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {multiplier}")
+    return multiplier
+
+
+def _halving_budgets_argument(value: str) -> Tuple[int, ...]:
+    """Comma-separated ascending epoch budgets, e.g. ``1,2,4``."""
+    try:
+        budgets = tuple(int(part) for part in value.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be comma-separated integers, got '{value}'")
+    if not budgets or any(b < 1 for b in budgets):
+        raise argparse.ArgumentTypeError(f"budgets must be positive integers, got '{value}'")
+    if any(a >= b for a, b in zip(budgets, budgets[1:])):
+        raise argparse.ArgumentTypeError(f"budgets must be strictly increasing, got '{value}'")
+    return budgets
+
+
 def _datasets_argument(value: Optional[str]) -> List[str]:
     try:
         return list(resolve_dataset_names(value))
@@ -154,6 +181,10 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
         fault_rate=args.fault_rate,
         n_fault_trials=args.fault_trials,
         fault_model=args.fault_model,
+        surrogate=args.surrogate,
+        surrogate_candidates=args.surrogate_candidates,
+        surrogate_prefilter=args.surrogate_prefilter,
+        halving_budgets=args.halving_budgets,
     )
     result = run_figure2(args.dataset, config=config, ga_config=ga_config)
     for row in result.format_rows():
@@ -405,7 +436,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--profile", action="store_true",
                          help="print a stage-timing breakdown after the run: "
                               "the search stages (ga_selection / ga_sort / "
-                              "ga_evaluate) plus the per-genome stages "
+                              "ga_evaluate, plus surrogate_fit / "
+                              "surrogate_rank / halving when --surrogate is "
+                              "on) plus the per-genome stages "
                               "(evaluate_genome, finetune, synthesize, ...); "
                               "profiles the driver process only, so combine "
                               "with serial evaluation (--workers 1) for the "
@@ -450,6 +483,32 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["open", "short", "level_shift"],
                          help="defect mechanism injected per trial "
                               "(default: open)")
+    figure2.add_argument("--surrogate", default=None,
+                         choices=["ridge", "mlp"],
+                         help="enable surrogate-assisted search: an "
+                              "online-trained predictor prefilters offspring "
+                              "so only promising genomes get real "
+                              "evaluations (fronts still contain only "
+                              "measured points; off by default — off runs "
+                              "are byte-identical to builds without the "
+                              "surrogate)")
+    figure2.add_argument("--surrogate-candidates",
+                         type=_surrogate_candidates_argument, default=None,
+                         help="candidate-pool multiplier: the surrogate "
+                              "scores this many times --population offspring "
+                              "per generation (default 4)")
+    figure2.add_argument("--surrogate-prefilter",
+                         type=_surrogate_prefilter_argument, default=None,
+                         help="fraction of the population size evaluated "
+                              "for real per generation, in (0, 1] "
+                              "(default 0.25)")
+    figure2.add_argument("--halving-budgets",
+                         type=_halving_budgets_argument, default=None,
+                         metavar="E1,E2,...",
+                         help="successive-halving rungs: ascending short "
+                              "fine-tuning budgets (epochs) racing surrogate "
+                              "survivors before full evaluation, e.g. '1,2' "
+                              "(default: no halving)")
     figure2.add_argument("--plot", action="store_true")
     figure2.add_argument("--output", help="directory to export artefacts")
     figure2.set_defaults(func=_cmd_figure2)

@@ -25,6 +25,7 @@ from .pareto import (
     dominates,
     front_as_arrays,
     hypervolume,
+    hypervolume_objectives,
     normalize_points,
     pareto_front,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "front_as_arrays",
     "get_backend",
     "hypervolume",
+    "hypervolume_objectives",
     "normalize_points",
     "pareto_front",
     "profiling",

@@ -58,6 +58,23 @@ class PipelineConfig:
             ``None`` (default) defers to the ``REPRO_BACKEND`` environment
             variable and then numpy. See :mod:`repro.core.backend` and
             ``docs/backends.md`` for exactness guarantees per backend.
+        surrogate: surrogate model for surrogate-assisted search
+            (``"ridge"`` or ``"mlp"``; ``None`` = off, the default). A
+            cheap online-trained predictor prefilters GA offspring so only
+            promising genomes get real evaluations; reported fronts contain
+            only measured points. See :mod:`repro.surrogate` and
+            ``docs/surrogate.md``. Like every surrogate knob this changes
+            *which* genomes are evaluated, never what an evaluation
+            returns, so it does not enter the campaign cache's
+            evaluation-context key.
+        surrogate_candidates: surrogate candidate-pool multiplier (the
+            predictor scores this many times ``population_size`` offspring
+            per generation).
+        surrogate_prefilter: fraction of the population size receiving a
+            real full-budget evaluation per generation, in ``(0, 1]``.
+        halving_budgets: ascending short fine-tuning budgets (epochs) for
+            successive-halving races between the surrogate prefilter and
+            full evaluation (``None`` = no halving).
     """
 
     dataset: str
@@ -81,9 +98,37 @@ class PipelineConfig:
     n_fault_trials: int = 0
     fault_model: str = "open"
     backend: Optional[str] = None
+    surrogate: Optional[str] = None
+    surrogate_candidates: int = 4
+    surrogate_prefilter: float = 0.25
+    halving_budgets: Optional[Sequence[int]] = None
 
     def __post_init__(self) -> None:
         validate_backend_name(self.backend, "PipelineConfig.backend")
+        # Mirrors repro.surrogate.SURROGATE_MODELS (not imported here: core
+        # must stay dependency-free of the search/surrogate stack).
+        if self.surrogate is not None and self.surrogate not in ("ridge", "mlp"):
+            raise ValueError(
+                f"surrogate must be one of ('ridge', 'mlp'), got '{self.surrogate}'"
+            )
+        if self.surrogate_candidates < 1:
+            raise ValueError(
+                f"surrogate_candidates must be >= 1, got {self.surrogate_candidates}"
+            )
+        if not 0.0 < self.surrogate_prefilter <= 1.0:
+            raise ValueError(
+                f"surrogate_prefilter must be in (0, 1], got {self.surrogate_prefilter}"
+            )
+        if self.halving_budgets is not None:
+            budgets = tuple(self.halving_budgets)
+            if any(int(b) != b or b < 1 for b in budgets):
+                raise ValueError(
+                    f"halving_budgets must be positive integers, got {budgets}"
+                )
+            if any(a >= b for a, b in zip(budgets, budgets[1:])):
+                raise ValueError(
+                    f"halving_budgets must be strictly increasing, got {budgets}"
+                )
         # Mirrors repro.reliability.FAULT_MODELS (not imported here: core
         # must stay dependency-free of the nn/bespoke stack).
         if self.fault_model not in ("open", "short", "level_shift"):

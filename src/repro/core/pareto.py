@@ -176,6 +176,58 @@ def hypervolume(
     return float(volume)
 
 
+def _hypervolume_2d(points: List[Tuple[float, ...]], reference: Tuple[float, ...]) -> float:
+    """Exact 2-D dominated volume of minimized points w.r.t. ``reference``."""
+    inside = sorted(p for p in points if p[0] < reference[0] and p[1] < reference[1])
+    volume = 0.0
+    best_y = reference[1]
+    for x, y in inside:
+        if y >= best_y:
+            continue  # dominated by an earlier (smaller-x) point
+        volume += (reference[0] - x) * (best_y - y)
+        best_y = y
+    return volume
+
+
+def hypervolume_objectives(
+    objectives: Sequence[Sequence[float]],
+    reference: Sequence[float],
+) -> float:
+    """Exact hypervolume of minimized objective vectors w.r.t. a reference point.
+
+    The generic counterpart of :func:`hypervolume` for raw objective space:
+    ``objectives`` are 2- or 3-component vectors where smaller is better
+    (the convention of :func:`repro.search.objectives.objectives_of`), and
+    the volume is that of the region dominated by the set and bounded by
+    ``reference``. Points not strictly better than the reference on every
+    axis contribute nothing. The 3-D case sweeps reference-to-point slabs
+    along the last axis with an incremental 2-D front — exact, O(n² log n),
+    plenty for search-sized fronts. Used by ``bench_surrogate.py`` to
+    compare 3-objective fronts from surrogate-assisted and plain GA runs.
+    """
+    reference = tuple(float(value) for value in reference)
+    dimensions = len(reference)
+    if dimensions not in (2, 3):
+        raise ValueError(f"hypervolume_objectives supports 2 or 3 objectives, got {dimensions}")
+    points = [tuple(float(value) for value in vector) for vector in objectives]
+    if any(len(point) != dimensions for point in points):
+        raise ValueError("every objective vector must match the reference dimensionality")
+    if dimensions == 2:
+        return float(_hypervolume_2d(points, reference))
+    inside = sorted(
+        (p for p in points if all(v < r for v, r in zip(p, reference))),
+        key=lambda p: p[2],
+    )
+    volume = 0.0
+    for index, point in enumerate(inside):
+        top = inside[index + 1][2] if index + 1 < len(inside) else reference[2]
+        if top <= point[2]:
+            continue  # zero-thickness slab (ties on the swept axis)
+        slab = [(q[0], q[1]) for q in inside[: index + 1]]
+        volume += _hypervolume_2d(slab, reference[:2]) * (top - point[2])
+    return float(volume)
+
+
 def average_area_gain(
     sweeps: Iterable[SweepResult],
     technique: str,

@@ -9,6 +9,7 @@ front starts from — and can only improve on — the standalone fronts.
 
 from __future__ import annotations
 
+import math
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
@@ -32,6 +33,10 @@ from .nsga2 import nsga2_rank, select_survivors, tournament_select
 from .objectives import objectives_of
 from .parallel import create_evaluator
 from .settings import EvaluationSettings, resolve_evaluation_settings
+
+# Imported as a module path (not via the repro.surrogate package) at call
+# sites below; only the registry of valid names is needed eagerly.
+from ..surrogate.models import SURROGATE_MODELS
 
 
 def __getattr__(name: str):
@@ -85,6 +90,25 @@ class GAConfig:
             configuration, then ``REPRO_BACKEND``, then numpy — the same
             inheritance pattern as the fault knobs). The numpy backend is
             byte-identical to earlier versions; see ``docs/backends.md``.
+        surrogate: surrogate model name enabling surrogate-assisted search
+            (``"ridge"`` or ``"mlp"``; ``None`` inherits the pipeline
+            configuration, off by default). When enabled, each generation
+            breeds ``surrogate_candidates`` x ``population_size`` candidate
+            offspring, ranks them with an online-trained predictor
+            (:mod:`repro.surrogate`), and spends real stacked-QAT
+            evaluations only on the top ``surrogate_prefilter`` fraction of
+            the population size. Reported fronts contain only really
+            measured points; disabled searches are byte-identical to
+            pre-surrogate builds. See ``docs/surrogate.md``.
+        surrogate_candidates: candidate-pool multiplier k (the surrogate
+            scores k x population_size offspring per generation).
+        surrogate_prefilter: fraction of the population size that gets a
+            real full-budget evaluation per generation (in ``(0, 1]``).
+        halving_budgets: ascending short fine-tuning budgets (epochs) for
+            successive halving between the surrogate prefilter and the full
+            evaluation — survivors race through cheap short-epoch real
+            evaluations, and only the NSGA-II-best half promotes per rung.
+            ``None``/empty disables halving.
         bit_choices / sparsity_choices / cluster_choices: gene alphabets.
     """
 
@@ -101,6 +125,10 @@ class GAConfig:
     n_fault_trials: Optional[int] = None
     fault_model: Optional[str] = None
     backend: Optional[str] = None
+    surrogate: Optional[str] = None
+    surrogate_candidates: Optional[int] = None
+    surrogate_prefilter: Optional[float] = None
+    halving_budgets: Optional[Sequence[int]] = None
     bit_choices: Sequence[int] = DEFAULT_BIT_CHOICES
     sparsity_choices: Sequence[float] = DEFAULT_SPARSITY_CHOICES
     cluster_choices: Sequence[int] = DEFAULT_CLUSTER_CHOICES
@@ -127,16 +155,44 @@ class GAConfig:
                 f"fault_model must be one of {FAULT_MODELS}, got '{self.fault_model}'"
             )
         validate_backend_name(self.backend, "GAConfig.backend")
+        if self.surrogate is not None and self.surrogate not in SURROGATE_MODELS:
+            raise ValueError(
+                f"surrogate must be one of {SURROGATE_MODELS}, got '{self.surrogate}'"
+            )
+        if self.surrogate_candidates is not None and self.surrogate_candidates < 1:
+            raise ValueError(
+                f"surrogate_candidates must be >= 1, got {self.surrogate_candidates}"
+            )
+        if self.surrogate_prefilter is not None and not 0.0 < self.surrogate_prefilter <= 1.0:
+            raise ValueError(
+                f"surrogate_prefilter must be in (0, 1], got {self.surrogate_prefilter}"
+            )
+        if self.halving_budgets is not None:
+            budgets = tuple(self.halving_budgets)
+            if any(int(b) != b or b < 1 for b in budgets):
+                raise ValueError(
+                    f"halving_budgets must be positive integers, got {budgets}"
+                )
+            if any(a >= b for a, b in zip(budgets, budgets[1:])):
+                raise ValueError(
+                    f"halving_budgets must be strictly increasing, got {budgets}"
+                )
 
 
 @dataclass
 class GAResult:
-    """Outcome of one GA run."""
+    """Outcome of one GA run.
+
+    ``n_evaluations`` counts real full-budget evaluations;
+    ``n_partial_evaluations`` the short-budget successive-halving ones
+    (zero unless surrogate-assisted halving ran).
+    """
 
     front: List[DesignPoint]
     all_points: List[DesignPoint]
     generations: List[Dict[str, float]] = field(default_factory=list)
     n_evaluations: int = 0
+    n_partial_evaluations: int = 0
 
     def best_area_within_loss(self, baseline: DesignPoint, max_loss: float = 0.05):
         """Best combined design within a relative accuracy-loss budget (or None)."""
@@ -223,6 +279,36 @@ class HardwareAwareGA:
         )
         self._rng = np.random.default_rng(self.config.seed)
 
+        # Surrogate knobs inherit GA config → pipeline config → default,
+        # exactly like the fault/backend knobs above. The assistant and the
+        # halving evaluators only exist when the feature is on, so disabled
+        # searches execute the literal pre-surrogate code path.
+        def _surrogate_knob(name, default):
+            value = getattr(self.config, name, None)
+            if value is None:
+                value = getattr(prepared.config, name, None)
+            return default if value is None else value
+
+        self.surrogate_model: Optional[str] = _surrogate_knob("surrogate", None)
+        self.surrogate_candidates = int(_surrogate_knob("surrogate_candidates", 4))
+        self.surrogate_prefilter = float(_surrogate_knob("surrogate_prefilter", 0.25))
+        self.halving_budgets = tuple(
+            int(b) for b in (_surrogate_knob("halving_budgets", ()) or ())
+        )
+        self._rung_evaluators: Dict[int, object] = {}
+        if self.surrogate_model is not None:
+            from ..surrogate.assist import SurrogateAssistant
+
+            self.assistant: Optional[SurrogateAssistant] = SurrogateAssistant(
+                baseline=prepared.baseline_point,
+                robust=self.robust,
+                model=self.surrogate_model,
+                seed=self.config.seed,
+                backend=self.settings.backend,
+            )
+        else:
+            self.assistant = None
+
     # -- population handling ------------------------------------------------------
 
     def _initial_population(self) -> List[Genome]:
@@ -231,13 +317,17 @@ class HardwareAwareGA:
             population.append(self.space.random_genome(self._rng))
         return population[: self.config.population_size]
 
-    def _make_offspring(self, population: List[Genome], objectives) -> List[Genome]:
+    def _make_offspring(
+        self, population: List[Genome], objectives, count: Optional[int] = None
+    ) -> List[Genome]:
         # One NSGA-II ranking serves every tournament of the generation; the
         # RNG is consumed exactly as if each tournament re-ranked, so the
-        # evolutionary trajectory is unchanged.
+        # evolutionary trajectory is unchanged. ``count`` (surrogate mode)
+        # breeds an oversized candidate pool with the same operators.
+        count = self.config.population_size if count is None else count
         keys = nsga2_rank(objectives, backend=self.settings.backend)
         offspring: List[Genome] = []
-        while len(offspring) < self.config.population_size:
+        while len(offspring) < count:
             parent_a = population[tournament_select(objectives, self._rng, keys=keys)]
             if self._rng.random() < self.config.crossover_rate:
                 parent_b = population[
@@ -250,6 +340,82 @@ class HardwareAwareGA:
             offspring.append(child)
         return offspring
 
+    # -- surrogate-assisted offspring ---------------------------------------------
+
+    def _rung_evaluator(self, epochs: int):
+        """Serial evaluator at a reduced fine-tuning budget (memoized).
+
+        Short-budget points live in their own per-rung caches — they are
+        measured under different settings than full evaluations, so they
+        must never enter (or poison) the genome-keyed main cache.
+        """
+        if epochs not in self._rung_evaluators:
+            self._rung_evaluators[epochs] = create_evaluator(
+                self.prepared,
+                replace(self.settings, finetune_epochs=epochs),
+                seed=self.config.seed,
+                n_workers=1,
+                stacked=self.config.stacked,
+            )
+        return self._rung_evaluators[epochs]
+
+    def _race_through_halving(self, genomes: List[Genome], target: int) -> List[Genome]:
+        """Successive halving: promote the NSGA-II-best half per rung.
+
+        Each configured budget runs cheap short-epoch *real* evaluations of
+        the surviving genomes; survivors of the final rung are the ones the
+        generation evaluates at full budget. Appears as the ``halving``
+        stage in profile reports.
+        """
+        survivors = list(genomes)
+        baseline = self.prepared.baseline_point
+        with profiling.stage("halving"):
+            for epochs in self.halving_budgets:
+                if len(survivors) <= target:
+                    break
+                points = self._rung_evaluator(epochs).evaluate_population(survivors)
+                objectives = [
+                    objectives_of(p, baseline, robust=self.robust) for p in points
+                ]
+                keys = nsga2_rank(objectives, backend=self.settings.backend)
+                order = sorted(range(len(survivors)), key=lambda i: (keys[i], i))
+                keep = max(target, math.ceil(len(survivors) / 2))
+                survivors = [survivors[i] for i in order[:keep]]
+        return survivors[:target]
+
+    def _surrogate_offspring(
+        self, population: List[Genome], objectives, evaluated_keys: set, generation: int
+    ) -> List[Genome]:
+        """One generation's offspring under surrogate-assisted selection.
+
+        Breeds an oversized candidate pool, refits the surrogate on every
+        real evaluation so far, and keeps (a) every candidate already
+        evaluated for real — re-reading the cache is free, so the incumbent
+        archive can never be evicted by the prefilter — plus (b) the
+        predicted-best novel genomes, optionally raced through successive
+        halving down to the real-evaluation budget.
+        """
+        with profiling.stage("ga_selection"):
+            candidates = self._make_offspring(
+                population,
+                objectives,
+                count=self.config.population_size * self.surrogate_candidates,
+            )
+        self.assistant.refit(generation)
+        budget = max(1, math.ceil(self.surrogate_prefilter * self.config.population_size))
+        if self.halving_budgets:
+            entry = budget * (2 ** len(self.halving_budgets))
+            free, chosen = self.assistant.select(candidates, evaluated_keys, entry)
+            chosen = self._race_through_halving(chosen, budget)
+        else:
+            free, chosen = self.assistant.select(candidates, evaluated_keys, budget)
+        return free + chosen
+
+    @property
+    def n_partial_evaluations(self) -> int:
+        """Short-budget evaluations spent by successive halving so far."""
+        return sum(e.n_evaluations for e in self._rung_evaluators.values())
+
     # -- main loop ------------------------------------------------------------------
 
     def run(self) -> GAResult:
@@ -258,6 +424,8 @@ class HardwareAwareGA:
             return self._run()
         finally:
             self.evaluator.close()
+            for evaluator in self._rung_evaluators.values():
+                evaluator.close()
 
     def _run(self) -> GAResult:
         baseline = self.prepared.baseline_point
@@ -288,15 +456,24 @@ class HardwareAwareGA:
         with profiling.stage("ga_evaluate"):
             points = self.evaluator.evaluate_population(population)
         record(population, points)
+        if self.assistant is not None:
+            self.assistant.observe(population, points)
         generations: List[Dict[str, float]] = []
 
         for generation in range(self.config.n_generations):
             objectives = [objectives_of(p, baseline, robust=self.robust) for p in points]
-            with profiling.stage("ga_selection"):
-                offspring = self._make_offspring(population, objectives)
+            if self.assistant is not None:
+                offspring = self._surrogate_offspring(
+                    population, objectives, archive_keys, generation
+                )
+            else:
+                with profiling.stage("ga_selection"):
+                    offspring = self._make_offspring(population, objectives)
             with profiling.stage("ga_evaluate"):
                 offspring_points = self.evaluator.evaluate_population(offspring)
             record(offspring, offspring_points)
+            if self.assistant is not None:
+                self.assistant.observe(offspring, offspring_points)
 
             combined_population = population + offspring
             combined_points = points + offspring_points
@@ -316,16 +493,19 @@ class HardwareAwareGA:
             best_gain = max(
                 (baseline.area / p.area for p in front if p.area > 0), default=0.0
             )
-            generations.append(
-                {
-                    "generation": float(generation),
-                    "front_size": float(len(front)),
-                    "best_area_gain": float(best_gain),
-                    "best_accuracy": float(max(p.accuracy for p in points)),
-                    "evaluations": float(self.evaluator.n_evaluations),
-                    "cache_hits": float(self.evaluator.cache_hits),
-                }
-            )
+            stats = {
+                "generation": float(generation),
+                "front_size": float(len(front)),
+                "best_area_gain": float(best_gain),
+                "best_accuracy": float(max(p.accuracy for p in points)),
+                "evaluations": float(self.evaluator.n_evaluations),
+                "cache_hits": float(self.evaluator.cache_hits),
+            }
+            if self.assistant is not None:
+                stats["offspring_evaluated"] = float(len(offspring))
+                stats["surrogate_fits"] = float(self.assistant.n_fits)
+                stats["partial_evaluations"] = float(self.n_partial_evaluations)
+            generations.append(stats)
 
         # ``pareto_front(archive)`` equals ``pareto_front`` over the complete
         # evaluation history (see the archive invariant above); with a
@@ -335,6 +515,7 @@ class HardwareAwareGA:
             all_points=self.evaluator.all_points(),
             generations=generations,
             n_evaluations=self.evaluator.n_evaluations,
+            n_partial_evaluations=self.n_partial_evaluations,
         )
 
 

@@ -1,0 +1,130 @@
+"""Genome → feature-vector encoding for the surrogate models.
+
+The featurizer is the only piece of the surrogate subsystem that knows what
+a :class:`~repro.search.genome.Genome` *means*: every other layer works on
+plain ``(N, F)`` float matrices. Features are pure arithmetic on the gene
+values — total (defined for every valid genome) and deterministic (no RNG,
+no fitted state) — so featurization can never diverge between training and
+ranking, and the hypothesis property suite can quantify both claims.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..search.genome import Genome
+
+#: Per-layer feature labels (formatted with the layer index).
+_LAYER_FEATURES = (
+    "layer{i}_bits",
+    "layer{i}_sparsity",
+    "layer{i}_density",
+    "layer{i}_clusters",
+    "layer{i}_clustered",
+    "layer{i}_bits_x_density",
+    "layer{i}_log2_levels",
+)
+
+#: Genome-level aggregate labels.
+_AGGREGATE_FEATURES = (
+    "mean_bits",
+    "min_bits",
+    "mean_sparsity",
+    "mean_bits_x_density",
+    "clustered_fraction",
+)
+
+
+def _layer_features(bits: int, sparsity: float, clusters: int) -> List[float]:
+    """The seven derived features of one layer's genes.
+
+    ``log2_levels`` approximates the number of distinct weight values the
+    layer can realize: clustering caps it at the cluster budget, otherwise
+    the bit-width sets it — the quantity the area model actually responds
+    to, which is why it earns an explicit feature instead of being left for
+    the polynomial expansion to discover.
+    """
+    density = 1.0 - sparsity
+    clustered = 1.0 if clusters > 0 else 0.0
+    levels = float(2 ** bits)
+    if clusters > 0:
+        levels = min(levels, float(clusters))
+    return [
+        float(bits),
+        float(sparsity),
+        density,
+        float(clusters),
+        clustered,
+        float(bits) * density,
+        math.log2(max(levels, 1.0)),
+    ]
+
+
+class GenomeFeaturizer:
+    """Deterministic genome → ``(N, F)`` feature matrix transform.
+
+    Args:
+        n_layers: number of genome layers the feature layout covers.
+            ``None`` (the default) locks onto the first transformed
+            genome's layer count; every later genome must match, because a
+            fitted surrogate's weight vector is tied to one feature layout.
+    """
+
+    def __init__(self, n_layers: Optional[int] = None) -> None:
+        if n_layers is not None and n_layers < 1:
+            raise ValueError(f"n_layers must be >= 1, got {n_layers}")
+        self.n_layers = None if n_layers is None else int(n_layers)
+
+    @property
+    def n_features(self) -> Optional[int]:
+        """Feature-vector width, or ``None`` until the layer count is known."""
+        if self.n_layers is None:
+            return None
+        return len(_LAYER_FEATURES) * self.n_layers + len(_AGGREGATE_FEATURES)
+
+    def feature_names(self) -> List[str]:
+        """Column labels of :meth:`transform`'s output, in order."""
+        if self.n_layers is None:
+            raise ValueError("feature layout not fixed yet — transform a genome first")
+        names = [
+            template.format(i=layer)
+            for layer in range(self.n_layers)
+            for template in _LAYER_FEATURES
+        ]
+        return names + list(_AGGREGATE_FEATURES)
+
+    def transform(self, genomes: Sequence[Genome]) -> np.ndarray:
+        """Featurize genomes into an ``(N, F)`` float64 matrix."""
+        genomes = list(genomes)
+        if genomes and self.n_layers is None:
+            self.n_layers = genomes[0].n_layers
+        rows = []
+        for genome in genomes:
+            if genome.n_layers != self.n_layers:
+                raise ValueError(
+                    f"genome has {genome.n_layers} layers but this featurizer "
+                    f"encodes {self.n_layers}"
+                )
+            row: List[float] = []
+            for bits, sparsity, clusters in zip(
+                genome.weight_bits, genome.sparsity, genome.clusters
+            ):
+                row.extend(_layer_features(bits, sparsity, clusters))
+            densities = [1.0 - s for s in genome.sparsity]
+            row.extend(
+                [
+                    float(np.mean(genome.weight_bits)),
+                    float(min(genome.weight_bits)),
+                    float(np.mean(genome.sparsity)),
+                    float(
+                        np.mean([b * d for b, d in zip(genome.weight_bits, densities)])
+                    ),
+                    float(np.mean([1.0 if c > 0 else 0.0 for c in genome.clusters])),
+                ]
+            )
+            rows.append(row)
+        width = self.n_features if self.n_features is not None else 0
+        return np.asarray(rows, dtype=np.float64).reshape(len(genomes), width)

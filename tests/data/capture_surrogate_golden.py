@@ -1,0 +1,63 @@
+"""Capture the golden GA fronts pinned by tests/test_search_surrogate_ga.py.
+
+Run from the repo root (on a commit whose GA behavior is the reference)::
+
+    PYTHONPATH=src python tests/data/capture_surrogate_golden.py
+
+Writes ``surrogate_off_front_golden.json``: the exact front documents a
+surrogate-free :class:`~repro.search.ga.HardwareAwareGA` produces on two
+small deterministic workloads (2-objective and robustness-aware
+3-objective). The A/B test re-runs the same configurations with the
+surrogate knobs left off and byte-compares the serialized fronts, proving
+the surrogate-assisted search path changes nothing while disabled.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import MinimizationPipeline, PipelineConfig
+from repro.search import GAConfig, HardwareAwareGA
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "surrogate_off_front_golden.json"
+
+
+def pipeline_config() -> PipelineConfig:
+    """The small deterministic workload shared with the golden test."""
+    return PipelineConfig(
+        dataset="seeds", train_epochs=5, n_samples=150, finetune_epochs=2
+    )
+
+
+def ga_config(robust: bool) -> GAConfig:
+    """GA settings of the golden runs (small budgets, fixed seed)."""
+    knobs = dict(population_size=6, n_generations=2, finetune_epochs=2, seed=0)
+    if robust:
+        knobs.update(fault_rate=0.05, n_fault_trials=4)
+    return GAConfig(**knobs)
+
+
+def front_document(robust: bool) -> dict:
+    """Run the GA and serialize its front the way campaign front.json does."""
+    prepared = MinimizationPipeline(pipeline_config()).prepare()
+    result = HardwareAwareGA(prepared, config=ga_config(robust)).run()
+    return {
+        "baseline": prepared.baseline_point.as_dict(),
+        "front": [point.as_dict() for point in result.front],
+        "n_evaluations": result.n_evaluations,
+    }
+
+
+def main() -> None:
+    """Capture both golden fronts and write the pinned JSON document."""
+    document = {
+        "two_objective": front_document(robust=False),
+        "three_objective": front_document(robust=True),
+    }
+    GOLDEN_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()
