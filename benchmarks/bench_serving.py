@@ -1,0 +1,165 @@
+"""Serving-layer benchmark: hot-path query latency and HTTP throughput.
+
+Two measurements over a synthetic (but schema-faithful) campaign front:
+
+* **Hot query path** — the in-process :class:`~repro.serving.QueryEngine`
+  on an LRU-warm store: per-query p50/p99 latency and sustained
+  queries/s. This is the floor the acceptance criterion pins (≥1000
+  req/s warm) — it excludes socket costs, isolating store + engine.
+* **HTTP load** — N keep-alive client threads hammering ``POST /query``
+  on the threaded stdlib server: end-to-end throughput plus client-side
+  p50/p99, with the server's own ``/metrics`` histogram recorded
+  alongside.
+
+Numbers land in the ``serving`` section of ``BENCH_evaluation.json`` and
+the ``BENCH_history.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from benchlib import SMOKE, record_bench
+from repro.campaign.journal import REPORT_DIR, write_json_atomic
+from repro.serving import FrontStore, QueryEngine, start_server
+
+#: Hot-path throughput floor (queries/s) enforced by this benchmark.
+HOT_QPS_FLOOR = 1000.0
+
+N_POINTS = 24 if SMOKE else 64
+HOT_QUERIES = 2_000 if SMOKE else 10_000
+HTTP_THREADS = 2 if SMOKE else 4
+HTTP_REQUESTS_PER_THREAD = 150 if SMOKE else 500
+
+#: Query mix cycled through both measurements: constraint-only, top-k
+#: ranked, and nearest-trade-off — the three hot shapes of the API.
+QUERY_MIX = (
+    {"dataset": "seeds", "min_accuracy": 0.7, "max_area": 4.0},
+    {"dataset": "seeds", "order_by": "accuracy", "descending": True, "top_k": 5},
+    {"dataset": "seeds", "nearest": {"accuracy": 0.85, "area": 2.0}, "top_k": 3},
+)
+
+
+def _percentile(samples, quantile):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(quantile * len(ordered)))
+    return ordered[index]
+
+
+def _make_campaign(root, n_points):
+    """A campaign directory with one synthetic (Pareto-shaped) front."""
+    rows = []
+    for i in range(n_points):
+        fraction = i / max(1, n_points - 1)
+        rows.append(
+            {
+                "technique": "combined",
+                "accuracy": round(0.6 + 0.35 * fraction, 4),
+                "area": round(0.5 + 6.0 * fraction**2, 4),
+                "power": round(0.2 + 3.0 * fraction**2, 4),
+                "delay": round(0.1 + 1.0 * fraction, 4),
+                "parameters": {"weight_bits": 2 + (i % 5)},
+                "robust_accuracy": round(0.55 + 0.3 * fraction, 4),
+                "accuracy_std": 0.01,
+            }
+        )
+    campaign = root / "camp"
+    (campaign / REPORT_DIR).mkdir(parents=True)
+    write_json_atomic(
+        campaign / REPORT_DIR / "front_seeds.json",
+        {"dataset": "seeds", "baseline": None, "front": rows, "combined_best_gain": 2.0},
+    )
+    return campaign
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    campaign = _make_campaign(tmp_path_factory.mktemp("serving"), N_POINTS)
+    return FrontStore(campaign)
+
+
+def test_serving_hot_path_and_http_throughput(store):
+    engine = QueryEngine(store)
+
+    # -- hot (LRU-warm) in-process query path --------------------------------
+    for payload in QUERY_MIX:  # warm the LRU and the JIT-ish caches
+        engine.run(payload)
+    latencies = []
+    start = time.perf_counter()
+    for i in range(HOT_QUERIES):
+        t0 = time.perf_counter()
+        engine.run(QUERY_MIX[i % len(QUERY_MIX)])
+        latencies.append(time.perf_counter() - t0)
+    hot_wall = time.perf_counter() - start
+    hot_qps = HOT_QUERIES / hot_wall
+    hot = {
+        "queries": HOT_QUERIES,
+        "qps": round(hot_qps, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 4),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 4),
+    }
+
+    # -- HTTP layer under concurrent keep-alive load -------------------------
+    server, _thread = start_server(store)
+    host, port = server.server_address[:2]
+    bodies = [json.dumps(payload).encode() for payload in QUERY_MIX]
+    http_latencies_per_thread = [[] for _ in range(HTTP_THREADS)]
+    errors = []
+    barrier = threading.Barrier(HTTP_THREADS + 1)
+
+    def client(thread_index):
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        samples = http_latencies_per_thread[thread_index]
+        barrier.wait()
+        for i in range(HTTP_REQUESTS_PER_THREAD):
+            body = bodies[i % len(bodies)]
+            t0 = time.perf_counter()
+            connection.request(
+                "POST", "/query", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            payload = response.read()
+            samples.append(time.perf_counter() - t0)
+            if response.status != 200 or not payload:
+                errors.append(response.status)
+        connection.close()
+
+    threads = [
+        threading.Thread(target=client, args=(index,)) for index in range(HTTP_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    http_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    http_wall = time.perf_counter() - http_start
+    metrics = server.metrics.snapshot()
+    server.shutdown()
+    server.server_close()
+
+    assert errors == [], f"non-200 responses under load: {errors[:5]}"
+    http_latencies = [s for samples in http_latencies_per_thread for s in samples]
+    total_requests = HTTP_THREADS * HTTP_REQUESTS_PER_THREAD
+    http_stats = {
+        "threads": HTTP_THREADS,
+        "requests": total_requests,
+        "qps": round(total_requests / http_wall, 1),
+        "p50_ms": round(_percentile(http_latencies, 0.50) * 1e3, 4),
+        "p99_ms": round(_percentile(http_latencies, 0.99) * 1e3, 4),
+        "server_p99_ms": metrics["latency"]["p99_ms"],
+    }
+
+    payload = {"front_points": N_POINTS, "hot_query": hot, "http": http_stats}
+    record_bench("serving", payload)
+    print(f"\nserving bench: {json.dumps(payload, indent=2)}")
+
+    # The acceptance floor: the LRU-warm query path must sustain >=1000 req/s.
+    assert hot_qps >= HOT_QPS_FLOOR, (
+        f"hot query path sustained {hot_qps:.0f} req/s, floor is {HOT_QPS_FLOOR:.0f}"
+    )

@@ -15,6 +15,8 @@ experiment of the paper can be run without writing Python:
 * ``repro campaign run|resume|status|report`` — declarative multi-dataset
   search campaigns with journaling and kill-safe resume (see
   ``docs/campaigns.md``).
+* ``repro serve --campaign out/`` — HTTP design-space query service over
+  campaign report fronts (see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -401,6 +403,36 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- serve ------------------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import serve
+
+    campaigns = [Path(c) for c in args.campaign]
+    missing = [c for c in campaigns if not c.is_dir()]
+    if missing:
+        print(f"error: campaign directory not found: {missing[0].resolve()}")
+        return 1
+    try:
+        serve(
+            campaigns,
+            host=args.host,
+            port=args.port,
+            max_entries=args.cache_size,
+            backend=args.backend,
+            enqueue_misses=args.enqueue_misses,
+            refresh_seconds=args.refresh,
+        )
+    except ValueError as error:  # no report dirs / bad cache bound
+        print(f"error: {error}")
+        return 1
+    except OSError as error:  # port in use, bind failure
+        print(f"error: cannot bind {args.host}:{args.port}: {error}")
+        return 1
+    return 0
+
+
 # -- argument parsing -------------------------------------------------------------------
 
 
@@ -644,6 +676,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_report.add_argument("--out", required=True, help="campaign directory")
     campaign_report.set_defaults(func=_cmd_campaign_report)
+
+    serve_cmd = subparsers.add_parser(
+        "serve",
+        help="HTTP design-space query service over campaign report fronts",
+        description="Index one or more campaign report directories and "
+                    "answer constraint/top-k/nearest queries over their "
+                    "Pareto fronts via a threaded stdlib HTTP API "
+                    "(GET /datasets, GET /fronts/<ds>, POST /query, "
+                    "GET /healthz, GET /metrics). See docs/serving.md.",
+    )
+    serve_cmd.add_argument("--campaign", action="append", required=True,
+                           help="campaign directory to index (repeat for a "
+                                "multi-campaign union store)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8000)
+    serve_cmd.add_argument("--cache-size", type=_cache_size_argument, default=None,
+                           help="LRU bound on deserialized front views "
+                                "(default: unbounded; mirrors the evaluator "
+                                "cache's bound semantics)")
+    serve_cmd.add_argument("--backend", default=None,
+                           choices=sorted(registered_backends()),
+                           help="array backend for query filtering/ranking")
+    serve_cmd.add_argument("--enqueue-misses", action="store_true",
+                           help="publish a campaign job into the first "
+                                "campaign's fabric queue when a query misses "
+                                "a dataset (one entry per distinct miss)")
+    serve_cmd.add_argument("--refresh", type=float, default=None,
+                           help="re-index interval in seconds (default: no "
+                                "periodic refresh; views still revalidate "
+                                "against file mtimes on every access)")
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     return parser
 

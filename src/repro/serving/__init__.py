@@ -1,0 +1,49 @@
+"""Design-space query service over campaign report fronts.
+
+Turns the static artifacts of ``repro campaign report`` into a serving
+layer: :class:`FrontStore` indexes report directories with an LRU of
+deserialized fronts, :class:`QueryEngine` answers typed constraint /
+top-k / nearest-trade-off queries over the columnar views, and
+:func:`start_server` / ``repro serve`` expose both over a stdlib
+threaded HTTP API with metrics and on-miss campaign enqueue.
+"""
+
+from .http import (
+    FrontServer,
+    MissEnqueuer,
+    ServingMetrics,
+    serve,
+    start_server,
+)
+from .query import (
+    FrontQuery,
+    QueryEngine,
+    QueryResult,
+    QueryValidationError,
+)
+from .store import (
+    FRONT_COLUMNS,
+    FrontCache,
+    FrontStore,
+    FrontView,
+    UnknownDatasetError,
+    build_columns,
+)
+
+__all__ = [
+    "FRONT_COLUMNS",
+    "FrontCache",
+    "FrontQuery",
+    "FrontServer",
+    "FrontStore",
+    "FrontView",
+    "MissEnqueuer",
+    "QueryEngine",
+    "QueryResult",
+    "QueryValidationError",
+    "ServingMetrics",
+    "UnknownDatasetError",
+    "build_columns",
+    "serve",
+    "start_server",
+]

@@ -1,0 +1,424 @@
+"""Stdlib-only threaded HTTP API over a front store.
+
+The service is deliberately tiny — ``http.server.ThreadingHTTPServer``
+plus JSON, nothing outside the standard library — because the heavy
+lifting lives in :mod:`repro.serving.store` (LRU-indexed fronts) and
+:mod:`repro.serving.query` (columnar constraint/top-k engine). Routes:
+
+====================  =========================================================
+``GET /healthz``      liveness + indexed dataset count
+``GET /datasets``     sorted dataset names served by the indexed campaigns
+``GET /fronts/<ds>``  the dataset's front document (byte-identical to
+                      ``report/front_<ds>.json`` for single-campaign stores)
+``POST /query``       execute a :class:`~repro.serving.query.FrontQuery`
+                      (JSON body), returning ranked matching points
+``GET /metrics``      request counts, status classes, and a latency
+                      histogram with p50/p99 estimates
+====================  =========================================================
+
+A query or front request for a dataset no campaign serves answers 404 —
+and, when the server is built with a :class:`MissEnqueuer`, publishes a
+campaign job covering the miss into the fabric queue (PR-7 format), so
+production misses become future coverage. Enqueueing dedupes by job id:
+one queue entry per distinct miss, no matter how many threads race on it.
+
+Every response carries ``Content-Length`` and the handlers speak
+HTTP/1.1, so keep-alive clients (the benchmark, `curl` loops) reuse
+connections on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..campaign.fabric.layout import FabricLayout
+from ..campaign.journal import write_json_atomic
+from ..campaign.spec import CampaignSpec, JobSpec
+from .query import QueryEngine, QueryValidationError
+from .store import FrontStore, UnknownDatasetError
+
+#: Latency histogram bucket upper bounds, in seconds (log-spaced,
+#: 0.1 ms .. 10 s; the final implicit bucket is +inf).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class ServingMetrics:
+    """Thread-safe request counters and a latency histogram.
+
+    The histogram uses fixed log-spaced buckets (:data:`LATENCY_BUCKETS`),
+    so percentile estimates quantize to bucket upper bounds — the same
+    trade-off Prometheus histograms make, and plenty for a p99 floor
+    assertion in CI.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests: Dict[str, int] = {}
+        self.statuses: Dict[str, int] = {}
+        self._buckets = [0] * (len(LATENCY_BUCKETS) + 1)
+        self._count = 0
+        self._total_seconds = 0.0
+
+    def observe(self, route: str, status: int, seconds: float) -> None:
+        """Record one handled request."""
+        status_class = f"{status // 100}xx"
+        with self._lock:
+            self.requests[route] = self.requests.get(route, 0) + 1
+            self.statuses[status_class] = self.statuses.get(status_class, 0) + 1
+            self._count += 1
+            self._total_seconds += seconds
+            for index, bound in enumerate(LATENCY_BUCKETS):
+                if seconds <= bound:
+                    self._buckets[index] += 1
+                    break
+            else:
+                self._buckets[-1] += 1
+
+    def _percentile(self, quantile: float) -> Optional[float]:
+        """Latency upper bound (seconds) at ``quantile``, from the histogram."""
+        if self._count == 0:
+            return None
+        threshold = quantile * self._count
+        cumulative = 0
+        for index, count in enumerate(self._buckets):
+            cumulative += count
+            if cumulative >= threshold:
+                if index < len(LATENCY_BUCKETS):
+                    return LATENCY_BUCKETS[index]
+                return LATENCY_BUCKETS[-1]
+        return LATENCY_BUCKETS[-1]
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``GET /metrics`` document."""
+        with self._lock:
+            buckets = [
+                {"le": bound, "count": count}
+                for bound, count in zip(LATENCY_BUCKETS, self._buckets)
+            ]
+            buckets.append({"le": "inf", "count": self._buckets[-1]})
+            mean = self._total_seconds / self._count if self._count else None
+            return {
+                "requests": dict(sorted(self.requests.items())),
+                "responses": dict(sorted(self.statuses.items())),
+                "latency": {
+                    "count": self._count,
+                    "mean_ms": None if mean is None else round(mean * 1e3, 4),
+                    "p50_ms": _to_ms(self._percentile(0.50)),
+                    "p99_ms": _to_ms(self._percentile(0.99)),
+                    "buckets": buckets,
+                },
+            }
+
+
+def _to_ms(seconds: Optional[float]) -> Optional[float]:
+    """Seconds → milliseconds (``None`` passes through)."""
+    return None if seconds is None else round(seconds * 1e3, 4)
+
+
+class MissEnqueuer:
+    """Publish a campaign job covering a missed dataset into the fabric queue.
+
+    Args:
+        campaign: the campaign directory whose fabric queue receives the
+            job (its ``spec.json`` supplies the search/seed/pipeline the
+            job reuses — the first search and first seed of the grid).
+        now_fn: clock used for the queue entry's ``published`` stamp
+            (injectable for tests, like the fabric coordinator's).
+
+    The published entry matches the coordinator's queue format
+    (``{"job": ..., "requeues": 0, "published": ...}`` plus an ``origin``
+    marker), so an elastic ``repro campaign work`` worker claims it like
+    any coordinator-published job. Dedupe is by job id: a lock plus an
+    existence check guarantee exactly one queue entry per distinct miss,
+    however many request threads race on the same dataset.
+    """
+
+    def __init__(self, campaign: Union[str, Path], now_fn=time.time) -> None:
+        self.campaign = Path(campaign)
+        self.layout = FabricLayout(self.campaign)
+        self.now_fn = now_fn
+        self._lock = threading.Lock()
+        self._enqueued: Dict[str, str] = {}
+
+    def _job_for(self, dataset: str) -> Optional[JobSpec]:
+        """A job spec covering ``dataset``, templated from the campaign spec."""
+        try:
+            data = json.loads((self.campaign / "spec.json").read_text())
+            spec = CampaignSpec.from_dict(data)
+        except (OSError, ValueError, TypeError, KeyError, json.JSONDecodeError):
+            return None
+        search = spec.searches[0]
+        return JobSpec(
+            job_id=f"{dataset}-{search.name}-s{spec.seeds[0]}",
+            dataset=dataset,
+            algorithm=search.algorithm,
+            search_name=search.name,
+            seed=spec.seeds[0],
+            pipeline=spec.pipeline,
+            search=search.params,
+        )
+
+    def enqueue(self, dataset: str) -> Optional[str]:
+        """Publish one job for ``dataset``; returns its id (``None`` = skipped).
+
+        Skips (returning the existing id) when this enqueuer already
+        published the dataset's job, and skips silently when the queue
+        entry already exists on disk (a coordinator or a sibling server
+        got there first) or the campaign spec is unreadable.
+        """
+        job = self._job_for(dataset)
+        if job is None:
+            return None
+        with self._lock:
+            if dataset in self._enqueued:
+                return self._enqueued[dataset]
+            entry_path = self.layout.queue_entry(job.job_id)
+            if not entry_path.exists():
+                write_json_atomic(
+                    entry_path,
+                    {
+                        "job": job.as_dict(),
+                        "requeues": 0,
+                        "published": round(self.now_fn(), 3),
+                        "origin": "serving-miss",
+                    },
+                )
+            self._enqueued[dataset] = job.job_id
+            return job.job_id
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    """Route one HTTP request against the server's store/engine/metrics."""
+
+    protocol_version = "HTTP/1.1"
+    # Small request/response pairs on keep-alive connections hit the
+    # Nagle + delayed-ACK interaction (~40 ms per round trip) unless the
+    # socket writes eagerly.
+    disable_nagle_algorithm = True
+    server: "FrontServer"
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence the default stderr access log (metrics replace it)."""
+
+    def _send(self, status: int, body: bytes, content_type: str = "application/json") -> None:
+        """One complete response with ``Content-Length`` (keep-alive safe)."""
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, document: Mapping[str, object]) -> None:
+        """One JSON response."""
+        self._send(status, (json.dumps(document) + "\n").encode("utf-8"))
+
+    def _miss(self, dataset: str) -> None:
+        """404 for an unserved dataset, enqueueing a covering job if configured."""
+        enqueued: Optional[str] = None
+        if self.server.enqueuer is not None:
+            enqueued = self.server.enqueuer.enqueue(dataset)
+        self._send_json(
+            404,
+            {
+                "error": "unknown dataset",
+                "dataset": dataset,
+                "enqueued_job": enqueued,
+            },
+        )
+
+    # -- routes ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Dispatch ``GET`` routes."""
+        started = time.perf_counter()
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        route, status = f"GET {path}", 500
+        try:
+            if path == "/healthz":
+                self._send_json(
+                    200, {"status": "ok", "datasets": len(self.server.store.datasets())}
+                )
+                status = 200
+            elif path == "/datasets":
+                names = self.server.store.datasets()
+                self._send_json(200, {"datasets": names, "count": len(names)})
+                status = 200
+            elif path == "/metrics":
+                self._send_json(200, self.server.metrics.snapshot())
+                status = 200
+            elif path.startswith("/fronts/"):
+                route = "GET /fronts"
+                dataset = path[len("/fronts/") :]
+                try:
+                    self._send(200, self.server.store.raw_front(dataset))
+                    status = 200
+                except UnknownDatasetError:
+                    self._miss(dataset)
+                    status = 404
+            else:
+                route = "GET other"
+                self._send_json(404, {"error": "no such route", "path": path})
+                status = 404
+        except BrokenPipeError:
+            status = 499  # client went away mid-response; nothing to answer
+        except Exception as error:  # pragma: no cover - defensive catch-all
+            status = 500
+            self._send_json(500, {"error": type(error).__name__, "detail": str(error)})
+        finally:
+            self.server.metrics.observe(route, status, time.perf_counter() - started)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Dispatch ``POST /query``."""
+        started = time.perf_counter()
+        path = self.path.split("?", 1)[0].rstrip("/")
+        route, status = "POST /query", 500
+        try:
+            if path != "/query":
+                route = "POST other"
+                self._send_json(404, {"error": "no such route", "path": path})
+                status = 404
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            try:
+                payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                self._send_json(400, {"error": "invalid JSON body", "detail": str(error)})
+                status = 400
+                return
+            try:
+                result = self.server.engine.run(payload)
+            except QueryValidationError as error:
+                self._send_json(400, {"error": "invalid query", "detail": str(error)})
+                status = 400
+                return
+            except UnknownDatasetError as error:
+                self._miss(error.dataset)
+                status = 404
+                return
+            self._send_json(200, result.as_dict())
+            status = 200
+        except BrokenPipeError:
+            status = 499
+        except Exception as error:  # pragma: no cover - defensive catch-all
+            status = 500
+            self._send_json(500, {"error": type(error).__name__, "detail": str(error)})
+        finally:
+            self.server.metrics.observe(route, status, time.perf_counter() - started)
+
+
+class FrontServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one store/engine/metrics triple.
+
+    Args:
+        address: ``(host, port)`` to bind (port 0 picks a free one —
+            read it back from :attr:`server_address`).
+        store: the front store to serve.
+        engine: query engine (built over ``store`` when omitted).
+        enqueuer: optional on-miss campaign-job publisher.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        store: FrontStore,
+        engine: Optional[QueryEngine] = None,
+        enqueuer: Optional[MissEnqueuer] = None,
+    ) -> None:
+        super().__init__(address, ServingHandler)
+        self.store = store
+        self.engine = engine if engine is not None else QueryEngine(store)
+        self.enqueuer = enqueuer
+        self.metrics = ServingMetrics()
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def start_server(
+    store: FrontStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    enqueuer: Optional[MissEnqueuer] = None,
+) -> Tuple[FrontServer, threading.Thread]:
+    """Build a :class:`FrontServer` and serve it on a daemon thread.
+
+    Returns ``(server, thread)``; call ``server.shutdown()`` then
+    ``server.server_close()`` to stop. This is the embedding/test entry
+    point — the CLI's ``repro serve`` wraps it in a foreground loop.
+    """
+    server = FrontServer((host, port), store, enqueuer=enqueuer)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def serve(
+    campaigns: List[Union[str, Path]],
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    max_entries: Optional[int] = None,
+    backend: Optional[str] = None,
+    enqueue_misses: bool = False,
+    refresh_seconds: Optional[float] = None,
+) -> None:
+    """Foreground serving loop behind the ``repro serve`` CLI verb.
+
+    Builds the store over ``campaigns``, optionally wires on-miss enqueue
+    into the *first* campaign's fabric queue, starts the threaded server,
+    and (when ``refresh_seconds`` is set) refreshes the store index
+    periodically until interrupted.
+    """
+    store = FrontStore(campaigns, max_entries=max_entries, backend=backend)
+    enqueuer = MissEnqueuer(campaigns[0]) if enqueue_misses else None
+    server, _thread = start_server(store, host=host, port=port, enqueuer=enqueuer)
+    print(f"serving {len(store.datasets())} dataset front(s) on {server.url}")
+    try:
+        while True:
+            time.sleep(refresh_seconds if refresh_seconds else 3600.0)
+            if refresh_seconds:
+                store.refresh()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "FrontServer",
+    "MissEnqueuer",
+    "ServingHandler",
+    "ServingMetrics",
+    "serve",
+    "start_server",
+]

@@ -1,0 +1,486 @@
+"""Indexed in-memory store over campaign report directories.
+
+The campaign layer ends at static files: ``repro campaign report`` writes
+``report/front_<dataset>.json`` (plus ``summary.json``) and stops. This
+module turns those files into something a query service can hit thousands
+of times per second:
+
+* :class:`FrontStore` indexes one or more campaign directories. Each
+  dataset's front document is deserialized once into a :class:`FrontView` —
+  the exact raw bytes (pinned by golden byte-identity tests), the decoded
+  design points, and a *columnar* view (read-only ``float64`` arrays per
+  objective) that the query engine filters and sorts without touching
+  Python objects on the hot path.
+* Deserialized views live in a :class:`FrontCache` — an LRU with exactly
+  the bound semantics of :class:`repro.search.evaluator.EvaluationCache`
+  (``max_entries >= 1``, recency refresh on hit, least-recently-used
+  eviction, ``hits``/``misses``/``evictions`` counters), so the serving
+  layer's memory ceiling is tuned the same way the evaluator's is.
+* Every access revalidates the cached view against the file's stat
+  signature (mtime + size) and the campaign's report fingerprint from
+  ``summary.json`` — rewriting a report invalidates exactly the views it
+  changed, with no restart. ``report.py`` writes atomically, so a reader
+  sees the old document or the new one, never a torn mix; a *corrupt*
+  front file (external damage) is skipped, not served.
+* Multi-campaign stores answer with the union front: per-campaign points
+  are concatenated in campaign order and merged with the exact Pareto
+  logic of :func:`repro.campaign.report.build_report` (robust third axis
+  when every point carries ``robust_accuracy``), so querying two campaign
+  directories equals querying the report built over both.
+
+Thread-safety: all public methods may be called concurrently with each
+other and with :meth:`FrontStore.refresh` (the HTTP layer does exactly
+that). Views are immutable snapshots; the internal LRU is lock-guarded.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..campaign.journal import REPORT_DIR
+from ..core.backend import ArrayBackend, resolve_backend
+from ..core.pareto import pareto_front
+from ..core.results import DesignPoint
+
+#: The objective columns every front view materializes. Optional columns
+#: (``robust_accuracy``, ``accuracy_std``) hold NaN where a point lacks them.
+FRONT_COLUMNS: Tuple[str, ...] = (
+    "accuracy",
+    "area",
+    "power",
+    "delay",
+    "robust_accuracy",
+    "accuracy_std",
+)
+
+_FRONT_PREFIX = "front_"
+_FRONT_SUFFIX = ".json"
+_SUMMARY_NAME = "summary.json"
+
+
+class UnknownDatasetError(KeyError):
+    """Raised when no indexed campaign serves a front for the dataset.
+
+    The HTTP layer maps this to a 404 — and, when configured, to the
+    enqueue of a campaign job covering the missed dataset.
+    """
+
+    def __init__(self, dataset: str) -> None:
+        """Record the missed dataset name (``.dataset``)."""
+        super().__init__(dataset)
+        self.dataset = str(dataset)
+
+
+def build_columns(points: Sequence[DesignPoint]) -> Dict[str, np.ndarray]:
+    """Read-only columnar arrays over a sequence of design points.
+
+    One ``float64`` array per :data:`FRONT_COLUMNS` entry, aligned with
+    ``points`` order; optional fields are NaN where absent. Arrays are
+    marked non-writeable so no downstream consumer can mutate a cached
+    view in place.
+    """
+    n = len(points)
+    columns: Dict[str, np.ndarray] = {}
+    for name in FRONT_COLUMNS:
+        values = np.empty(n, dtype=np.float64)
+        for index, point in enumerate(points):
+            value = getattr(point, name)
+            values[index] = np.nan if value is None else float(value)
+        values.flags.writeable = False
+        columns[name] = values
+    return columns
+
+
+@dataclass(frozen=True)
+class FrontView:
+    """One campaign's deserialized front for one dataset (immutable snapshot).
+
+    Attributes:
+        dataset: the dataset the front belongs to.
+        campaign: the campaign directory the document came from.
+        raw: the exact bytes of ``report/front_<dataset>.json`` — what the
+            HTTP layer returns for single-campaign stores (byte-identical
+            to the file, pinned by golden tests).
+        document: the decoded front document.
+        points: the front's design points, in document order.
+        baseline: the shared baseline document (``None`` for mixed jobs).
+        robust: whether every point carries ``robust_accuracy`` (the
+            condition under which the union merge uses the third axis).
+        fault_rate: the campaign's fault-injection rate, recovered from
+            ``spec.json`` (``None`` when the campaign ran without
+            robustness or without a readable spec) — the selector behind
+            "... at fault_rate 0.05" queries.
+        columns: read-only columnar arrays (see :func:`build_columns`).
+        pareto_points: the non-dominated subset of ``points`` (the
+            ``report.py`` merge applied to one document — a no-op for
+            healthy reports, which are already fronts). What queries see
+            unless they opt into dominated points.
+        pareto_columns: columnar arrays over ``pareto_points``.
+        signature: cache-invalidation token: ``(mtime_ns, size,
+            fingerprint)`` of the backing file + campaign report.
+    """
+
+    dataset: str
+    campaign: Path
+    raw: bytes
+    document: Mapping[str, object]
+    points: Tuple[DesignPoint, ...]
+    baseline: Optional[Mapping[str, object]]
+    robust: bool
+    fault_rate: Optional[float]
+    columns: Mapping[str, np.ndarray]
+    pareto_points: Tuple[DesignPoint, ...]
+    pareto_columns: Mapping[str, np.ndarray]
+    signature: Tuple[object, ...]
+
+
+class FrontCache:
+    """LRU of deserialized front views, mirroring ``EvaluationCache`` bounds.
+
+    Args:
+        max_entries: optional LRU bound. When set, a lookup refreshes the
+            entry's recency and inserting beyond the bound evicts the
+            least recently used view (counted in :attr:`evictions`) —
+            exactly the semantics of
+            :class:`repro.search.evaluator.EvaluationCache`, applied to
+            ``(campaign, dataset)`` keys instead of genomes. Evicted views
+            are re-deserialized from disk on the next access; results are
+            unchanged, only latency is affected.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._views: "OrderedDict[Tuple[str, str], FrontView]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        """Number of cached views."""
+        return len(self._views)
+
+    def get(self, key: Tuple[str, str]) -> Optional[FrontView]:
+        """Cached view for ``key``, or ``None`` (refreshes LRU recency)."""
+        view = self._views.get(key)
+        if view is not None and self.max_entries is not None:
+            self._views.move_to_end(key)
+        return view
+
+    def put(self, key: Tuple[str, str], view: FrontView) -> None:
+        """Insert (or refresh) a view, evicting LRU overflow."""
+        self._views[key] = view
+        if self.max_entries is not None:
+            self._views.move_to_end(key)
+            while len(self._views) > self.max_entries:
+                self._views.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, key: Tuple[str, str]) -> None:
+        """Drop one view if cached."""
+        self._views.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every cached view (counters are preserved)."""
+        self._views.clear()
+
+
+def _spec_fault_rate(campaign: Path) -> Optional[float]:
+    """The campaign's fault-injection rate, recovered from ``spec.json``.
+
+    Search-level ``fault_rate`` overrides win over the pipeline-level knob
+    (matching :func:`repro.search.settings.resolve_evaluation_settings`
+    precedence); an unreadable or absent spec yields ``None``, as does a
+    campaign that never enabled robustness (rate 0.0).
+    """
+    try:
+        spec = json.loads((campaign / "spec.json").read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(spec, dict):
+        return None
+    rate: Optional[float] = None
+    for search in spec.get("searches") or []:
+        if isinstance(search, dict) and search.get("fault_rate") is not None:
+            try:
+                rate = float(search["fault_rate"])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+            break
+    if rate is None:
+        pipeline = spec.get("pipeline")
+        if isinstance(pipeline, dict) and pipeline.get("fault_rate") is not None:
+            try:
+                rate = float(pipeline["fault_rate"])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                rate = None
+    if rate is None or rate == 0.0:
+        return None
+    return rate
+
+
+def _report_fingerprint(campaign: Path) -> Optional[str]:
+    """The report's campaign fingerprint from ``summary.json`` (tolerant)."""
+    try:
+        summary = json.loads((campaign / REPORT_DIR / _SUMMARY_NAME).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if isinstance(summary, dict) and isinstance(summary.get("fingerprint"), str):
+        return summary["fingerprint"]
+    return None
+
+
+class FrontStore:
+    """Queryable index over the fronts of one or more campaign directories.
+
+    Args:
+        campaigns: campaign directory, or sequence of directories. Multi-
+            campaign stores serve the union Pareto front per dataset,
+            merged with the ``report.py`` logic.
+        max_entries: optional LRU bound on deserialized front views
+            (mirrors ``EvaluationCache``; ``None`` = unbounded).
+        backend: array backend resolved once and handed to the query
+            engine (name, instance or ``None`` for the configured default).
+    """
+
+    def __init__(
+        self,
+        campaigns: Union[str, Path, Sequence[Union[str, Path]]],
+        max_entries: Optional[int] = None,
+        backend: Optional[Union[str, ArrayBackend]] = None,
+    ) -> None:
+        if isinstance(campaigns, (str, Path)):
+            campaigns = [campaigns]
+        self.campaigns: Tuple[Path, ...] = tuple(Path(c) for c in campaigns)
+        if not self.campaigns:
+            raise ValueError("FrontStore needs at least one campaign directory")
+        self.backend = resolve_backend(backend)
+        self._cache = FrontCache(max_entries)
+        self._lock = threading.RLock()
+        self._fault_rates: Dict[Path, Optional[float]] = {}
+        self._fingerprints: Dict[Path, Optional[str]] = {
+            campaign: _report_fingerprint(campaign) for campaign in self.campaigns
+        }
+
+    # -- paths and discovery -----------------------------------------------------
+
+    @staticmethod
+    def front_path(campaign: Union[str, Path], dataset: str) -> Path:
+        """Path of one dataset's front document inside one campaign."""
+        return Path(campaign) / REPORT_DIR / f"{_FRONT_PREFIX}{dataset}{_FRONT_SUFFIX}"
+
+    def datasets(self) -> List[str]:
+        """Sorted union of datasets served by the indexed campaigns."""
+        names = set()
+        for campaign in self.campaigns:
+            report_dir = campaign / REPORT_DIR
+            if not report_dir.is_dir():
+                continue
+            for path in report_dir.glob(f"{_FRONT_PREFIX}*{_FRONT_SUFFIX}"):
+                names.add(path.name[len(_FRONT_PREFIX) : -len(_FRONT_SUFFIX)])
+        return sorted(names)
+
+    # -- loading and invalidation ------------------------------------------------
+
+    def _signature(self, campaign: Path, dataset: str) -> Optional[Tuple[object, ...]]:
+        """Current invalidation token of one front file (``None`` if absent)."""
+        try:
+            stat = self.front_path(campaign, dataset).stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size, self._fingerprints.get(campaign))
+
+    def _load_view(self, campaign: Path, dataset: str) -> Optional[FrontView]:
+        """Deserialize one front document; ``None`` if missing or corrupt.
+
+        A torn or truncated document (external corruption — the report
+        writer is atomic) is treated as absent rather than served: the
+        union falls back to whatever healthy campaigns still cover the
+        dataset, and :meth:`refresh` will pick the file up once repaired.
+        """
+        signature = self._signature(campaign, dataset)
+        if signature is None:
+            return None
+        path = self.front_path(campaign, dataset)
+        try:
+            raw = path.read_bytes()
+            document = json.loads(raw.decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(document, dict) or not isinstance(document.get("front"), list):
+            return None
+        try:
+            points = tuple(
+                DesignPoint(**entry) for entry in document["front"]  # type: ignore[arg-type]
+            )
+        except (TypeError, ValueError):
+            return None
+        baseline = document.get("baseline")
+        robust = bool(points) and all(p.robust_accuracy is not None for p in points)
+        pareto = tuple(pareto_front(list(points), robust=robust))
+        return FrontView(
+            dataset=dataset,
+            campaign=campaign,
+            raw=raw,
+            document=document,
+            points=points,
+            baseline=baseline if isinstance(baseline, dict) else None,
+            robust=robust,
+            fault_rate=self._campaign_fault_rate(campaign),
+            columns=build_columns(points),
+            pareto_points=pareto,
+            pareto_columns=build_columns(pareto),
+            signature=signature,
+        )
+
+    def _campaign_fault_rate(self, campaign: Path) -> Optional[float]:
+        """Memoized per-campaign fault-rate tag."""
+        if campaign not in self._fault_rates:
+            self._fault_rates[campaign] = _spec_fault_rate(campaign)
+        return self._fault_rates[campaign]
+
+    def view(self, campaign: Union[str, Path], dataset: str) -> Optional[FrontView]:
+        """One campaign's current front view for ``dataset`` (LRU + revalidate)."""
+        campaign = Path(campaign)
+        key = (str(campaign), dataset)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None and cached.signature == self._signature(
+                campaign, dataset
+            ):
+                self._cache.hits += 1
+                return cached
+            self._cache.misses += 1
+            view = self._load_view(campaign, dataset)
+            if view is None:
+                self._cache.invalidate(key)
+                return None
+            self._cache.put(key, view)
+            return view
+
+    def views(
+        self, dataset: str, fault_rate: Optional[float] = None
+    ) -> List[FrontView]:
+        """Every campaign's view of ``dataset``, in campaign order.
+
+        ``fault_rate`` restricts to campaigns whose spec ran fault
+        injection at that rate (``None`` keeps every campaign). Raises
+        :class:`UnknownDatasetError` when no indexed campaign serves the
+        dataset at all; returns ``[]`` when the dataset exists but no
+        campaign matches the ``fault_rate`` selector.
+        """
+        views = [
+            view
+            for campaign in self.campaigns
+            if (view := self.view(campaign, dataset)) is not None
+        ]
+        if not views:
+            raise UnknownDatasetError(dataset)
+        if fault_rate is None:
+            return views
+        return [
+            view
+            for view in views
+            if view.fault_rate is not None
+            and abs(view.fault_rate - float(fault_rate)) < 1e-12
+        ]
+
+    # -- union fronts ------------------------------------------------------------
+
+    def union_front(
+        self, dataset: str, fault_rate: Optional[float] = None
+    ) -> Tuple[List[DesignPoint], bool]:
+        """The merged Pareto front over every matching campaign.
+
+        Exactly the :func:`repro.campaign.report.build_report` merge:
+        points concatenate in campaign order, the robust third axis joins
+        when every contributing point carries ``robust_accuracy``, and
+        identical-criteria duplicates collapse. Returns ``(points,
+        robust)``.
+        """
+        views = self.views(dataset, fault_rate=fault_rate)
+        points: List[DesignPoint] = []
+        for view in views:
+            points.extend(view.points)
+        robust = bool(points) and all(p.robust_accuracy is not None for p in points)
+        return pareto_front(points, robust=robust), robust
+
+    def raw_front(self, dataset: str) -> bytes:
+        """The dataset's front document as served bytes.
+
+        Single-campaign stores return the backing file's exact bytes —
+        byte-identical to ``report/front_<dataset>.json``. Multi-campaign
+        stores return the canonical JSON of the union merge (same
+        ``indent=2, sort_keys=True`` convention the report writer uses).
+        """
+        views = self.views(dataset)
+        if len(views) == 1:
+            return views[0].raw
+        merged, _robust = self.union_front(dataset)
+        baselines = [view.baseline for view in views]
+        shared = baselines[0] if all(b == baselines[0] for b in baselines) else None
+        document = {
+            "dataset": dataset,
+            "baseline": shared,
+            "front": [point.as_dict() for point in merged],
+            "campaigns": [str(view.campaign) for view in views],
+        }
+        return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+    # -- maintenance -------------------------------------------------------------
+
+    def refresh(self) -> Dict[str, int]:
+        """Revalidate the index against disk.
+
+        Re-reads every campaign's report fingerprint and fault-rate tag,
+        drops cached views whose backing file changed or vanished, and
+        returns ``{"datasets": ..., "cached": ..., "invalidated": ...}``.
+        Safe to call while queries are in flight: readers always see
+        either the old snapshot or the new one.
+        """
+        invalidated = 0
+        with self._lock:
+            self._fault_rates.clear()
+            for campaign in self.campaigns:
+                self._fingerprints[campaign] = _report_fingerprint(campaign)
+            for key in list(self._cache._views):
+                campaign_text, dataset = key
+                view = self._cache._views[key]
+                if view.signature != self._signature(Path(campaign_text), dataset):
+                    self._cache.invalidate(key)
+                    invalidated += 1
+            return {
+                "datasets": len(self.datasets()),
+                "cached": len(self._cache),
+                "invalidated": invalidated,
+            }
+
+    def stats(self) -> Dict[str, object]:
+        """Cache statistics (the serving counterpart of evaluator stats)."""
+        with self._lock:
+            return {
+                "campaigns": len(self.campaigns),
+                "cached_views": len(self._cache),
+                "max_entries": self._cache.max_entries,
+                "hits": self._cache.hits,
+                "misses": self._cache.misses,
+                "evictions": self._cache.evictions,
+            }
+
+
+__all__ = [
+    "FRONT_COLUMNS",
+    "FrontCache",
+    "FrontStore",
+    "FrontView",
+    "UnknownDatasetError",
+    "build_columns",
+]

@@ -135,6 +135,104 @@ operand_width_lists = st.lists(
 )
 
 
+# -- serving-layer front documents --------------------------------------------------
+
+
+#: Techniques that appear on report fronts (the baseline point is serialized
+#: separately, under the document's ``baseline`` key).
+FRONT_TECHNIQUES = ("quantization", "pruning", "clustering", "combined")
+
+
+@st.composite
+def front_rows(draw, robust: "bool | None" = None):
+    """One front-row dict, shaped exactly like ``report.py`` serializes it.
+
+    Values come from coarse grids so ties and duplicate criteria (the
+    Pareto-dedup and stable-sort edges) actually occur. ``robust=True``
+    adds the ``robust_accuracy``/``accuracy_std`` columns (the 3-objective
+    arity), ``robust=False`` omits them (2-objective), and ``None`` draws
+    per row — a mixed-arity front, which the store must still serve.
+    """
+    if robust is None:
+        robust = draw(st.booleans())
+    row = {
+        "technique": draw(st.sampled_from(FRONT_TECHNIQUES)),
+        "accuracy": draw(st.integers(0, 20)) / 20.0,
+        "area": draw(st.integers(0, 10)) / 2.0,
+        "power": draw(st.integers(0, 10)) / 2.0,
+        "delay": draw(st.integers(0, 10)) / 4.0,
+        "parameters": draw(
+            st.one_of(
+                st.just({}),
+                st.fixed_dictionaries({"weight_bits": st.sampled_from([2, 3, 4, 6])}),
+            )
+        ),
+    }
+    if robust:
+        row["robust_accuracy"] = draw(st.integers(0, 20)) / 20.0
+        row["accuracy_std"] = draw(st.integers(0, 8)) / 100.0
+    return row
+
+
+@st.composite
+def front_documents(
+    draw,
+    dataset: str = "seeds",
+    min_points: int = 0,
+    max_points: int = 10,
+    robust: "bool | None" = None,
+):
+    """A full ``front_<dataset>.json`` document at 2- or 3-objective arity.
+
+    The arity is uniform across the document when ``robust`` is ``None``
+    (drawn once), matching real reports — every point of a robustness-on
+    campaign carries the robust columns. Pass ``robust`` explicitly to pin
+    the arity.
+    """
+    if robust is None:
+        robust = draw(st.booleans())
+    rows = draw(
+        st.lists(front_rows(robust=robust), min_size=min_points, max_size=max_points)
+    )
+    return {
+        "dataset": dataset,
+        "baseline": {
+            "technique": "baseline",
+            "accuracy": draw(st.integers(10, 20)) / 20.0,
+            "area": draw(st.integers(4, 20)) / 2.0,
+            "power": draw(st.integers(1, 10)) / 2.0,
+            "delay": draw(st.integers(1, 10)) / 4.0,
+            "parameters": {},
+        },
+        "front": rows,
+        "combined_best_gain": draw(st.integers(0, 40)) / 4.0,
+    }
+
+
+@st.composite
+def front_query_payloads(draw, dataset: str = "seeds"):
+    """A valid ``POST /query`` body exercising every query axis."""
+    payload: "dict[str, object]" = {"dataset": dataset}
+    if draw(st.booleans()):
+        payload["min_accuracy"] = draw(st.integers(0, 20)) / 20.0
+    for bound in ("max_area", "max_power"):
+        if draw(st.booleans()):
+            payload[bound] = draw(st.integers(0, 10)) / 2.0
+    if draw(st.booleans()):
+        payload["max_delay"] = draw(st.integers(0, 10)) / 4.0
+    if draw(st.booleans()):
+        payload["min_robust_accuracy"] = draw(st.integers(0, 20)) / 20.0
+    payload["order_by"] = draw(
+        st.sampled_from(("accuracy", "area", "power", "delay", "robust_accuracy"))
+    )
+    payload["descending"] = draw(st.booleans())
+    if draw(st.booleans()):
+        payload["top_k"] = draw(st.integers(1, 6))
+    if draw(st.booleans()):
+        payload["include_dominated"] = True
+    return payload
+
+
 # -- campaign-fabric lease protocol -------------------------------------------------
 
 

@@ -1,0 +1,380 @@
+"""HTTP serving layer: routes, metrics, concurrency, on-miss enqueue.
+
+The concurrency tests are the load-bearing ones: N threads hammer
+``POST /query`` and ``GET /fronts/<ds>`` while the store is concurrently
+``refresh()``-ed and its backing report rewritten — every response must
+be a well-formed 200 matching one of the two valid document snapshots
+(no torn responses, no 5xx). The miss-enqueue tests pin the dedupe
+contract: however many threads miss the same dataset simultaneously,
+exactly one fabric queue entry appears, in the coordinator's format.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign.fabric.layout import FabricLayout
+from repro.campaign.journal import REPORT_DIR, write_json_atomic
+from repro.campaign.spec import CampaignSpec
+from repro.serving import FrontStore, MissEnqueuer, start_server
+
+SPEC = {
+    "name": "serving-test",
+    "datasets": ["seeds"],
+    "seeds": [0],
+    "searches": [
+        {"algorithm": "ga", "name": "ga", "population_size": 4, "n_generations": 2}
+    ],
+    "pipeline": {"fast": True},
+}
+
+
+def front_document(accuracies):
+    return {
+        "dataset": "seeds",
+        "baseline": None,
+        "front": [
+            {
+                "technique": "combined",
+                "accuracy": accuracy,
+                "area": round(1.0 + index, 1),
+                "power": 1.0,
+                "delay": 0.5,
+                "parameters": {},
+            }
+            for index, accuracy in enumerate(sorted(accuracies, reverse=True))
+        ],
+        "combined_best_gain": 2.0,
+    }
+
+
+@pytest.fixture
+def campaign(tmp_path):
+    campaign = tmp_path / "camp"
+    (campaign / REPORT_DIR).mkdir(parents=True)
+    write_json_atomic(
+        campaign / REPORT_DIR / "front_seeds.json", front_document([0.9, 0.8])
+    )
+    write_json_atomic(campaign / "spec.json", SPEC)
+    return campaign
+
+
+@pytest.fixture
+def server(campaign):
+    store = FrontStore(campaign)
+    server, _thread = start_server(store, enqueuer=MissEnqueuer(campaign))
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def request(server, path, body=None):
+    """``(status, decoded JSON or raw bytes)`` for one request."""
+    url = server.url + path
+    req = (
+        urllib.request.Request(url)
+        if body is None
+        else urllib.request.Request(
+            url, data=json.dumps(body).encode(), method="POST"
+        )
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+# -- routes --------------------------------------------------------------------------
+
+
+def test_healthz_reports_dataset_count(server):
+    status, body = request(server, "/healthz")
+    assert status == 200
+    assert json.loads(body) == {"status": "ok", "datasets": 1}
+
+
+def test_datasets_route_lists_sorted_names(server):
+    status, body = request(server, "/datasets")
+    assert status == 200
+    assert json.loads(body) == {"datasets": ["seeds"], "count": 1}
+
+
+def test_fronts_route_is_byte_identical_to_report_file(server, campaign):
+    status, body = request(server, "/fronts/seeds")
+    assert status == 200
+    assert body == (campaign / REPORT_DIR / "front_seeds.json").read_bytes()
+
+
+def test_query_route_filters_and_ranks(server):
+    status, body = request(
+        server, "/query", {"dataset": "seeds", "min_accuracy": 0.85}
+    )
+    assert status == 200
+    document = json.loads(body)
+    assert document["matched"] == 1
+    assert document["points"][0]["accuracy"] == 0.9
+    assert document["returned"] == 1
+
+
+def test_query_route_rejects_invalid_body_with_400(server):
+    assert request(server, "/query", {"dataset": "seeds", "bogus": 1})[0] == 400
+    assert request(server, "/query", {"dataset": ""})[0] == 400
+
+
+def test_query_route_rejects_malformed_json_with_400(server):
+    req = urllib.request.Request(
+        server.url + "/query", data=b"{not json", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(req, timeout=10)
+    assert excinfo.value.code == 400
+
+
+def test_unknown_routes_answer_404(server):
+    assert request(server, "/nope")[0] == 404
+    status, body = request(server, "/query/extra", {"dataset": "seeds"})
+    assert status == 404
+
+
+def test_metrics_counts_requests_and_latency(server):
+    request(server, "/datasets")
+    request(server, "/query", {"dataset": "seeds"})
+    request(server, "/query", {"dataset": "seeds", "bogus": 1})
+    status, body = request(server, "/metrics")
+    assert status == 200
+    metrics = json.loads(body)
+    assert metrics["requests"]["GET /datasets"] == 1
+    assert metrics["requests"]["POST /query"] == 2
+    assert metrics["responses"]["2xx"] >= 2 and metrics["responses"]["4xx"] == 1
+    latency = metrics["latency"]
+    assert latency["count"] >= 3
+    assert latency["p50_ms"] is not None and latency["p99_ms"] is not None
+    assert latency["p50_ms"] <= latency["p99_ms"]
+    assert sum(bucket["count"] for bucket in latency["buckets"]) == latency["count"]
+
+
+# -- on-miss enqueue -----------------------------------------------------------------
+
+
+def test_miss_answers_404_and_enqueues_exactly_one_job(server, campaign):
+    status, body = request(server, "/query", {"dataset": "cardio"})
+    assert status == 404
+    assert json.loads(body)["enqueued_job"] == "cardio-ga-s0"
+    layout = FabricLayout(campaign)
+    entry = json.loads(layout.queue_entry("cardio-ga-s0").read_text())
+    assert entry["job"]["job_id"] == "cardio-ga-s0"
+    assert entry["job"]["dataset"] == "cardio"
+    assert entry["requeues"] == 0
+    assert entry["origin"] == "serving-miss"
+    # The entry reuses the campaign's own search/pipeline template.
+    spec = CampaignSpec.from_dict(SPEC)
+    assert entry["job"]["search"] == dict(spec.searches[0].params)
+    assert entry["job"]["pipeline"] == {"fast": True}
+
+
+def test_repeated_misses_keep_a_single_queue_entry(server, campaign):
+    for _ in range(4):
+        request(server, "/fronts/cardio")
+    queue = list(FabricLayout(campaign).queue_dir.glob("*.json"))
+    assert [path.name for path in queue] == ["cardio-ga-s0.json"]
+
+
+def test_distinct_misses_enqueue_one_entry_each(server, campaign):
+    request(server, "/query", {"dataset": "cardio"})
+    request(server, "/query", {"dataset": "redwine"})
+    request(server, "/query", {"dataset": "cardio"})
+    names = sorted(p.name for p in FabricLayout(campaign).queue_dir.glob("*.json"))
+    assert names == ["cardio-ga-s0.json", "redwine-ga-s0.json"]
+
+
+def test_concurrent_misses_dedupe_to_one_entry(server, campaign):
+    barrier = threading.Barrier(8)
+    errors = []
+
+    def miss():
+        barrier.wait()
+        status, _ = request(server, "/query", {"dataset": "cardio"})
+        if status != 404:
+            errors.append(status)
+
+    threads = [threading.Thread(target=miss) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    queue = list(FabricLayout(campaign).queue_dir.glob("*.json"))
+    assert len(queue) == 1
+
+
+def test_miss_without_enqueuer_answers_404_with_null_job(campaign):
+    server, _thread = start_server(FrontStore(campaign))
+    try:
+        status, body = request(server, "/query", {"dataset": "cardio"})
+        assert status == 404
+        assert json.loads(body)["enqueued_job"] is None
+        assert not FabricLayout(campaign).queue_dir.exists()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_miss_enqueuer_skips_unreadable_spec(tmp_path):
+    campaign = tmp_path / "camp"
+    (campaign / REPORT_DIR).mkdir(parents=True)
+    write_json_atomic(
+        campaign / REPORT_DIR / "front_seeds.json", front_document([0.9])
+    )
+    # No spec.json at all: the enqueuer cannot template a job.
+    server, _thread = start_server(
+        FrontStore(campaign), enqueuer=MissEnqueuer(campaign)
+    )
+    try:
+        status, body = request(server, "/query", {"dataset": "cardio"})
+        assert status == 404
+        assert json.loads(body)["enqueued_job"] is None
+        assert not FabricLayout(campaign).queue_dir.exists()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_enqueuer_respects_existing_queue_entry(campaign):
+    """A coordinator-published entry is never overwritten by a miss."""
+    layout = FabricLayout(campaign)
+    layout.queue_dir.mkdir(parents=True)
+    original = {"job": {"job_id": "cardio-ga-s0"}, "requeues": 1, "published": 1.0}
+    write_json_atomic(layout.queue_entry("cardio-ga-s0"), original)
+    enqueuer = MissEnqueuer(campaign)
+    assert enqueuer.enqueue("cardio") == "cardio-ga-s0"
+    assert json.loads(layout.queue_entry("cardio-ga-s0").read_text()) == original
+
+
+def test_serve_foreground_loop_refreshes_and_stops_on_interrupt(
+    campaign, monkeypatch, capsys
+):
+    """The ``repro serve`` loop refreshes periodically and shuts down cleanly."""
+    from repro.serving import http as serving_http
+
+    calls = {"sleep": 0, "refresh": 0}
+    real_refresh = FrontStore.refresh
+
+    def counting_refresh(self):
+        calls["refresh"] += 1
+        return real_refresh(self)
+
+    def fake_sleep(seconds):
+        assert seconds == 0.01
+        calls["sleep"] += 1
+        if calls["sleep"] >= 2:
+            raise KeyboardInterrupt
+
+    monkeypatch.setattr(FrontStore, "refresh", counting_refresh)
+    monkeypatch.setattr(serving_http.time, "sleep", fake_sleep)
+    serving_http.serve([campaign], port=0, refresh_seconds=0.01, enqueue_misses=True)
+    out = capsys.readouterr().out
+    assert "serving 1 dataset front(s) on http://127.0.0.1:" in out
+    assert calls["refresh"] == 1  # one loop iteration before the interrupt
+
+
+# -- concurrency under refresh -------------------------------------------------------
+
+
+DOC_A = front_document([0.9, 0.8])
+DOC_B = front_document([0.95, 0.7, 0.6])
+
+
+def hammer(server, path, body, n_threads, per_thread, valid_bodies=None):
+    """Fire concurrent requests; returns the list of protocol violations."""
+    barrier = threading.Barrier(n_threads)
+    violations = []
+
+    def worker():
+        barrier.wait()
+        for _ in range(per_thread):
+            status, payload = request(server, path, body)
+            if status != 200:
+                violations.append(("status", status, payload[:200]))
+                continue
+            if valid_bodies is not None and payload not in valid_bodies:
+                violations.append(("torn", payload[:200]))
+            elif valid_bodies is None:
+                try:
+                    json.loads(payload)
+                except json.JSONDecodeError:
+                    violations.append(("undecodable", payload[:200]))
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return violations
+
+
+def test_concurrent_queries_during_refresh_see_no_errors(server, campaign):
+    """N threads on /query during refresh(): no 5xx, no torn responses."""
+    store = server.store
+    stop = threading.Event()
+
+    def refresher():
+        flip = False
+        while not stop.is_set():
+            write_json_atomic(
+                campaign / REPORT_DIR / "front_seeds.json", DOC_B if flip else DOC_A
+            )
+            flip = not flip
+            store.refresh()
+
+    refresh_thread = threading.Thread(target=refresher)
+    refresh_thread.start()
+    try:
+        violations = hammer(
+            server, "/query", {"dataset": "seeds", "min_accuracy": 0.5}, 6, 30
+        )
+    finally:
+        stop.set()
+        refresh_thread.join()
+    assert violations == []
+
+
+def test_concurrent_front_reads_serve_only_whole_documents(server, campaign):
+    """GET /fronts under rewrite: every body is one of the two snapshots."""
+    path = campaign / REPORT_DIR / "front_seeds.json"
+    write_json_atomic(path, DOC_A)
+    raw_a = path.read_bytes()
+    write_json_atomic(path, DOC_B)
+    raw_b = path.read_bytes()
+    stop = threading.Event()
+
+    def rewriter():
+        flip = False
+        while not stop.is_set():
+            write_json_atomic(path, DOC_A if flip else DOC_B)
+            flip = not flip
+
+    rewrite_thread = threading.Thread(target=rewriter)
+    rewrite_thread.start()
+    try:
+        violations = hammer(
+            server, "/fronts/seeds", None, 6, 30, valid_bodies={raw_a, raw_b}
+        )
+    finally:
+        stop.set()
+        rewrite_thread.join()
+    assert violations == []
+
+
+def test_refresh_during_traffic_keeps_metrics_consistent(server):
+    hammer(server, "/query", {"dataset": "seeds"}, 4, 10)
+    server.store.refresh()
+    status, body = request(server, "/metrics")
+    metrics = json.loads(body)
+    assert metrics["requests"]["POST /query"] == 40
+    assert metrics["responses"].get("5xx", 0) == 0

@@ -1,0 +1,325 @@
+"""Query engine: hypothesis properties plus deterministic semantics tests.
+
+The properties quantify over full front documents (2- and 3-objective
+arities, optional robust columns — :func:`strategies.front_documents`)
+and query payloads (:func:`strategies.front_query_payloads`):
+
+* every point a constrained query returns satisfies its constraints;
+* top-k results are a prefix of the same query's full stable ranking;
+* querying the union of two campaigns equals querying one campaign whose
+  report is the Pareto-merged document of both (the ``report.py`` merge);
+* queries never mutate the store — raw bytes, decoded points and
+  columnar arrays are identical before and after arbitrary queries.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.journal import REPORT_DIR, write_json_atomic
+from repro.core.pareto import pareto_front
+from repro.core.results import DesignPoint
+from repro.serving import (
+    FrontQuery,
+    FrontStore,
+    QueryEngine,
+    QueryValidationError,
+)
+from strategies import front_documents, front_query_payloads
+
+#: (constraint field, objective column, direction) triples the properties check.
+CONSTRAINT_AXES = (
+    ("min_accuracy", "accuracy", "min"),
+    ("max_area", "area", "max"),
+    ("max_power", "power", "max"),
+    ("max_delay", "delay", "max"),
+    ("min_robust_accuracy", "robust_accuracy", "min"),
+)
+
+
+def materialize(documents):
+    """Write each document as one campaign directory; returns their paths.
+
+    The caller owns the temporary root (kept alive by returning it).
+    """
+    root = tempfile.TemporaryDirectory()
+    campaigns = []
+    for index, document in enumerate(documents):
+        campaign = Path(root.name) / f"camp{index}"
+        (campaign / REPORT_DIR).mkdir(parents=True)
+        write_json_atomic(
+            campaign / REPORT_DIR / f"front_{document['dataset']}.json", document
+        )
+        campaigns.append(campaign)
+    return root, campaigns
+
+
+def engine_over(documents):
+    """``(root, engine)`` for a store indexing one campaign per document."""
+    root, campaigns = materialize(documents)
+    return root, QueryEngine(FrontStore(campaigns))
+
+
+# -- properties ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(document=front_documents(), payload=front_query_payloads())
+def test_every_returned_point_satisfies_the_constraints(document, payload):
+    root, engine = engine_over([document])
+    with root:
+        result = engine.run(payload)
+        query = result.query
+        for point in result.points:
+            for field, column, direction in CONSTRAINT_AXES:
+                bound = getattr(query, field)
+                if bound is None:
+                    continue
+                value = getattr(point, column)
+                assert value is not None  # NaN/absent never satisfies a bound
+                if direction == "min":
+                    assert value >= bound
+                else:
+                    assert value <= bound
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    document=front_documents(min_points=1),
+    payload=front_query_payloads(),
+    k=st.integers(1, 5),
+)
+def test_top_k_is_a_prefix_of_the_full_ranking(document, payload, k):
+    payload.pop("top_k", None)
+    root, engine = engine_over([document])
+    with root:
+        full = engine.run(payload)
+        limited = engine.run({**payload, "top_k": k})
+        prefix = [point.as_dict() for point in full.points[:k]]
+        assert [point.as_dict() for point in limited.points] == prefix
+        assert limited.matched == full.matched  # top_k trims, never re-filters
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    document_a=front_documents(min_points=1),
+    document_b=front_documents(min_points=1),
+    payload=front_query_payloads(),
+)
+def test_query_of_union_equals_query_of_merged_report(document_a, document_b, payload):
+    """query(union(A, B)) == query(merged-report(A, B))."""
+    points = [
+        DesignPoint(**row) for row in document_a["front"] + document_b["front"]
+    ]
+    robust = all(point.robust_accuracy is not None for point in points)
+    merged_document = {
+        "dataset": "seeds",
+        "baseline": document_a["baseline"],
+        "front": [p.as_dict() for p in pareto_front(points, robust=robust)],
+        "combined_best_gain": 1.0,
+    }
+    union_root, union_engine = engine_over([document_a, document_b])
+    merged_root, merged_engine = engine_over([merged_document])
+    with union_root, merged_root:
+        union_result = union_engine.run(payload)
+        merged_result = merged_engine.run(payload)
+        if payload.get("include_dominated"):
+            return  # raw unions legitimately differ from the merged report
+        assert [p.as_dict() for p in union_result.points] == [
+            p.as_dict() for p in merged_result.points
+        ]
+        assert union_result.matched == merged_result.matched
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    document=front_documents(min_points=1),
+    payloads=st.lists(front_query_payloads(), min_size=1, max_size=4),
+)
+def test_queries_never_mutate_the_store(document, payloads):
+    root, engine = engine_over([document])
+    with root:
+        store = engine.store
+        before_raw = store.raw_front("seeds")
+        view = store.views("seeds")[0]
+        before_points = [point.as_dict() for point in view.points]
+        before_columns = {name: array.copy() for name, array in view.columns.items()}
+        for payload in payloads:
+            engine.run(payload)
+        after = store.views("seeds")[0]
+        assert store.raw_front("seeds") == before_raw
+        assert [point.as_dict() for point in after.points] == before_points
+        for name, array in after.columns.items():
+            assert array.tolist() == pytest.approx(
+                before_columns[name].tolist(), nan_ok=True
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(document=front_documents(), payload=front_query_payloads())
+def test_result_round_trips_through_json(document, payload):
+    """``POST /query`` responses must serialize; counts must be consistent."""
+    root, engine = engine_over([document])
+    with root:
+        result = engine.run(payload)
+        decoded = json.loads(json.dumps(result.as_dict()))
+        assert decoded["returned"] == len(result.points) <= decoded["matched"]
+        assert decoded["matched"] <= decoded["total_points"]
+
+
+# -- deterministic semantics ---------------------------------------------------------
+
+
+def build_engine(tmp_path, rows, dataset="seeds"):
+    campaign = tmp_path / "camp"
+    (campaign / REPORT_DIR).mkdir(parents=True)
+    write_json_atomic(
+        campaign / REPORT_DIR / f"front_{dataset}.json",
+        {"dataset": dataset, "baseline": None, "front": rows, "combined_best_gain": 1.0},
+    )
+    return QueryEngine(FrontStore(campaign))
+
+
+def row(accuracy, area, robust=None):
+    entry = {
+        "technique": "combined",
+        "accuracy": accuracy,
+        "area": area,
+        "power": 1.0,
+        "delay": 0.5,
+        "parameters": {},
+    }
+    if robust is not None:
+        entry["robust_accuracy"] = robust
+        entry["accuracy_std"] = 0.01
+    return entry
+
+
+def test_default_ranking_is_ascending_area(tmp_path):
+    engine = build_engine(tmp_path, [row(0.9, 3.0), row(0.7, 1.0), row(0.8, 2.0)])
+    result = engine.run({"dataset": "seeds"})
+    assert [point.area for point in result.points] == [1.0, 2.0, 3.0]
+
+
+def test_descending_ranking_by_accuracy(tmp_path):
+    engine = build_engine(tmp_path, [row(0.7, 1.0), row(0.9, 3.0), row(0.8, 2.0)])
+    result = engine.run(
+        {"dataset": "seeds", "order_by": "accuracy", "descending": True}
+    )
+    assert [point.accuracy for point in result.points] == [0.9, 0.8, 0.7]
+
+
+def test_ties_keep_front_order(tmp_path):
+    """The ranking sort is stable: equal keys preserve document order."""
+    rows = [row(0.9, 2.0), row(0.8, 2.0), row(0.7, 2.0)]
+    engine = build_engine(tmp_path, rows)
+    result = engine.run({"dataset": "seeds", "include_dominated": True})
+    assert [point.accuracy for point in result.points] == [0.9, 0.8, 0.7]
+
+
+def test_dominated_points_hidden_by_default_and_served_on_opt_in(tmp_path):
+    rows = [row(0.9, 1.0), row(0.8, 2.0)]  # the second is dominated
+    engine = build_engine(tmp_path, rows)
+    assert engine.run({"dataset": "seeds"}).total_points == 1
+    opted = engine.run({"dataset": "seeds", "include_dominated": True})
+    assert opted.total_points == 2
+
+
+def test_min_robust_accuracy_never_matches_robustness_off_points(tmp_path):
+    engine = build_engine(tmp_path, [row(0.9, 1.0), row(0.95, 2.0, robust=0.9)])
+    result = engine.run(
+        {"dataset": "seeds", "min_robust_accuracy": 0.5, "include_dominated": True}
+    )
+    assert [point.robust_accuracy for point in result.points] == [0.9]
+
+
+def test_nearest_orders_by_normalized_distance(tmp_path):
+    engine = build_engine(
+        tmp_path, [row(0.6, 4.0), row(0.9, 2.0), row(0.7, 1.0)]
+    )
+    result = engine.run(
+        {"dataset": "seeds", "nearest": {"accuracy": 0.9, "area": 2.0},
+         "include_dominated": True}
+    )
+    assert result.points[0].accuracy == 0.9 and result.points[0].area == 2.0
+    assert result.distances is not None
+    assert list(result.distances) == sorted(result.distances)
+    assert result.distances[0] == 0.0
+
+
+def test_nearest_distance_count_matches_returned_points(tmp_path):
+    engine = build_engine(tmp_path, [row(0.6, 4.0), row(0.9, 2.0), row(0.7, 1.0)])
+    result = engine.run(
+        {"dataset": "seeds", "nearest": {"area": 2.0}, "top_k": 2,
+         "include_dominated": True}
+    )
+    assert len(result.distances) == len(result.points) == 2
+
+
+def test_empty_front_yields_empty_result(tmp_path):
+    engine = build_engine(tmp_path, [])
+    result = engine.run({"dataset": "seeds", "min_accuracy": 0.5})
+    assert result.points == () and result.total_points == 0 and result.matched == 0
+
+
+def test_query_as_dict_round_trip(tmp_path):
+    query = FrontQuery(
+        dataset="seeds",
+        min_accuracy=0.8,
+        max_area=2.0,
+        fault_rate=0.05,
+        order_by="power",
+        descending=True,
+        top_k=3,
+        nearest={"accuracy": 0.9},
+        include_dominated=True,
+    )
+    assert FrontQuery.from_dict(query.as_dict()) == query
+
+
+# -- validation ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"dataset": ""},
+        {"dataset": "seeds", "bogus": 1},
+        {"dataset": "seeds", "min_accuracy": 1.5},
+        {"dataset": "seeds", "min_accuracy": float("nan")},
+        {"dataset": "seeds", "max_area": "cheap"},
+        {"dataset": "seeds", "fault_rate": -0.1},
+        {"dataset": "seeds", "order_by": "beauty"},
+        {"dataset": "seeds", "top_k": 0},
+        {"dataset": "seeds", "top_k": 2.5},
+        {"dataset": "seeds", "nearest": {}},
+        {"dataset": "seeds", "nearest": {"beauty": 1.0}},
+        {"dataset": "seeds", "nearest": {"area": float("inf")}},
+        {"dataset": "seeds", "descending": "yes"},
+    ],
+)
+def test_invalid_payloads_raise_validation_errors(payload):
+    with pytest.raises(QueryValidationError):
+        FrontQuery.from_dict(payload)
+
+
+def test_non_mapping_body_rejected():
+    with pytest.raises(QueryValidationError, match="JSON object"):
+        FrontQuery.from_dict(["dataset", "seeds"])
+
+
+def test_validation_error_is_a_value_error():
+    assert issubclass(QueryValidationError, ValueError)
+
+
+def test_nan_is_rejected_even_where_finite_floats_pass():
+    FrontQuery(dataset="seeds", max_area=2.0)
+    with pytest.raises(QueryValidationError, match="finite"):
+        FrontQuery(dataset="seeds", max_area=math.inf)
