@@ -28,6 +28,7 @@ from .store import (
     FrontView,
     UnknownDatasetError,
     build_columns,
+    is_safe_dataset_name,
 )
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "ServingMetrics",
     "UnknownDatasetError",
     "build_columns",
+    "is_safe_dataset_name",
     "serve",
     "start_server",
 ]

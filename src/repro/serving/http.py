@@ -40,7 +40,7 @@ from ..campaign.fabric.layout import FabricLayout
 from ..campaign.journal import write_json_atomic
 from ..campaign.spec import CampaignSpec, JobSpec
 from .query import QueryEngine, QueryValidationError
-from .store import FrontStore, UnknownDatasetError
+from .store import FrontStore, UnknownDatasetError, is_safe_dataset_name
 
 #: Latency histogram bucket upper bounds, in seconds (log-spaced,
 #: 0.1 ms .. 10 s; the final implicit bucket is +inf).
@@ -187,7 +187,15 @@ class MissEnqueuer:
         published the dataset's job, and skips silently when the queue
         entry already exists on disk (a coordinator or a sibling server
         got there first) or the campaign spec is unreadable.
+
+        Dataset names come verbatim from request URLs/bodies and end up
+        embedded in the queue entry's file name, so anything that is not
+        a plain token (:func:`~repro.serving.store.is_safe_dataset_name`)
+        is refused — no request-derived string may steer the write
+        outside the fabric queue directory.
         """
+        if not is_safe_dataset_name(dataset):
+            return None
         job = self._job_for(dataset)
         if job is None:
             return None
@@ -195,6 +203,8 @@ class MissEnqueuer:
             if dataset in self._enqueued:
                 return self._enqueued[dataset]
             entry_path = self.layout.queue_entry(job.job_id)
+            if entry_path.resolve().parent != self.layout.queue_dir.resolve():
+                return None
             if not entry_path.exists():
                 write_json_atomic(
                     entry_path,
@@ -226,6 +236,7 @@ class ServingHandler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, body: bytes, content_type: str = "application/json") -> None:
         """One complete response with ``Content-Length`` (keep-alive safe)."""
+        self._response_started = True
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -252,9 +263,33 @@ class ServingHandler(BaseHTTPRequestHandler):
 
     # -- routes ------------------------------------------------------------------
 
+    def _handle_failure(self, error: Exception) -> int:
+        """Answer (or abandon) a request that raised; returns the status.
+
+        A :class:`ConnectionError` — reset or broken pipe — means the
+        client is gone: there is nobody to answer, so record 499 and drop
+        the connection. Any other error answers 500, but only when no
+        response bytes have gone out yet; once headers are on the wire,
+        injecting a second status line would corrupt the keep-alive
+        framing, so the connection is closed instead.
+        """
+        if isinstance(error, ConnectionError):
+            self.close_connection = True
+            return 499
+        if getattr(self, "_response_started", False):
+            self.close_connection = True
+            return 500
+        try:
+            self._send_json(500, {"error": type(error).__name__, "detail": str(error)})
+        except ConnectionError:
+            self.close_connection = True
+            return 499
+        return 500
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         """Dispatch ``GET`` routes."""
         started = time.perf_counter()
+        self._response_started = False
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         route, status = f"GET {path}", 500
         try:
@@ -283,17 +318,15 @@ class ServingHandler(BaseHTTPRequestHandler):
                 route = "GET other"
                 self._send_json(404, {"error": "no such route", "path": path})
                 status = 404
-        except BrokenPipeError:
-            status = 499  # client went away mid-response; nothing to answer
         except Exception as error:  # pragma: no cover - defensive catch-all
-            status = 500
-            self._send_json(500, {"error": type(error).__name__, "detail": str(error)})
+            status = self._handle_failure(error)
         finally:
             self.server.metrics.observe(route, status, time.perf_counter() - started)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         """Dispatch ``POST /query``."""
         started = time.perf_counter()
+        self._response_started = False
         path = self.path.split("?", 1)[0].rstrip("/")
         route, status = "POST /query", 500
         try:
@@ -321,11 +354,8 @@ class ServingHandler(BaseHTTPRequestHandler):
                 return
             self._send_json(200, result.as_dict())
             status = 200
-        except BrokenPipeError:
-            status = 499
         except Exception as error:  # pragma: no cover - defensive catch-all
-            status = 500
-            self._send_json(500, {"error": type(error).__name__, "detail": str(error)})
+            status = self._handle_failure(error)
         finally:
             self.server.metrics.observe(route, status, time.perf_counter() - started)
 

@@ -35,7 +35,7 @@ import numpy as np
 from ..core.backend import ArrayBackend, resolve_backend
 from ..core.pareto import pareto_front
 from ..core.results import DesignPoint
-from .store import FRONT_COLUMNS, FrontStore, build_columns
+from .store import FRONT_COLUMNS, FrontStore, build_columns, is_safe_dataset_name
 
 #: Objectives a query may order by or target with ``nearest``.
 ORDERABLE_COLUMNS: Tuple[str, ...] = FRONT_COLUMNS
@@ -113,6 +113,11 @@ class FrontQuery:
         """Validate every field; raises :class:`QueryValidationError`."""
         if not isinstance(self.dataset, str) or not self.dataset:
             raise QueryValidationError("dataset must be a non-empty string")
+        if not is_safe_dataset_name(self.dataset):
+            raise QueryValidationError(
+                f"dataset must be a plain name (letters, digits, '_', '.', '-', "
+                f"starting alphanumeric), got {self.dataset!r}"
+            )
         for name in CONSTRAINTS:
             object.__setattr__(self, name, _require_finite(name, getattr(self, name)))
         for name in ("min_accuracy", "min_robust_accuracy"):
@@ -153,7 +158,12 @@ class FrontQuery:
                         f"nearest objective must be one of {ORDERABLE_COLUMNS}, "
                         f"got {column!r}"
                     )
-                frozen.append((column, _require_finite(f"nearest[{column}]", value)))
+                target = _require_finite(f"nearest[{column}]", value)
+                if target is None:
+                    raise QueryValidationError(
+                        f"nearest[{column}] must be a number, got None"
+                    )
+                frozen.append((column, target))
             object.__setattr__(self, "nearest", tuple(frozen))
         if not isinstance(self.descending, bool):
             raise QueryValidationError("descending must be a boolean")

@@ -36,6 +36,7 @@ that). Views are immutable snapshots; the internal LRU is lock-guarded.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -63,6 +64,22 @@ FRONT_COLUMNS: Tuple[str, ...] = (
 _FRONT_PREFIX = "front_"
 _FRONT_SUFFIX = ".json"
 _SUMMARY_NAME = "summary.json"
+
+#: Dataset names are embedded in file names (``front_<ds>.json``, fabric
+#: queue entries), so only plain tokens are legal: leading alphanumeric,
+#: then alphanumerics, ``_``, ``.`` and ``-`` — no separators, no way to
+#: climb out of a directory.
+_DATASET_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]*")
+
+
+def is_safe_dataset_name(dataset: str) -> bool:
+    """Whether ``dataset`` is a file-name-safe token (see `_DATASET_NAME_RE`).
+
+    Request-derived dataset strings must pass this before they touch any
+    path construction — the query layer rejects offenders as invalid
+    queries, and the miss enqueuer refuses to publish jobs for them.
+    """
+    return isinstance(dataset, str) and _DATASET_NAME_RE.fullmatch(dataset) is not None
 
 
 class UnknownDatasetError(KeyError):
@@ -348,22 +365,32 @@ class FrontStore:
         return self._fault_rates[campaign]
 
     def view(self, campaign: Union[str, Path], dataset: str) -> Optional[FrontView]:
-        """One campaign's current front view for ``dataset`` (LRU + revalidate)."""
+        """One campaign's current front view for ``dataset`` (LRU + revalidate).
+
+        The store lock guards only the cache lookup/insert; the expensive
+        part — file read, JSON decode, Pareto merge, column build — runs
+        outside it, so one cold load never stalls concurrent cache hits.
+        """
         campaign = Path(campaign)
         key = (str(campaign), dataset)
+        signature = self._signature(campaign, dataset)
         with self._lock:
             cached = self._cache.get(key)
-            if cached is not None and cached.signature == self._signature(
-                campaign, dataset
-            ):
+            if cached is not None and cached.signature == signature:
                 self._cache.hits += 1
                 return cached
             self._cache.misses += 1
-            view = self._load_view(campaign, dataset)
+        view = self._load_view(campaign, dataset)
+        with self._lock:
             if view is None:
                 self._cache.invalidate(key)
                 return None
-            self._cache.put(key, view)
+            # Only cache the view if the file hasn't changed since the
+            # load started — a racing writer's fresher view must not be
+            # clobbered by this stale one. The caller still gets the
+            # snapshot that was valid when it was read.
+            if view.signature == self._signature(campaign, dataset):
+                self._cache.put(key, view)
             return view
 
     def views(
@@ -483,4 +510,5 @@ __all__ = [
     "FrontView",
     "UnknownDatasetError",
     "build_columns",
+    "is_safe_dataset_name",
 ]

@@ -12,6 +12,7 @@ exactly one fabric queue entry appears, in the coordinator's format.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -22,6 +23,7 @@ from repro.campaign.fabric.layout import FabricLayout
 from repro.campaign.journal import REPORT_DIR, write_json_atomic
 from repro.campaign.spec import CampaignSpec
 from repro.serving import FrontStore, MissEnqueuer, start_server
+from repro.serving.http import ServingHandler
 
 SPEC = {
     "name": "serving-test",
@@ -254,6 +256,63 @@ def test_enqueuer_respects_existing_queue_entry(campaign):
     enqueuer = MissEnqueuer(campaign)
     assert enqueuer.enqueue("cardio") == "cardio-ga-s0"
     assert json.loads(layout.queue_entry("cardio-ga-s0").read_text()) == original
+
+
+def test_miss_enqueuer_refuses_unsafe_dataset_names(campaign, tmp_path):
+    """Request-derived names never steer a write outside the queue dir."""
+    enqueuer = MissEnqueuer(campaign)
+    for evil in (
+        "../../../../" + str(tmp_path / "evil").lstrip("/"),
+        "..",
+        ".hidden",
+        "a/b",
+        "",
+    ):
+        assert enqueuer.enqueue(evil) is None
+    assert not FabricLayout(campaign).queue_dir.exists()
+    assert not (tmp_path / "evil.json").exists()
+
+
+def test_query_with_traversal_dataset_is_rejected_not_enqueued(server, campaign):
+    status, body = request(server, "/query", {"dataset": "../../../../tmp/evil"})
+    assert status == 400
+    assert json.loads(body)["error"] == "invalid query"
+    assert not FabricLayout(campaign).queue_dir.exists()
+
+
+def test_fronts_route_traversal_misses_without_enqueue(server, campaign):
+    """A raw traversal URL (no client normalization) 404s and enqueues nothing."""
+    host, port = server.server_address[:2]
+    target = "/fronts/../../../../tmp/evil"
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(
+            f"GET {target} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n".encode()
+        )
+        data = b""
+        while chunk := sock.recv(65536):
+            data += chunk
+    assert data.split(b" ", 2)[1] == b"404"
+    assert json.loads(data.split(b"\r\n\r\n", 1)[1])["enqueued_job"] is None
+    assert not FabricLayout(campaign).queue_dir.exists()
+
+
+def test_handler_failure_mapping_keeps_framing_safe():
+    """Client disconnects answer 499; late failures never inject a 500."""
+    handler = ServingHandler.__new__(ServingHandler)
+    # A reset mid-exchange is the client's doing: 499, drop the connection,
+    # send nothing (a send would explode on this socketless handler).
+    handler.close_connection = False
+    handler._response_started = True
+    assert handler._handle_failure(ConnectionResetError()) == 499
+    assert handler.close_connection
+    handler.close_connection = False
+    assert handler._handle_failure(BrokenPipeError()) == 499
+    assert handler.close_connection
+    # An unexpected error after the response started must not write a
+    # second status line into the keep-alive stream.
+    handler.close_connection = False
+    assert handler._handle_failure(ValueError("boom")) == 500
+    assert handler.close_connection
 
 
 def test_serve_foreground_loop_refreshes_and_stops_on_interrupt(

@@ -291,6 +291,9 @@ def test_query_as_dict_round_trip(tmp_path):
     "payload",
     [
         {"dataset": ""},
+        {"dataset": "../../../../tmp/evil"},
+        {"dataset": ".."},
+        {"dataset": "a/b"},
         {"dataset": "seeds", "bogus": 1},
         {"dataset": "seeds", "min_accuracy": 1.5},
         {"dataset": "seeds", "min_accuracy": float("nan")},
@@ -302,6 +305,7 @@ def test_query_as_dict_round_trip(tmp_path):
         {"dataset": "seeds", "nearest": {}},
         {"dataset": "seeds", "nearest": {"beauty": 1.0}},
         {"dataset": "seeds", "nearest": {"area": float("inf")}},
+        {"dataset": "seeds", "nearest": {"area": None}},
         {"dataset": "seeds", "descending": "yes"},
     ],
 )
