@@ -1,7 +1,12 @@
-"""Serving-layer benchmark: hot-path query latency and HTTP throughput.
+"""Serving-layer benchmark: cold-load, hot-path latency, HTTP throughput.
 
-Two measurements over a synthetic (but schema-faithful) campaign front:
+Three measurements over synthetic (but schema-faithful) campaign fronts:
 
+* **Cold load** — first query against a fresh store over an
+  ``N_COLD``-point front, columnar ``front_<ds>.npz`` present vs JSON
+  only. The npz path skips JSON decode, per-point construction and the
+  Pareto merge (mmap + slice), and the recorded ``speedup`` is the
+  PR-level claim for the columnar format.
 * **Hot query path** — the in-process :class:`~repro.serving.QueryEngine`
   on an LRU-warm store: per-query p50/p99 latency and sustained
   queries/s. This is the floor the acceptance criterion pins (≥1000
@@ -24,7 +29,8 @@ import time
 
 import pytest
 
-from benchlib import SMOKE, record_bench
+from benchlib import SMOKE, record_bench, timed
+from repro.campaign.columnar import front_npz_path, write_front_npz
 from repro.campaign.journal import REPORT_DIR, write_json_atomic
 from repro.serving import FrontStore, QueryEngine, start_server
 
@@ -32,6 +38,8 @@ from repro.serving import FrontStore, QueryEngine, start_server
 HOT_QPS_FLOOR = 1000.0
 
 N_POINTS = 24 if SMOKE else 64
+N_COLD = 256 if SMOKE else 1024
+COLD_REPEATS = 5 if SMOKE else 10
 HOT_QUERIES = 2_000 if SMOKE else 10_000
 HTTP_THREADS = 2 if SMOKE else 4
 HTTP_REQUESTS_PER_THREAD = 150 if SMOKE else 500
@@ -83,8 +91,35 @@ def store(tmp_path_factory):
     return FrontStore(campaign)
 
 
-def test_serving_hot_path_and_http_throughput(store):
+def _cold_load_section(root):
+    """Cold first-query latency, npz-backed vs JSON-only, over one front."""
+    campaign = _make_campaign(root, N_COLD)
+    json_path = campaign / REPORT_DIR / "front_seeds.json"
+    payload = {"dataset": "seeds", "min_accuracy": 0.7, "top_k": 5}
+
+    def cold_query():
+        QueryEngine(FrontStore(campaign)).run(payload)
+
+    json_timing = timed(cold_query, repeats=COLD_REPEATS)
+    write_front_npz(json_path)
+    npz_store = FrontStore(campaign)
+    QueryEngine(npz_store).run(payload)
+    assert npz_store.stats()["npz_loads"] == 1  # the fast path is actually taken
+    npz_timing = timed(cold_query, repeats=COLD_REPEATS)
+    front_npz_path(json_path).unlink()
+    return {
+        "front_points": N_COLD,
+        "json_ms": round(json_timing["best_s"] * 1e3, 4),
+        "npz_ms": round(npz_timing["best_s"] * 1e3, 4),
+        "speedup": round(json_timing["best_s"] / npz_timing["best_s"], 2),
+    }
+
+
+def test_serving_hot_path_and_http_throughput(store, tmp_path):
     engine = QueryEngine(store)
+
+    # -- cold first-query path: columnar npz vs canonical JSON ---------------
+    cold = _cold_load_section(tmp_path)
 
     # -- hot (LRU-warm) in-process query path --------------------------------
     for payload in QUERY_MIX:  # warm the LRU and the JIT-ish caches
@@ -155,7 +190,12 @@ def test_serving_hot_path_and_http_throughput(store):
         "server_p99_ms": metrics["latency"]["p99_ms"],
     }
 
-    payload = {"front_points": N_POINTS, "hot_query": hot, "http": http_stats}
+    payload = {
+        "front_points": N_POINTS,
+        "cold_load": cold,
+        "hot_query": hot,
+        "http": http_stats,
+    }
     record_bench("serving", payload)
     print(f"\nserving bench: {json.dumps(payload, indent=2)}")
 

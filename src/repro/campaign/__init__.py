@@ -42,6 +42,7 @@ from .cache import (
     evaluation_context_key,
     load_journal_records,
 )
+from .columnar import ColumnarFront, load_front_npz, write_front_npz
 from .fabric import (
     ChaosPolicy,
     FabricCoordinator,
@@ -83,6 +84,7 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "ChaosPolicy",
+    "ColumnarFront",
     "FabricCoordinator",
     "FabricRunSummary",
     "FabricStatus",
@@ -105,6 +107,7 @@ __all__ = [
     "execute_job",
     "format_report",
     "format_status",
+    "load_front_npz",
     "load_journal_records",
     "load_spec",
     "mark_campaign_completed",
@@ -112,6 +115,7 @@ __all__ = [
     "persist_spec",
     "read_json",
     "select_shard",
+    "write_front_npz",
     "write_json_atomic",
     "write_report",
 ]

@@ -9,7 +9,10 @@ summary and writes machine-readable artifacts under ``<campaign>/report/``:
 * ``summary.json`` — the full report document,
 * ``summary.md`` — markdown tables (per dataset and per job),
 * ``front_<dataset>.json`` / ``front_<dataset>.csv`` — each dataset's
-  combined Pareto front.
+  combined Pareto front,
+* ``front_<dataset>.npz`` — the same front in the persisted columnar
+  format (:mod:`repro.campaign.columnar`), sha-tied to the JSON, which
+  the serving layer cold-loads via ``mmap`` instead of re-deserializing.
 
 Points are compared on raw (accuracy, area); normalized gains are reported
 against the dataset's baseline when every contributing job shares one
@@ -24,8 +27,20 @@ from typing import Dict, List, Optional, Union
 from ..analysis.tables import render_csv, render_markdown_table, render_table
 from ..core.pareto import best_area_gain_at_loss, pareto_front
 from ..core.results import DesignPoint
+from .columnar import write_front_npz
 from .journal import CampaignJournal, read_json, write_json_atomic
 from .spec import CampaignSpec
+
+#: Keys a front document must carry to contribute to a report.
+_FRONT_DOCUMENT_KEYS = (
+    "job_id",
+    "dataset",
+    "algorithm",
+    "search_name",
+    "seed",
+    "front",
+    "baseline",
+)
 
 
 def _point_from_dict(data: Dict[str, object]) -> DesignPoint:
@@ -34,14 +49,39 @@ def _point_from_dict(data: Dict[str, object]) -> DesignPoint:
 
 
 def collect_fronts(directory: Union[str, Path]) -> List[Dict[str, object]]:
-    """Load every completed job's front document, in spec (grid) order."""
+    """Load every completed job's front document.
+
+    Spec-grid jobs come first, in grid order. Completed jobs *outside* the
+    grid — serving-miss enqueues and other elastically published work —
+    follow in sorted job-id order, so a drained miss becomes part of the
+    next report instead of sitting invisible in ``jobs/``. Extra-grid
+    documents are validated structurally (a stray directory under
+    ``jobs/`` must not break reporting) and skipped when malformed.
+    """
     journal = CampaignJournal(directory)
     spec = CampaignSpec.from_dict(read_json(journal.spec_path))  # type: ignore[arg-type]
     completed = journal.completed_job_ids()
     fronts = []
+    grid_ids = set()
     for job in spec.expand():
+        grid_ids.add(job.job_id)
         if job.job_id in completed and journal.front_path(job.job_id).exists():
             fronts.append(journal.load_front(job.job_id))
+    for job_id in sorted(completed - grid_ids):
+        front_path = journal.front_path(job_id)
+        if not front_path.exists():
+            continue
+        try:
+            document = read_json(front_path)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(document, dict):
+            continue
+        if any(key not in document for key in _FRONT_DOCUMENT_KEYS):
+            continue
+        if not isinstance(document["front"], list):
+            continue
+        fronts.append(document)
     return fronts
 
 
@@ -220,6 +260,10 @@ def write_report(
             },
         )
         paths[front_json.name] = front_json
+        # The columnar sibling carries the same rows (sha-tied to the JSON
+        # just written) so the serving layer can cold-load without decoding.
+        front_npz = write_front_npz(front_json, fingerprint=str(report["fingerprint"]))
+        paths[front_npz.name] = front_npz
         front_csv = report_dir / f"front_{dataset}.csv"
         # Robustness-aware campaigns carry two extra columns; fronts without
         # robustness data keep the historical byte-identical CSV layout.

@@ -423,6 +423,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             enqueue_misses=args.enqueue_misses,
             refresh_seconds=args.refresh,
+            refresh_reports=args.refresh_reports,
         )
     except ValueError as error:  # no report dirs / bad cache bound
         print(f"error: {error}")
@@ -706,6 +707,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="re-index interval in seconds (default: no "
                                 "periodic refresh; views still revalidate "
                                 "against file mtimes on every access)")
+    serve_cmd.add_argument("--refresh-reports", action="store_true",
+                           help="during periodic --refresh, rebuild campaign "
+                                "reports that lag their completed jobs — "
+                                "closes the miss loop: enqueued jobs drained "
+                                "by 'repro campaign work' get folded into the "
+                                "served fronts")
     serve_cmd.set_defaults(func=_cmd_serve)
 
     return parser

@@ -108,6 +108,14 @@ class ArrayBackend:
         """Boolean ``[i, j] = solution i Pareto-dominates solution j`` matrix."""
         raise NotImplementedError
 
+    def nonzero(self, mask: np.ndarray) -> np.ndarray:
+        """Ascending indices of the true entries of a 1-D boolean mask.
+
+        The selection step of the serving query planner: constraint masks
+        are reduced to candidate row indices without materializing rows.
+        """
+        raise NotImplementedError
+
     # -- scatter -----------------------------------------------------------------
 
     def put_along_axis(
@@ -220,6 +228,10 @@ class NumpyBackend(ArrayBackend):
         return np.logical_and(
             np.all(left <= right, axis=-1), np.any(left < right, axis=-1)
         )
+
+    def nonzero(self, mask: np.ndarray) -> np.ndarray:
+        """``np.flatnonzero`` (ascending by construction)."""
+        return np.flatnonzero(mask)
 
     def put_along_axis(
         self, stack: np.ndarray, indices: np.ndarray, values: np.ndarray
@@ -354,6 +366,11 @@ class TorchBackend(ArrayBackend):  # pragma: no cover - exercised by the torch C
         right = tensor.unsqueeze(0)
         dominated = (left <= right).all(dim=-1) & (left < right).any(dim=-1)
         return dominated.numpy()
+
+    def nonzero(self, mask: np.ndarray) -> np.ndarray:
+        """``torch.nonzero`` flattened to the numpy ``flatnonzero`` shape."""
+        picks = self._torch.nonzero(self._tensor(mask), as_tuple=False)
+        return picks.reshape(-1).numpy().astype(np.int64, copy=False)
 
     def put_along_axis(
         self, stack: np.ndarray, indices: np.ndarray, values: np.ndarray

@@ -32,16 +32,16 @@ def _criteria(point: DesignPoint, robust: bool) -> Tuple[float, ...]:
     return (point.accuracy, -point.area, point.robust_accuracy)
 
 
-def pareto_front(points: Sequence[DesignPoint], robust: bool = False) -> List[DesignPoint]:
-    """Extract the accuracy/area (optionally x robustness) Pareto-optimal subset.
+def pareto_front_reference(
+    points: Sequence[DesignPoint], robust: bool = False
+) -> List[DesignPoint]:
+    """The original O(n²) Python loop — kept as the oracle for the array path.
 
-    A point is Pareto-optimal when no other point is at least as good on
-    every axis and strictly better on one. The default axes are the paper's
-    (accuracy maximised, area minimised); ``robust=True`` adds the
-    fault-injected ``robust_accuracy`` as a third maximised axis — used by
-    robustness-aware searches, whose fronts keep designs that trade a
-    little area for fault tolerance. The result is sorted by increasing
-    area.
+    Semantics (shared with :func:`pareto_front`, which must match this
+    point-for-point): a point is Pareto-optimal when no other point is at
+    least as good on every axis and strictly better on one; identical
+    (rounded) criteria tuples collapse to their first occurrence; the
+    result is sorted by increasing area.
     """
     points = list(points)
     criteria = [_criteria(point, robust) for point in points]
@@ -67,6 +67,60 @@ def pareto_front(points: Sequence[DesignPoint], robust: bool = False) -> List[De
             tuple(round(value, 12) for value in point_criteria), point
         )
     return sorted(unique.values(), key=lambda p: (p.area, -p.accuracy))
+
+
+def pareto_front_indices(
+    points: Sequence[DesignPoint], robust: bool = False
+) -> List[int]:
+    """Indices (into ``points``) of the Pareto front, in front order.
+
+    The index-returning core of :func:`pareto_front`: one broadcasted
+    pairwise comparison replaces the Python double loop (identical float64
+    comparisons, so the survivor set matches the reference loop exactly),
+    then the same first-occurrence dedupe on rounded criteria and the same
+    ``(area, -accuracy)`` sort. The columnar serving format persists these
+    indices so an npz-backed view can slice its Pareto subset without
+    materializing design points.
+    """
+    points = list(points)
+    if not points:
+        return []
+    criteria = np.asarray(
+        [_criteria(point, robust) for point in points], dtype=np.float64
+    )
+    # [i, j] = i dominates j (all axes >= and one >); the diagonal is False
+    # because a point never strictly beats itself on any axis.
+    left = criteria[:, None, :]
+    right = criteria[None, :, :]
+    dominated_by = np.logical_and(
+        np.all(left >= right, axis=-1), np.any(left > right, axis=-1)
+    )
+    survivors = np.flatnonzero(~dominated_by.any(axis=0))
+    unique: Dict[Tuple[float, ...], int] = {}
+    for index in survivors:
+        key = tuple(round(float(value), 12) for value in criteria[index])
+        unique.setdefault(key, int(index))
+    return sorted(
+        unique.values(), key=lambda i: (points[i].area, -points[i].accuracy)
+    )
+
+
+def pareto_front(points: Sequence[DesignPoint], robust: bool = False) -> List[DesignPoint]:
+    """Extract the accuracy/area (optionally x robustness) Pareto-optimal subset.
+
+    A point is Pareto-optimal when no other point is at least as good on
+    every axis and strictly better on one. The default axes are the paper's
+    (accuracy maximised, area minimised); ``robust=True`` adds the
+    fault-injected ``robust_accuracy`` as a third maximised axis — used by
+    robustness-aware searches, whose fronts keep designs that trade a
+    little area for fault tolerance. The result is sorted by increasing
+    area.
+
+    Delegates to the vectorized :func:`pareto_front_indices`
+    (:func:`pareto_front_reference` is the pinned loop oracle).
+    """
+    points = list(points)
+    return [points[index] for index in pareto_front_indices(points, robust=robust)]
 
 
 def dominates(a: DesignPoint, b: DesignPoint, robust: bool = False) -> bool:

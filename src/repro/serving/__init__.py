@@ -28,6 +28,7 @@ from .store import (
     FrontView,
     UnknownDatasetError,
     build_columns,
+    combine_fingerprints,
     is_safe_dataset_name,
 )
 
@@ -45,6 +46,7 @@ __all__ = [
     "ServingMetrics",
     "UnknownDatasetError",
     "build_columns",
+    "combine_fingerprints",
     "is_safe_dataset_name",
     "serve",
     "start_server",

@@ -9,29 +9,48 @@ lifting lives in :mod:`repro.serving.store` (LRU-indexed fronts) and
 ``GET /healthz``      liveness + indexed dataset count
 ``GET /datasets``     sorted dataset names served by the indexed campaigns
 ``GET /fronts/<ds>``  the dataset's front document (byte-identical to
-                      ``report/front_<ds>.json`` for single-campaign stores)
+                      ``report/front_<ds>.json`` for single-campaign
+                      stores; ``?offset=&limit=`` pages the ``front`` rows)
 ``POST /query``       execute a :class:`~repro.serving.query.FrontQuery`
                       (JSON body), returning ranked matching points
 ``GET /metrics``      request counts, status classes, and a latency
                       histogram with p50/p99 estimates
 ====================  =========================================================
 
+Conditional requests: ``GET /fronts/<ds>`` and ``POST /query`` responses
+carry an ``ETag`` — the served front's fingerprint (see
+:func:`~repro.serving.store.combine_fingerprints`) — and a request whose
+``If-None-Match`` matches it answers ``304 Not Modified`` with no body.
+The tag changes exactly when a contributing front document changes, so
+pollers pay bytes only when there is something new. The dataset path
+segment is URL-decoded before validation: percent-encoded safe names
+resolve, anything unsafe *after* decoding is refused before any path
+construction.
+
 A query or front request for a dataset no campaign serves answers 404 —
 and, when the server is built with a :class:`MissEnqueuer`, publishes a
 campaign job covering the miss into the fabric queue (PR-7 format), so
 production misses become future coverage. Enqueueing dedupes by job id:
 one queue entry per distinct miss, no matter how many threads race on it.
+With ``serve(..., refresh_reports=True)`` the periodic refresh also
+rebuilds campaign reports that lag their completed jobs, which is what
+closes the loop: miss → enqueue → ``repro campaign work`` drains →
+refresh republishes → the front serves.
 
 Every response carries ``Content-Length`` and the handlers speak
 HTTP/1.1, so keep-alive clients (the benchmark, `curl` loops) reuse
-connections on the hot path.
+connections on the hot path. Request bodies are capped at
+:data:`MAX_BODY_BYTES` (413 beyond it; a malformed ``Content-Length``
+answers 400, not a 500).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
@@ -41,6 +60,11 @@ from ..campaign.journal import write_json_atomic
 from ..campaign.spec import CampaignSpec, JobSpec
 from .query import QueryEngine, QueryValidationError
 from .store import FrontStore, UnknownDatasetError, is_safe_dataset_name
+
+#: Upper bound on accepted request-body sizes. Queries are a few hundred
+#: bytes; anything approaching this is either a mistake or abuse, and is
+#: refused (413) before a single body byte is read.
+MAX_BODY_BYTES = 1 << 20
 
 #: Latency histogram bucket upper bounds, in seconds (log-spaced,
 #: 0.1 ms .. 10 s; the final implicit bucket is +inf).
@@ -97,7 +121,13 @@ class ServingMetrics:
                 self._buckets[-1] += 1
 
     def _percentile(self, quantile: float) -> Optional[float]:
-        """Latency upper bound (seconds) at ``quantile``, from the histogram."""
+        """Latency upper bound (seconds) at ``quantile``, from the histogram.
+
+        A quantile landing in the +inf overflow bucket returns ``inf`` —
+        the histogram honestly has no finite upper bound for it (it used
+        to report the last finite bound, silently capping a pathological
+        p99 at 10 s).
+        """
         if self._count == 0:
             return None
         threshold = quantile * self._count
@@ -107,8 +137,8 @@ class ServingMetrics:
             if cumulative >= threshold:
                 if index < len(LATENCY_BUCKETS):
                     return LATENCY_BUCKETS[index]
-                return LATENCY_BUCKETS[-1]
-        return LATENCY_BUCKETS[-1]
+                return math.inf
+        return math.inf
 
     def snapshot(self) -> Dict[str, object]:
         """The ``GET /metrics`` document."""
@@ -132,9 +162,64 @@ class ServingMetrics:
             }
 
 
-def _to_ms(seconds: Optional[float]) -> Optional[float]:
-    """Seconds → milliseconds (``None`` passes through)."""
-    return None if seconds is None else round(seconds * 1e3, 4)
+def _etag_matches(header: Optional[str], etag: str) -> bool:
+    """Whether an ``If-None-Match`` header value matches the current ETag.
+
+    Handles the comma-separated list form, the ``*`` wildcard, and weak
+    validators (``W/"..."`` compares by opaque tag, as RFC 9110 allows
+    for ``If-None-Match``).
+    """
+    if not header:
+        return False
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate == "*" or candidate == etag:
+            return True
+        if candidate.startswith("W/") and candidate[2:] == etag:
+            return True
+    return False
+
+
+def _parse_pagination(query_string: str) -> Tuple[Optional[int], Optional[int]]:
+    """``(offset, limit)`` from a URL query string (``None`` = not given).
+
+    Raises ``ValueError`` with a client-facing message for unknown
+    parameters, non-integers, a negative offset or a non-positive limit.
+    """
+    if not query_string:
+        return None, None
+    params = urllib.parse.parse_qs(query_string, keep_blank_values=True)
+    unknown = set(params) - {"offset", "limit"}
+    if unknown:
+        raise ValueError(f"unknown query parameters {sorted(unknown)}")
+
+    def one(name: str, minimum: int) -> Optional[int]:
+        values = params.get(name)
+        if not values:
+            return None
+        try:
+            value = int(values[-1])
+        except ValueError:
+            raise ValueError(f"{name} must be an integer, got {values[-1]!r}") from None
+        if value < minimum:
+            raise ValueError(f"{name} must be >= {minimum}, got {value}")
+        return value
+
+    return one("offset", 0), one("limit", 1)
+
+
+def _to_ms(seconds: Optional[float]) -> Union[float, str, None]:
+    """Seconds → milliseconds (``None`` passes through; ``inf`` → ``"inf"``).
+
+    The string spelling keeps the metrics document valid JSON — bare
+    ``Infinity`` is not — while staying distinguishable from ``None``
+    ("no observations yet") and matching the overflow bucket's ``"le"``.
+    """
+    if seconds is None:
+        return None
+    if math.isinf(seconds):
+        return "inf"
+    return round(seconds * 1e3, 4)
 
 
 class MissEnqueuer:
@@ -193,9 +278,17 @@ class MissEnqueuer:
         a plain token (:func:`~repro.serving.store.is_safe_dataset_name`)
         is refused — no request-derived string may steer the write
         outside the fabric queue directory.
+
+        The dedupe map is consulted *before* the job spec is built, so a
+        hot 404 (many requests missing the same dataset) costs one dict
+        lookup per request — not a ``spec.json`` read and parse.
         """
         if not is_safe_dataset_name(dataset):
             return None
+        with self._lock:
+            existing = self._enqueued.get(dataset)
+        if existing is not None:
+            return existing
         job = self._job_for(dataset)
         if job is None:
             return None
@@ -234,18 +327,40 @@ class ServingHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Silence the default stderr access log (metrics replace it)."""
 
-    def _send(self, status: int, body: bytes, content_type: str = "application/json") -> None:
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """One complete response with ``Content-Length`` (keep-alive safe)."""
         self._response_started = True
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, document: Mapping[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        document: Mapping[str, object],
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """One JSON response."""
-        self._send(status, (json.dumps(document) + "\n").encode("utf-8"))
+        self._send(status, (json.dumps(document) + "\n").encode("utf-8"), headers=headers)
+
+    def _send_not_modified(self, etag: str) -> None:
+        """``304 Not Modified``: the ETag, no body (Content-Length 0 keeps
+        the keep-alive framing explicit)."""
+        self._response_started = True
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
 
     def _miss(self, dataset: str) -> None:
         """404 for an unserved dataset, enqueueing a covering job if configured."""
@@ -286,11 +401,56 @@ class ServingHandler(BaseHTTPRequestHandler):
             return 499
         return 500
 
+    def _front_route(self, dataset: str, query_string: str) -> int:
+        """``GET /fronts/<ds>``: ETag/304, optional pagination; returns status."""
+        if not is_safe_dataset_name(dataset):
+            # Refused after URL decoding, before any path construction;
+            # _miss's enqueuer applies the same check and publishes nothing.
+            self._miss(dataset)
+            return 404
+        try:
+            offset, limit = _parse_pagination(query_string)
+        except ValueError as error:
+            self._send_json(400, {"error": "invalid pagination", "detail": str(error)})
+            return 400
+        try:
+            raw, fingerprint = self.server.store.front(dataset)
+        except UnknownDatasetError:
+            self._miss(dataset)
+            return 404
+        etag = f'"{fingerprint}"'
+        if _etag_matches(self.headers.get("If-None-Match"), etag):
+            self._send_not_modified(etag)
+            return 304
+        headers = {"ETag": etag}
+        if offset is None and limit is None:
+            self._send(200, raw, headers=headers)
+            return 200
+        document = json.loads(raw.decode("utf-8"))
+        front = document.get("front") if isinstance(document, dict) else None
+        rows = front if isinstance(front, list) else []
+        start = offset or 0
+        stop = None if limit is None else start + limit
+        self._send_json(
+            200,
+            {
+                "dataset": dataset,
+                "baseline": document.get("baseline") if isinstance(document, dict) else None,
+                "total_points": len(rows),
+                "offset": start,
+                "limit": limit,
+                "front": rows[start:stop],
+            },
+            headers=headers,
+        )
+        return 200
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         """Dispatch ``GET`` routes."""
         started = time.perf_counter()
         self._response_started = False
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query_string = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
         route, status = f"GET {path}", 500
         try:
             if path == "/healthz":
@@ -307,13 +467,8 @@ class ServingHandler(BaseHTTPRequestHandler):
                 status = 200
             elif path.startswith("/fronts/"):
                 route = "GET /fronts"
-                dataset = path[len("/fronts/") :]
-                try:
-                    self._send(200, self.server.store.raw_front(dataset))
-                    status = 200
-                except UnknownDatasetError:
-                    self._miss(dataset)
-                    status = 404
+                dataset = urllib.parse.unquote(path[len("/fronts/") :])
+                status = self._front_route(dataset, query_string)
             else:
                 route = "GET other"
                 self._send_json(404, {"error": "no such route", "path": path})
@@ -335,7 +490,33 @@ class ServingHandler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": "no such route", "path": path})
                 status = 404
                 return
-            length = int(self.headers.get("Content-Length") or 0)
+            raw_length = self.headers.get("Content-Length")
+            try:
+                length = int(raw_length) if raw_length is not None else 0
+            except ValueError:
+                self._send_json(
+                    400,
+                    {"error": "invalid Content-Length", "detail": repr(raw_length)},
+                )
+                status = 400
+                return
+            if length < 0:
+                self._send_json(
+                    400,
+                    {"error": "invalid Content-Length", "detail": repr(raw_length)},
+                )
+                status = 400
+                return
+            if length > MAX_BODY_BYTES:
+                # Refused before reading a single body byte — an honest
+                # huge Content-Length must not balloon server memory.
+                self.close_connection = True
+                self._send_json(
+                    413,
+                    {"error": "request body too large", "limit_bytes": MAX_BODY_BYTES},
+                )
+                status = 413
+                return
             try:
                 payload = json.loads(self.rfile.read(length).decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -352,7 +533,14 @@ class ServingHandler(BaseHTTPRequestHandler):
                 self._miss(error.dataset)
                 status = 404
                 return
-            self._send_json(200, result.as_dict())
+            etag = None if result.fingerprint is None else f'"{result.fingerprint}"'
+            if etag is not None and _etag_matches(self.headers.get("If-None-Match"), etag):
+                self._send_not_modified(etag)
+                status = 304
+                return
+            self._send_json(
+                200, result.as_dict(), headers=None if etag is None else {"ETag": etag}
+            )
             status = 200
         except Exception as error:  # pragma: no cover - defensive catch-all
             status = self._handle_failure(error)
@@ -419,13 +607,17 @@ def serve(
     backend: Optional[str] = None,
     enqueue_misses: bool = False,
     refresh_seconds: Optional[float] = None,
+    refresh_reports: bool = False,
 ) -> None:
     """Foreground serving loop behind the ``repro serve`` CLI verb.
 
     Builds the store over ``campaigns``, optionally wires on-miss enqueue
     into the *first* campaign's fabric queue, starts the threaded server,
     and (when ``refresh_seconds`` is set) refreshes the store index
-    periodically until interrupted.
+    periodically until interrupted. With ``refresh_reports`` each refresh
+    also rebuilds campaign reports that lag their completed jobs — the
+    serving half of the miss loop: a worker drains the enqueued job, the
+    next refresh folds its front into the report, and the store serves it.
     """
     store = FrontStore(campaigns, max_entries=max_entries, backend=backend)
     enqueuer = MissEnqueuer(campaigns[0]) if enqueue_misses else None
@@ -435,7 +627,10 @@ def serve(
         while True:
             time.sleep(refresh_seconds if refresh_seconds else 3600.0)
             if refresh_seconds:
-                store.refresh()
+                if refresh_reports:
+                    store.refresh(rebuild_reports=True)
+                else:
+                    store.refresh()
     except KeyboardInterrupt:
         pass
     finally:
@@ -445,6 +640,7 @@ def serve(
 
 __all__ = [
     "LATENCY_BUCKETS",
+    "MAX_BODY_BYTES",
     "FrontServer",
     "MissEnqueuer",
     "ServingHandler",

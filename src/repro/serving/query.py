@@ -13,29 +13,42 @@ on dataset X"*. A :class:`FrontQuery` is the typed form of that sentence —
   *stable* sort (ties keep front order), ``top_k`` takes the prefix,
 * ``nearest`` ranks by normalized Euclidean distance to a target
   trade-off instead (e.g. "closest to accuracy 0.9 at area 2.0"),
+* ``offset``/``limit`` window the ranked result (after ``top_k``) for
+  pagination over large fronts,
 * ``include_dominated`` opts into the raw union of campaign points;
   by default queries see the Pareto-merged front (the ``report.py``
   merge, so multi-campaign answers equal the merged report's).
 
 :class:`QueryEngine` executes queries against a
-:class:`~repro.serving.store.FrontStore`. All filtering, masking and
-ranking runs on the store's read-only columnar arrays through the
-:class:`~repro.core.backend.ArrayBackend` seam — no per-point Python on
-the hot path, and queries never mutate the store.
+:class:`~repro.serving.store.FrontStore` as a small plan: candidate
+columns are assembled (for a single campaign, zero-copy slices of the
+view's — possibly mmap-backed — arrays), constraint masks and the
+selection/ranking steps run through the
+:class:`~repro.core.backend.ArrayBackend` seam (``nonzero`` +
+``argsort_stable``), and only the rows of the final window are
+materialized into :class:`~repro.core.results.DesignPoint` objects — no
+per-point Python for rows the response doesn't include, and queries
+never mutate the store.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.backend import ArrayBackend, resolve_backend
 from ..core.pareto import pareto_front
 from ..core.results import DesignPoint
-from .store import FRONT_COLUMNS, FrontStore, build_columns, is_safe_dataset_name
+from .store import (
+    FRONT_COLUMNS,
+    FrontStore,
+    build_columns,
+    combine_fingerprints,
+    is_safe_dataset_name,
+)
 
 #: Objectives a query may order by or target with ``nearest``.
 ORDERABLE_COLUMNS: Tuple[str, ...] = FRONT_COLUMNS
@@ -93,6 +106,9 @@ class FrontQuery:
             the target trade-off instead of ``order_by``.
         include_dominated: serve the raw union of campaign points instead
             of the Pareto-merged front.
+        offset: skip the first ``offset`` ranked points (after ``top_k``)
+            — the pagination window's start.
+        limit: return at most ``limit`` points from the window.
     """
 
     dataset: str
@@ -108,6 +124,8 @@ class FrontQuery:
     top_k: Optional[int] = None
     nearest: Optional[Tuple[Tuple[str, float], ...]] = None
     include_dominated: bool = False
+    offset: int = 0
+    limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         """Validate every field; raises :class:`QueryValidationError`."""
@@ -169,6 +187,15 @@ class FrontQuery:
             raise QueryValidationError("descending must be a boolean")
         if not isinstance(self.include_dominated, bool):
             raise QueryValidationError("include_dominated must be a boolean")
+        if not isinstance(self.offset, int) or isinstance(self.offset, bool):
+            raise QueryValidationError(f"offset must be an integer, got {self.offset!r}")
+        if self.offset < 0:
+            raise QueryValidationError(f"offset must be >= 0, got {self.offset}")
+        if self.limit is not None:
+            if not isinstance(self.limit, int) or isinstance(self.limit, bool):
+                raise QueryValidationError(f"limit must be an integer, got {self.limit!r}")
+            if self.limit < 1:
+                raise QueryValidationError(f"limit must be >= 1, got {self.limit}")
 
     # -- wire format -------------------------------------------------------------
 
@@ -201,6 +228,10 @@ class FrontQuery:
             doc["nearest"] = {column: value for column, value in self.nearest}
         if self.include_dominated:
             doc["include_dominated"] = True
+        if self.offset:
+            doc["offset"] = self.offset
+        if self.limit is not None:
+            doc["limit"] = self.limit
         return doc
 
 
@@ -214,9 +245,13 @@ class QueryResult:
         total_points: candidate points before constraint filtering (the
             merged front's size, or the raw union's with
             ``include_dominated``).
-        matched: points satisfying the constraints (before ``top_k``).
+        matched: points satisfying the constraints (before ``top_k`` and
+            the ``offset``/``limit`` window).
         campaigns: how many campaign fronts contributed candidates.
         robust: whether the candidates carried the robustness columns.
+        fingerprint: the contributing fronts' combined fingerprint (the
+            HTTP layer's ETag; not part of the JSON body, which stays
+            byte-identical to the pre-fingerprint wire format).
     """
 
     query: FrontQuery
@@ -226,6 +261,7 @@ class QueryResult:
     campaigns: int
     robust: bool
     distances: Optional[Tuple[float, ...]] = field(default=None)
+    fingerprint: Optional[str] = field(default=None)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON form of the result (what ``POST /query`` returns)."""
@@ -242,6 +278,23 @@ class QueryResult:
         if self.distances is not None:
             doc["distances"] = list(self.distances)
         return doc
+
+
+@dataclass(frozen=True)
+class _CandidateSet:
+    """One query's candidate plan: columnar arrays plus a row materializer.
+
+    ``columns``/``total`` describe the candidate rows the masks and
+    rankings run over; ``materialize`` turns the final window's candidate
+    indices into design points (the only step that builds Python objects).
+    """
+
+    columns: Mapping[str, np.ndarray]
+    total: int
+    campaigns: int
+    robust: bool
+    fingerprint: Optional[str]
+    materialize: Callable[[Sequence[int]], Tuple[DesignPoint, ...]]
 
 
 class QueryEngine:
@@ -263,36 +316,71 @@ class QueryEngine:
 
     # -- candidate assembly ------------------------------------------------------
 
-    def _candidates(
-        self, query: FrontQuery
-    ) -> Tuple[List[DesignPoint], Dict[str, np.ndarray], int, bool]:
-        """``(points, columns, n_campaigns, robust)`` for one query.
+    def _candidates(self, query: FrontQuery) -> "_CandidateSet":
+        """The query's candidate plan: columns now, design points on demand.
 
-        Single-campaign stores reuse the view's prebuilt columns; unions
-        and dominated-opt-in queries materialize fresh ones (copies — the
-        store's arrays are never touched).
+        Single-campaign stores answer from the view's (possibly
+        mmap-backed) column slices and materialize rows lazily through
+        :meth:`~repro.serving.store.FrontView.point` — only the window
+        the query returns ever becomes Python objects. Unions and
+        dominated-opt-in queries still materialize every contributing
+        point (the cross-campaign Pareto merge needs them), exactly as
+        the merged report would.
         """
         views = self.store.views(query.dataset, fault_rate=query.fault_rate)
+        fingerprint = combine_fingerprints(views) if views else None
         if len(views) == 1 and not query.include_dominated:
             view = views[0]
-            return list(view.pareto_points), dict(view.pareto_columns), 1, view.robust
+            pareto_index = view.pareto_index
+
+            def materialize_rows(indices: Sequence[int]) -> Tuple[DesignPoint, ...]:
+                return tuple(
+                    view.point(int(pareto_index[int(i)])) for i in indices
+                )
+
+            return _CandidateSet(
+                columns=view.pareto_columns,
+                total=int(pareto_index.shape[0]),
+                campaigns=1,
+                robust=view.robust,
+                fingerprint=fingerprint,
+                materialize=materialize_rows,
+            )
         points: List[DesignPoint] = []
         for view in views:
             points.extend(view.points)
         robust = bool(points) and all(p.robust_accuracy is not None for p in points)
         if not query.include_dominated:
             points = pareto_front(points, robust=robust)
-        return points, build_columns(points), len(views), robust
+        return _CandidateSet(
+            columns=build_columns(points),
+            total=len(points),
+            campaigns=len(views),
+            robust=robust,
+            fingerprint=fingerprint,
+            materialize=lambda indices: tuple(points[int(i)] for i in indices),
+        )
 
     # -- execution ---------------------------------------------------------------
+
+    @staticmethod
+    def _window(values: np.ndarray, query: FrontQuery) -> np.ndarray:
+        """Apply ``top_k`` then the ``offset``/``limit`` page to a ranking."""
+        if query.top_k is not None:
+            values = values[: query.top_k]
+        if query.offset:
+            values = values[query.offset :]
+        if query.limit is not None:
+            values = values[: query.limit]
+        return values
 
     def run(self, query: Union[FrontQuery, Mapping[str, object]]) -> QueryResult:
         """Execute one query; raises ``UnknownDatasetError`` for missed datasets."""
         if not isinstance(query, FrontQuery):
             query = FrontQuery.from_dict(query)
-        points, columns, n_campaigns, robust = self._candidates(query)
-        total = len(points)
-        mask = np.ones(total, dtype=bool)
+        candidates = self._candidates(query)
+        columns = candidates.columns
+        mask = np.ones(candidates.total, dtype=bool)
         for name, (column, direction) in CONSTRAINTS.items():
             bound = getattr(query, name)
             if bound is None:
@@ -302,7 +390,7 @@ class QueryEngine:
             # can never satisfy a constraint on it.
             with np.errstate(invalid="ignore"):
                 mask &= values >= bound if direction == "min" else values <= bound
-        selected = np.flatnonzero(mask)
+        selected = self.backend.nonzero(mask)
         matched = int(selected.size)
 
         distances: Optional[np.ndarray] = None
@@ -313,21 +401,20 @@ class QueryEngine:
             keys = columns[query.order_by][selected]
             keys = np.nan_to_num(keys, nan=np.inf, posinf=np.inf, neginf=-np.inf)
             order = self.backend.argsort_stable(-keys if query.descending else keys)
-        ranked = selected[order]
-        if query.top_k is not None:
-            ranked = ranked[: query.top_k]
+        ranked = self._window(selected[order], query)
         result_distances: Optional[Tuple[float, ...]] = None
         if distances is not None:
-            kept = distances[order][: len(ranked)]
+            kept = self._window(distances[order], query)
             result_distances = tuple(float(value) for value in kept)
         return QueryResult(
             query=query,
-            points=tuple(points[int(index)] for index in ranked),
-            total_points=total,
+            points=candidates.materialize(ranked),
+            total_points=candidates.total,
             matched=matched,
-            campaigns=n_campaigns,
-            robust=robust,
+            campaigns=candidates.campaigns,
+            robust=candidates.robust,
             distances=result_distances,
+            fingerprint=candidates.fingerprint,
         )
 
     def _distances(

@@ -6,11 +6,17 @@ module turns those files into something a query service can hit thousands
 of times per second:
 
 * :class:`FrontStore` indexes one or more campaign directories. Each
-  dataset's front document is deserialized once into a :class:`FrontView` —
-  the exact raw bytes (pinned by golden byte-identity tests), the decoded
-  design points, and a *columnar* view (read-only ``float64`` arrays per
-  objective) that the query engine filters and sorts without touching
-  Python objects on the hot path.
+  dataset's front document is loaded once into a :class:`FrontView` —
+  the exact raw bytes (pinned by golden byte-identity tests) plus a
+  *columnar* view (read-only ``float64`` arrays per objective) that the
+  query engine filters and sorts without touching Python objects on the
+  hot path. When the report wrote a ``front_<dataset>.npz`` sibling
+  (:mod:`repro.campaign.columnar`), the columns come from an mmap-backed
+  zero-copy load — no JSON decode, no per-row ``DesignPoint``
+  construction, no Pareto merge — validated against the JSON bytes via
+  the embedded SHA-256 and falling back to the byte-identical JSON path
+  on any mismatch. Design points materialize lazily, row by row, only
+  when a query actually returns them.
 * Deserialized views live in a :class:`FrontCache` — an LRU with exactly
   the bound semantics of :class:`repro.search.evaluator.EvaluationCache`
   (``max_entries >= 1``, recency refresh on hit, least-recently-used
@@ -35,31 +41,27 @@ that). Views are immutable snapshots; the internal LRU is lock-guarded.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..campaign.columnar import (
+    FRONT_COLUMNS,
+    ColumnarFront,
+    build_columns,
+    front_npz_path,
+    load_front_npz,
+)
 from ..campaign.journal import REPORT_DIR
 from ..core.backend import ArrayBackend, resolve_backend
-from ..core.pareto import pareto_front
+from ..core.pareto import pareto_front, pareto_front_indices
 from ..core.results import DesignPoint
-
-#: The objective columns every front view materializes. Optional columns
-#: (``robust_accuracy``, ``accuracy_std``) hold NaN where a point lacks them.
-FRONT_COLUMNS: Tuple[str, ...] = (
-    "accuracy",
-    "area",
-    "power",
-    "delay",
-    "robust_accuracy",
-    "accuracy_std",
-)
 
 _FRONT_PREFIX = "front_"
 _FRONT_SUFFIX = ".json"
@@ -95,29 +97,32 @@ class UnknownDatasetError(KeyError):
         self.dataset = str(dataset)
 
 
-def build_columns(points: Sequence[DesignPoint]) -> Dict[str, np.ndarray]:
-    """Read-only columnar arrays over a sequence of design points.
+def combine_fingerprints(views: Sequence["FrontView"]) -> str:
+    """One fingerprint over an ordered sequence of views (the HTTP ETag).
 
-    One ``float64`` array per :data:`FRONT_COLUMNS` entry, aligned with
-    ``points`` order; optional fields are NaN where absent. Arrays are
-    marked non-writeable so no downstream consumer can mutate a cached
-    view in place.
+    A single view answers with its own fingerprint — the SHA-256 of the
+    exact bytes the HTTP layer serves. Unions hash the per-view
+    fingerprints in campaign order, so the combined tag changes exactly
+    when any contributing front document changes.
     """
-    n = len(points)
-    columns: Dict[str, np.ndarray] = {}
-    for name in FRONT_COLUMNS:
-        values = np.empty(n, dtype=np.float64)
-        for index, point in enumerate(points):
-            value = getattr(point, name)
-            values[index] = np.nan if value is None else float(value)
-        values.flags.writeable = False
-        columns[name] = values
-    return columns
+    if len(views) == 1:
+        return views[0].fingerprint
+    digest = hashlib.sha256()
+    for view in views:
+        digest.update(view.fingerprint.encode("ascii"))
+        digest.update(b"|")
+    return digest.hexdigest()
 
 
-@dataclass(frozen=True)
 class FrontView:
-    """One campaign's deserialized front for one dataset (immutable snapshot).
+    """One campaign's front for one dataset (immutable snapshot, lazy rows).
+
+    The always-present state is columnar: the exact raw JSON bytes, the
+    read-only objective arrays, and the precomputed Pareto index. Design
+    points, the decoded document and the Pareto column slices materialize
+    lazily and are cached — an npz-backed view answers constraint/top-k
+    queries without ever constructing a :class:`DesignPoint` for rows the
+    response doesn't include.
 
     Attributes:
         dataset: the dataset the front belongs to.
@@ -125,37 +130,115 @@ class FrontView:
         raw: the exact bytes of ``report/front_<dataset>.json`` — what the
             HTTP layer returns for single-campaign stores (byte-identical
             to the file, pinned by golden tests).
-        document: the decoded front document.
-        points: the front's design points, in document order.
-        baseline: the shared baseline document (``None`` for mixed jobs).
         robust: whether every point carries ``robust_accuracy`` (the
             condition under which the union merge uses the third axis).
         fault_rate: the campaign's fault-injection rate, recovered from
             ``spec.json`` (``None`` when the campaign ran without
             robustness or without a readable spec) — the selector behind
             "... at fault_rate 0.05" queries.
-        columns: read-only columnar arrays (see :func:`build_columns`).
-        pareto_points: the non-dominated subset of ``points`` (the
-            ``report.py`` merge applied to one document — a no-op for
-            healthy reports, which are already fronts). What queries see
-            unless they opt into dominated points.
-        pareto_columns: columnar arrays over ``pareto_points``.
+        columns: read-only columnar arrays (see
+            :func:`repro.campaign.columnar.build_columns`), zero-copy
+            views over the npz mapping when the load came from there.
+        pareto_index: ``int64`` indices of the non-dominated subset of the
+            front, in front order (what queries see unless they opt into
+            dominated points).
+        fingerprint: SHA-256 hex of ``raw`` — the view's ETag component.
+        source: ``"npz"`` (mmap-backed columnar load) or ``"json"``
+            (decoded document fallback).
         signature: cache-invalidation token: ``(mtime_ns, size,
             fingerprint)`` of the backing file + campaign report.
     """
 
-    dataset: str
-    campaign: Path
-    raw: bytes
-    document: Mapping[str, object]
-    points: Tuple[DesignPoint, ...]
-    baseline: Optional[Mapping[str, object]]
-    robust: bool
-    fault_rate: Optional[float]
-    columns: Mapping[str, np.ndarray]
-    pareto_points: Tuple[DesignPoint, ...]
-    pareto_columns: Mapping[str, np.ndarray]
-    signature: Tuple[object, ...]
+    def __init__(
+        self,
+        *,
+        dataset: str,
+        campaign: Path,
+        raw: bytes,
+        robust: bool,
+        fault_rate: Optional[float],
+        columns: Mapping[str, np.ndarray],
+        pareto_index: np.ndarray,
+        fingerprint: str,
+        source: str,
+        signature: Tuple[object, ...],
+        document: Optional[Mapping[str, object]] = None,
+        points: Optional[Tuple[DesignPoint, ...]] = None,
+        columnar: Optional[ColumnarFront] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.campaign = campaign
+        self.raw = raw
+        self.robust = robust
+        self.fault_rate = fault_rate
+        self.columns = columns
+        self.pareto_index = pareto_index
+        self.fingerprint = fingerprint
+        self.source = source
+        self.signature = signature
+        self._document = document
+        self._points = points
+        self._columnar = columnar
+        self._point_cache: Dict[int, DesignPoint] = {}
+        self._pareto_points: Optional[Tuple[DesignPoint, ...]] = None
+        self._pareto_columns: Optional[Mapping[str, np.ndarray]] = None
+
+    @property
+    def n_points(self) -> int:
+        """Number of rows in the front (dominated rows included)."""
+        return int(self.columns["accuracy"].shape[0])
+
+    @property
+    def document(self) -> Mapping[str, object]:
+        """The decoded front document (lazy for npz-backed views)."""
+        if self._document is None:
+            self._document = json.loads(self.raw.decode("utf-8"))
+        return self._document
+
+    @property
+    def baseline(self) -> Optional[Mapping[str, object]]:
+        """The front's baseline document (``None`` for mixed jobs)."""
+        baseline = self.document.get("baseline")
+        return baseline if isinstance(baseline, dict) else None
+
+    def point(self, row: int) -> DesignPoint:
+        """Materialize one front row (cached; npz rows decode on demand)."""
+        if self._points is not None:
+            return self._points[row]
+        cached = self._point_cache.get(row)
+        if cached is None:
+            assert self._columnar is not None
+            cached = self._columnar.point(row)
+            self._point_cache[row] = cached
+        return cached
+
+    @property
+    def points(self) -> Tuple[DesignPoint, ...]:
+        """Every front row as design points, in document order."""
+        if self._points is None:
+            self._points = tuple(self.point(row) for row in range(self.n_points))
+        return self._points
+
+    @property
+    def pareto_points(self) -> Tuple[DesignPoint, ...]:
+        """The non-dominated subset of :attr:`points`, in front order."""
+        if self._pareto_points is None:
+            self._pareto_points = tuple(
+                self.point(int(row)) for row in self.pareto_index
+            )
+        return self._pareto_points
+
+    @property
+    def pareto_columns(self) -> Mapping[str, np.ndarray]:
+        """Columnar arrays over the non-dominated subset (read-only)."""
+        if self._pareto_columns is None:
+            sliced: Dict[str, np.ndarray] = {}
+            for name, values in self.columns.items():
+                column = values[self.pareto_index]
+                column.flags.writeable = False
+                sliced[name] = column
+            self._pareto_columns = sliced
+        return self._pareto_columns
 
 
 class FrontCache:
@@ -286,6 +369,8 @@ class FrontStore:
         self._fingerprints: Dict[Path, Optional[str]] = {
             campaign: _report_fingerprint(campaign) for campaign in self.campaigns
         }
+        self._npz_loads = 0
+        self._json_loads = 0
 
     # -- paths and discovery -----------------------------------------------------
 
@@ -316,12 +401,19 @@ class FrontStore:
         return (stat.st_mtime_ns, stat.st_size, self._fingerprints.get(campaign))
 
     def _load_view(self, campaign: Path, dataset: str) -> Optional[FrontView]:
-        """Deserialize one front document; ``None`` if missing or corrupt.
+        """Load one front; ``None`` if missing or corrupt.
 
-        A torn or truncated document (external corruption — the report
-        writer is atomic) is treated as absent rather than served: the
-        union falls back to whatever healthy campaigns still cover the
-        dataset, and :meth:`refresh` will pick the file up once repaired.
+        Prefers the columnar ``front_<dataset>.npz`` sibling when its
+        embedded SHA-256 matches the JSON bytes about to be served — an
+        mmap-backed load that skips JSON decode, point construction and
+        the Pareto merge entirely. Any mismatch (stale npz after a
+        partial rewrite, torn file, foreign version) falls back to the
+        JSON path, which produces byte-identical query results (golden
+        A/B pinned). A torn or truncated JSON document (external
+        corruption — the report writer is atomic) is treated as absent
+        rather than served: the union falls back to whatever healthy
+        campaigns still cover the dataset, and :meth:`refresh` will pick
+        the file up once repaired.
         """
         signature = self._signature(campaign, dataset)
         if signature is None:
@@ -329,8 +421,29 @@ class FrontStore:
         path = self.front_path(campaign, dataset)
         try:
             raw = path.read_bytes()
+        except OSError:
+            return None
+        fingerprint = hashlib.sha256(raw).hexdigest()
+        columnar = load_front_npz(front_npz_path(path), expected_sha256=fingerprint)
+        if columnar is not None:
+            with self._lock:
+                self._npz_loads += 1
+            return FrontView(
+                dataset=dataset,
+                campaign=campaign,
+                raw=raw,
+                robust=columnar.robust,
+                fault_rate=self._campaign_fault_rate(campaign),
+                columns=dict(columnar.columns),
+                pareto_index=columnar.pareto_index,
+                fingerprint=fingerprint,
+                source="npz",
+                signature=signature,
+                columnar=columnar,
+            )
+        try:
             document = json.loads(raw.decode("utf-8"))
-        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        except (UnicodeDecodeError, json.JSONDecodeError):
             return None
         if not isinstance(document, dict) or not isinstance(document.get("front"), list):
             return None
@@ -340,22 +453,25 @@ class FrontStore:
             )
         except (TypeError, ValueError):
             return None
-        baseline = document.get("baseline")
         robust = bool(points) and all(p.robust_accuracy is not None for p in points)
-        pareto = tuple(pareto_front(list(points), robust=robust))
+        pareto_index = np.asarray(
+            pareto_front_indices(list(points), robust=robust), dtype=np.int64
+        )
+        with self._lock:
+            self._json_loads += 1
         return FrontView(
             dataset=dataset,
             campaign=campaign,
             raw=raw,
-            document=document,
-            points=points,
-            baseline=baseline if isinstance(baseline, dict) else None,
             robust=robust,
             fault_rate=self._campaign_fault_rate(campaign),
             columns=build_columns(points),
-            pareto_points=pareto,
-            pareto_columns=build_columns(pareto),
+            pareto_index=pareto_index,
+            fingerprint=fingerprint,
+            source="json",
             signature=signature,
+            document=document,
+            points=points,
         )
 
     def _campaign_fault_rate(self, campaign: Path) -> Optional[float]:
@@ -422,6 +538,15 @@ class FrontStore:
 
     # -- union fronts ------------------------------------------------------------
 
+    @staticmethod
+    def _union_points(views: Sequence[FrontView]) -> Tuple[List[DesignPoint], bool]:
+        """The ``report.py`` merge over an ordered snapshot of views."""
+        points: List[DesignPoint] = []
+        for view in views:
+            points.extend(view.points)
+        robust = bool(points) and all(p.robust_accuracy is not None for p in points)
+        return pareto_front(points, robust=robust), robust
+
     def union_front(
         self, dataset: str, fault_rate: Optional[float] = None
     ) -> Tuple[List[DesignPoint], bool]:
@@ -433,12 +558,29 @@ class FrontStore:
         identical-criteria duplicates collapse. Returns ``(points,
         robust)``.
         """
-        views = self.views(dataset, fault_rate=fault_rate)
-        points: List[DesignPoint] = []
-        for view in views:
-            points.extend(view.points)
-        robust = bool(points) and all(p.robust_accuracy is not None for p in points)
-        return pareto_front(points, robust=robust), robust
+        return self._union_points(self.views(dataset, fault_rate=fault_rate))
+
+    def front(self, dataset: str) -> Tuple[bytes, str]:
+        """``(served bytes, fingerprint)`` for one dataset, atomically.
+
+        Both halves come from one snapshot of views, so the fingerprint —
+        the HTTP layer's ETag — always tags exactly the bytes returned
+        beside it (see :func:`combine_fingerprints`).
+        """
+        views = self.views(dataset)
+        if len(views) == 1:
+            return views[0].raw, views[0].fingerprint
+        merged, _robust = self._union_points(views)
+        baselines = [view.baseline for view in views]
+        shared = baselines[0] if all(b == baselines[0] for b in baselines) else None
+        document = {
+            "dataset": dataset,
+            "baseline": shared,
+            "front": [point.as_dict() for point in merged],
+            "campaigns": [str(view.campaign) for view in views],
+        }
+        raw = (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        return raw, combine_fingerprints(views)
 
     def raw_front(self, dataset: str) -> bytes:
         """The dataset's front document as served bytes.
@@ -448,31 +590,74 @@ class FrontStore:
         stores return the canonical JSON of the union merge (same
         ``indent=2, sort_keys=True`` convention the report writer uses).
         """
-        views = self.views(dataset)
-        if len(views) == 1:
-            return views[0].raw
-        merged, _robust = self.union_front(dataset)
-        baselines = [view.baseline for view in views]
-        shared = baselines[0] if all(b == baselines[0] for b in baselines) else None
-        document = {
-            "dataset": dataset,
-            "baseline": shared,
-            "front": [point.as_dict() for point in merged],
-            "campaigns": [str(view.campaign) for view in views],
-        }
-        return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        return self.front(dataset)[0]
+
+    def front_fingerprint(self, dataset: str) -> str:
+        """The current fingerprint of one dataset's served front."""
+        return self.front(dataset)[1]
 
     # -- maintenance -------------------------------------------------------------
 
-    def refresh(self) -> Dict[str, int]:
+    def _rebuild_stale_report(self, campaign: Path) -> bool:
+        """Rebuild one campaign's report when completed jobs aren't in it.
+
+        A job is *reflected* when the report's ``summary.json`` records
+        its id; completed jobs missing from it — typically serving-miss
+        enqueues drained by an elastic worker — trigger a full
+        ``write_report`` (which re-emits the JSON/npz front artifacts the
+        store then picks up). Returns whether a rebuild ran. Tolerant of
+        campaigns without a spec or with an unreadable summary; a rebuild
+        failure is swallowed (the old report keeps serving).
+        """
+        from ..campaign.journal import CampaignJournal  # deferred: heavy import
+        from ..campaign.report import write_report
+
+        journal = CampaignJournal(campaign)
+        if not journal.spec_path.exists():
+            return False
+        completed = {
+            job_id
+            for job_id in journal.completed_job_ids()
+            if journal.front_path(job_id).exists()
+        }
+        if not completed:
+            return False
+        recorded: set = set()
+        try:
+            summary = json.loads((campaign / REPORT_DIR / _SUMMARY_NAME).read_text())
+            for entry in summary.get("datasets", {}).values():
+                for job in entry.get("jobs", []):
+                    if isinstance(job.get("job_id"), str):
+                        recorded.add(job["job_id"])
+        except (OSError, json.JSONDecodeError, AttributeError, TypeError):
+            recorded = set()
+        if completed <= recorded:
+            return False
+        try:
+            write_report(campaign)
+        except Exception:  # noqa: BLE001 - keep serving the old report
+            return False
+        return True
+
+    def refresh(self, rebuild_reports: bool = False) -> Dict[str, int]:
         """Revalidate the index against disk.
 
         Re-reads every campaign's report fingerprint and fault-rate tag,
         drops cached views whose backing file changed or vanished, and
-        returns ``{"datasets": ..., "cached": ..., "invalidated": ...}``.
-        Safe to call while queries are in flight: readers always see
-        either the old snapshot or the new one.
+        returns ``{"datasets": ..., "cached": ..., "invalidated": ...,
+        "reports_rebuilt": ...}``. With ``rebuild_reports`` the refresh
+        first regenerates any campaign report that lags its completed
+        jobs (see :meth:`_rebuild_stale_report`) — the step that closes
+        the serving-miss loop: enqueue → worker drains → refresh
+        republishes the front. Safe to call while queries are in flight:
+        readers always see either the old snapshot or the new one (the
+        rebuild runs outside the store lock).
         """
+        reports_rebuilt = 0
+        if rebuild_reports:
+            for campaign in self.campaigns:
+                if self._rebuild_stale_report(campaign):
+                    reports_rebuilt += 1
         invalidated = 0
         with self._lock:
             self._fault_rates.clear()
@@ -488,6 +673,7 @@ class FrontStore:
                 "datasets": len(self.datasets()),
                 "cached": len(self._cache),
                 "invalidated": invalidated,
+                "reports_rebuilt": reports_rebuilt,
             }
 
     def stats(self) -> Dict[str, object]:
@@ -500,6 +686,8 @@ class FrontStore:
                 "hits": self._cache.hits,
                 "misses": self._cache.misses,
                 "evictions": self._cache.evictions,
+                "npz_loads": self._npz_loads,
+                "json_loads": self._json_loads,
             }
 
 
@@ -510,5 +698,6 @@ __all__ = [
     "FrontView",
     "UnknownDatasetError",
     "build_columns",
+    "combine_fingerprints",
     "is_safe_dataset_name",
 ]

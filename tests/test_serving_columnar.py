@@ -1,0 +1,275 @@
+"""Columnar npz fronts: round-trip, fallback safety, and npz/json parity.
+
+The load-bearing property: a store serving an mmap-backed
+``front_<dataset>.npz`` answers every query with the byte-identical JSON
+body a plain-JSON store produces. Everything else protects the fallback —
+a torn, truncated, stale or foreign npz must never poison serving, only
+degrade it to the canonical JSON path.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.campaign.columnar import (
+    COLUMNAR_VERSION,
+    FRONT_COLUMNS,
+    front_npz_path,
+    load_front_npz,
+    write_front_npz,
+)
+from repro.campaign.journal import REPORT_DIR, write_json_atomic
+from repro.core.pareto import pareto_front, pareto_front_indices, pareto_front_reference
+from repro.core.results import DesignPoint
+from repro.serving import FrontStore, QueryEngine
+from strategies import front_documents, front_query_payloads
+
+DOC = {
+    "dataset": "seeds",
+    "baseline": {
+        "technique": "baseline",
+        "accuracy": 0.95,
+        "area": 4.0,
+        "power": 2.0,
+        "delay": 1.0,
+        "parameters": {},
+    },
+    "front": [
+        {
+            "technique": "combined",
+            "accuracy": 0.9,
+            "area": 1.0,
+            "power": 1.0,
+            "delay": 0.5,
+            "parameters": {"weight_bits": 4},
+        },
+        {
+            "technique": "pruning",
+            "accuracy": 0.8,
+            "area": 0.5,
+            "power": 0.8,
+            "delay": 0.5,
+            "parameters": {},
+        },
+        {
+            "technique": "quantization",
+            "accuracy": 0.7,
+            "area": 2.0,
+            "power": 1.5,
+            "delay": 0.75,
+            "parameters": {"weight_bits": 2},
+        },
+    ],
+    "combined_best_gain": 4.0,
+}
+
+
+def write_campaign(root, document, with_npz=True, name="camp"):
+    """One campaign directory holding the document's front (and npz)."""
+    campaign = Path(root) / name
+    (campaign / REPORT_DIR).mkdir(parents=True)
+    json_path = campaign / REPORT_DIR / f"front_{document['dataset']}.json"
+    write_json_atomic(json_path, document)
+    if with_npz:
+        write_front_npz(json_path, fingerprint="test-fingerprint")
+    return campaign, json_path
+
+
+@pytest.fixture
+def campaign(tmp_path):
+    return write_campaign(tmp_path, DOC)
+
+
+# -- write/load round trip -----------------------------------------------------------
+
+
+def test_npz_round_trips_every_column_and_row(campaign):
+    campaign_dir, json_path = campaign
+    columnar = load_front_npz(front_npz_path(json_path))
+    assert columnar is not None
+    assert columnar.version == COLUMNAR_VERSION
+    assert columnar.dataset == "seeds"
+    assert columnar.fingerprint == "test-fingerprint"
+    assert columnar.n_rows == len(DOC["front"])
+    points = [DesignPoint(**entry) for entry in DOC["front"]]
+    for name in FRONT_COLUMNS:
+        expected = [
+            np.nan if getattr(p, name) is None else getattr(p, name) for p in points
+        ]
+        np.testing.assert_array_equal(columnar.columns[name], expected)
+    for row, point in enumerate(points):
+        assert columnar.point(row) == point
+    assert list(columnar.pareto_index) == pareto_front_indices(points)
+
+
+def test_npz_arrays_are_read_only_zero_copy_views(campaign):
+    _, json_path = campaign
+    columnar = load_front_npz(front_npz_path(json_path))
+    for array in (*columnar.columns.values(), columnar.pareto_index):
+        assert not array.flags.writeable
+        assert array.base is not None  # a view over the shared mapping
+        with pytest.raises(ValueError):
+            array[...] = 0
+
+
+def test_npz_sha_ties_to_the_exact_json_bytes(campaign):
+    _, json_path = campaign
+    import hashlib
+
+    sha = hashlib.sha256(json_path.read_bytes()).hexdigest()
+    assert load_front_npz(front_npz_path(json_path), expected_sha256=sha) is not None
+    assert load_front_npz(front_npz_path(json_path), expected_sha256="0" * 64) is None
+
+
+def test_write_front_npz_refuses_a_non_front_document(tmp_path):
+    path = tmp_path / "front_x.json"
+    path.write_text(json.dumps({"not": "a front"}))
+    with pytest.raises(ValueError):
+        write_front_npz(path)
+
+
+def test_npz_round_trips_an_empty_front(tmp_path):
+    document = dict(DOC, front=[])
+    _, json_path = write_campaign(tmp_path, document)
+    columnar = load_front_npz(front_npz_path(json_path))
+    assert columnar is not None
+    assert columnar.n_rows == 0
+    assert columnar.pareto_index.size == 0
+
+
+# -- fallback safety -----------------------------------------------------------------
+
+
+def test_damaged_npz_loads_as_none_never_raises(tmp_path):
+    _, json_path = write_campaign(tmp_path, DOC)
+    npz_path = front_npz_path(json_path)
+    raw = npz_path.read_bytes()
+    damage = {
+        "truncated": raw[: len(raw) // 2],
+        "garbage": b"\x00" * 128,
+        "empty": b"",
+        "not-a-zip": b"PK\x03\x04" + b"junk" * 8,
+    }
+    for label, payload in damage.items():
+        npz_path.write_bytes(payload)
+        assert load_front_npz(npz_path) is None, label
+
+
+def test_missing_npz_loads_as_none(tmp_path):
+    assert load_front_npz(tmp_path / "nope.npz") is None
+
+
+def test_foreign_version_npz_loads_as_none(tmp_path):
+    _, json_path = write_campaign(tmp_path, DOC)
+    npz_path = front_npz_path(json_path)
+    members = dict(np.load(npz_path, allow_pickle=False))
+    members["version"] = np.int64(COLUMNAR_VERSION + 1)
+    np.savez(npz_path, **members)
+    assert load_front_npz(npz_path) is None
+
+
+def test_store_falls_back_to_json_when_npz_is_torn(tmp_path):
+    campaign_dir, json_path = write_campaign(tmp_path, DOC)
+    front_npz_path(json_path).write_bytes(b"\x00" * 64)
+    store = FrontStore(campaign_dir)
+    view = store.view(campaign_dir, "seeds")
+    assert view.source == "json"
+    assert store.raw_front("seeds") == json_path.read_bytes()
+    assert store.stats()["npz_loads"] == 0
+    assert store.stats()["json_loads"] == 1
+
+
+def test_store_falls_back_to_json_when_npz_is_stale(tmp_path):
+    """A JSON rewrite without an npz rewrite must serve the new JSON."""
+    campaign_dir, json_path = write_campaign(tmp_path, DOC)
+    newer = dict(DOC, front=DOC["front"][:1])
+    write_json_atomic(json_path, newer)  # npz now carries the old sha
+    store = FrontStore(campaign_dir)
+    view = store.view(campaign_dir, "seeds")
+    assert view.source == "json"
+    assert json.loads(store.raw_front("seeds"))["front"] == newer["front"]
+    # Re-deriving the npz restores the fast path on the next cold load
+    # (npz presence is not an invalidation token — the JSON file is).
+    write_front_npz(json_path)
+    assert FrontStore(campaign_dir).view(campaign_dir, "seeds").source == "npz"
+
+
+def test_store_prefers_npz_and_counts_the_load(tmp_path):
+    campaign_dir, json_path = write_campaign(tmp_path, DOC)
+    store = FrontStore(campaign_dir)
+    view = store.view(campaign_dir, "seeds")
+    assert view.source == "npz"
+    assert store.stats()["npz_loads"] == 1
+    assert store.stats()["json_loads"] == 0
+    # Served bytes stay the canonical JSON artifact, byte for byte.
+    assert store.raw_front("seeds") == json_path.read_bytes()
+
+
+# -- npz/json parity (golden A/B) ----------------------------------------------------
+
+
+def query_documents(engine, payloads):
+    """Each payload's full JSON response body (sorted keys) via ``engine``."""
+    return [
+        json.dumps(engine.run(payload).as_dict(), sort_keys=True)
+        for payload in payloads
+    ]
+
+
+GOLDEN_PAYLOADS = (
+    {"dataset": "seeds"},
+    {"dataset": "seeds", "include_dominated": True},
+    {"dataset": "seeds", "min_accuracy": 0.75, "order_by": "power"},
+    {"dataset": "seeds", "max_area": 1.5, "descending": True, "order_by": "accuracy"},
+    {"dataset": "seeds", "top_k": 2, "include_dominated": True},
+    {"dataset": "seeds", "nearest": {"accuracy": 0.85, "area": 0.75}},
+    {"dataset": "seeds", "include_dominated": True, "offset": 1, "limit": 1},
+)
+
+
+def test_npz_and_json_stores_answer_golden_queries_identically(tmp_path):
+    npz_campaign, _ = write_campaign(tmp_path, DOC, name="with-npz")
+    json_campaign, _ = write_campaign(tmp_path, DOC, with_npz=False, name="json-only")
+    npz_engine = QueryEngine(FrontStore(npz_campaign))
+    json_engine = QueryEngine(FrontStore(json_campaign))
+    assert query_documents(npz_engine, GOLDEN_PAYLOADS) == query_documents(
+        json_engine, GOLDEN_PAYLOADS
+    )
+    # Both actually took the path under test.
+    assert npz_engine.store.stats()["npz_loads"] >= 1
+    assert json_engine.store.stats()["json_loads"] >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(document=front_documents(), payload=front_query_payloads())
+def test_query_over_npz_view_equals_query_over_json_view(document, payload):
+    with tempfile.TemporaryDirectory() as root:
+        npz_campaign, _ = write_campaign(root, document, name="with-npz")
+        json_campaign, _ = write_campaign(
+            root, document, with_npz=False, name="json-only"
+        )
+        npz_store = FrontStore(npz_campaign)
+        json_store = FrontStore(json_campaign)
+        npz_result = QueryEngine(npz_store).run(payload)
+        json_result = QueryEngine(json_store).run(payload)
+        assert json.dumps(npz_result.as_dict(), sort_keys=True) == json.dumps(
+            json_result.as_dict(), sort_keys=True
+        )
+        assert npz_store.view(npz_campaign, document["dataset"]).source == "npz"
+        assert json_store.view(json_campaign, document["dataset"]).source == "json"
+
+
+@settings(max_examples=40, deadline=None)
+@given(document=front_documents(min_points=1))
+def test_vectorized_pareto_indices_match_the_reference_loop(document):
+    points = [DesignPoint(**entry) for entry in document["front"]]
+    robust = all(p.robust_accuracy is not None for p in points)
+    indexed = [points[i] for i in pareto_front_indices(points, robust=robust)]
+    assert indexed == pareto_front_reference(points, robust=robust)
+    assert pareto_front(points, robust=robust) == indexed

@@ -22,8 +22,8 @@ import pytest
 from repro.campaign.fabric.layout import FabricLayout
 from repro.campaign.journal import REPORT_DIR, write_json_atomic
 from repro.campaign.spec import CampaignSpec
-from repro.serving import FrontStore, MissEnqueuer, start_server
-from repro.serving.http import ServingHandler
+from repro.serving import FrontStore, MissEnqueuer, ServingMetrics, start_server
+from repro.serving.http import MAX_BODY_BYTES, ServingHandler
 
 SPEC = {
     "name": "serving-test",
@@ -437,3 +437,271 @@ def test_refresh_during_traffic_keeps_metrics_consistent(server):
     metrics = json.loads(body)
     assert metrics["requests"]["POST /query"] == 40
     assert metrics["responses"].get("5xx", 0) == 0
+
+
+# -- request-body validation ---------------------------------------------------------
+
+
+def raw_request(server, request_bytes):
+    """Raw bytes on the wire → full raw response (reads until close)."""
+    host, port = server.server_address[:2]
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(request_bytes)
+        data = b""
+        while chunk := sock.recv(65536):
+            data += chunk
+    return data
+
+
+def test_post_with_non_numeric_content_length_answers_400(server):
+    data = raw_request(
+        server,
+        b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: abc\r\n"
+        b"Connection: close\r\n\r\n",
+    )
+    assert data.split(b" ", 2)[1] == b"400"
+    assert json.loads(data.split(b"\r\n\r\n", 1)[1])["error"] == "invalid Content-Length"
+
+
+def test_post_with_negative_content_length_answers_400(server):
+    data = raw_request(
+        server,
+        b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: -5\r\n"
+        b"Connection: close\r\n\r\n",
+    )
+    assert data.split(b" ", 2)[1] == b"400"
+    assert json.loads(data.split(b"\r\n\r\n", 1)[1])["error"] == "invalid Content-Length"
+
+
+def test_post_over_body_cap_answers_413_and_closes_connection(server):
+    """An honest huge Content-Length is refused before any body byte is read.
+
+    The server never sends the body, so the only safe continuation is to
+    drop the connection — ``raw_request`` reading to EOF without a
+    ``Connection: close`` request header proves the server closed it.
+    """
+    data = raw_request(
+        server,
+        f"POST /query HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode(),
+    )
+    assert data.split(b" ", 2)[1] == b"413"
+    document = json.loads(data.split(b"\r\n\r\n", 1)[1])
+    assert document == {
+        "error": "request body too large",
+        "limit_bytes": MAX_BODY_BYTES,
+    }
+
+
+def test_post_at_body_cap_is_still_served(server):
+    body = json.dumps({"dataset": "seeds"}).encode()
+    padded = body[:-1] + b" " * (MAX_BODY_BYTES - len(body)) + b"}"
+    assert len(padded) == MAX_BODY_BYTES
+    req = urllib.request.Request(server.url + "/query", data=padded, method="POST")
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        assert resp.status == 200
+
+
+# -- miss-enqueue dedupe before disk -------------------------------------------------
+
+
+def test_enqueue_dedupes_before_touching_the_spec(campaign):
+    """A hot 404 costs a dict lookup, not a spec.json read, after the first miss."""
+    enqueuer = MissEnqueuer(campaign)
+    assert enqueuer.enqueue("cardio") == "cardio-ga-s0"
+    # If repeat misses re-read the spec, deleting it would flip the answer
+    # to None; the dedupe map must win before any disk I/O.
+    (campaign / "spec.json").unlink()
+    assert enqueuer.enqueue("cardio") == "cardio-ga-s0"
+
+
+def test_enqueue_reads_spec_once_per_dataset(campaign, monkeypatch):
+    reads = {"count": 0}
+    real = MissEnqueuer._job_for
+
+    def counting(self, dataset):
+        reads["count"] += 1
+        return real(self, dataset)
+
+    monkeypatch.setattr(MissEnqueuer, "_job_for", counting)
+    enqueuer = MissEnqueuer(campaign)
+    for _ in range(5):
+        assert enqueuer.enqueue("cardio") == "cardio-ga-s0"
+    assert reads["count"] == 1
+
+
+# -- metrics overflow honesty --------------------------------------------------------
+
+
+def test_percentile_overflow_bucket_reports_inf_not_a_cap():
+    """A latency beyond the last bucket must not masquerade as 10 s."""
+    metrics = ServingMetrics()
+    metrics.observe("GET /x", 200, 60.0)
+    latency = metrics.snapshot()["latency"]
+    assert latency["p50_ms"] == "inf"
+    assert latency["p99_ms"] == "inf"
+    json.dumps(metrics.snapshot())  # the document must stay valid JSON
+
+
+def test_percentile_mixed_traffic_keeps_finite_p50_with_overflow_p99():
+    metrics = ServingMetrics()
+    for _ in range(50):
+        metrics.observe("GET /x", 200, 0.001)
+    metrics.observe("GET /x", 200, 30.0)
+    latency = metrics.snapshot()["latency"]
+    assert latency["p50_ms"] == 1.0
+    assert latency["p99_ms"] == "inf"
+
+
+# -- URL decoding of the dataset segment ---------------------------------------------
+
+
+def test_fronts_route_resolves_percent_encoded_safe_name(server, campaign):
+    status, body = request(server, "/fronts/se%65ds")
+    assert status == 200
+    assert body == (campaign / REPORT_DIR / "front_seeds.json").read_bytes()
+
+
+def test_fronts_route_refuses_percent_encoded_traversal(server, campaign):
+    """``%2e%2e%2f`` decodes to ``../`` — refused after decoding, not enqueued."""
+    for evil in ("%2e%2e%2fsecret", "%2e%2e", "a%2fb"):
+        status, body = request(server, f"/fronts/{evil}")
+        assert status == 404
+        assert json.loads(body)["enqueued_job"] is None
+    assert not FabricLayout(campaign).queue_dir.exists()
+
+
+# -- conditional requests ------------------------------------------------------------
+
+
+def headed_request(server, path, body=None, headers=None):
+    """``(status, body, response ETag)`` with request-header control."""
+    url = server.url + path
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        url, data=data, headers=dict(headers or {}), method="GET" if body is None else "POST"
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.read(), resp.headers.get("ETag")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), error.headers.get("ETag")
+
+
+def test_fronts_route_carries_etag_and_answers_304_on_match(server):
+    status, body, etag = headed_request(server, "/fronts/seeds")
+    assert status == 200 and etag is not None
+    assert etag.startswith('"') and etag.endswith('"')
+    status, body, etag_again = headed_request(
+        server, "/fronts/seeds", headers={"If-None-Match": etag}
+    )
+    assert status == 304
+    assert body == b""
+    assert etag_again == etag
+
+
+def test_etag_matches_weak_validators_lists_and_wildcard(server):
+    _, _, etag = headed_request(server, "/fronts/seeds")
+    for header in (f"W/{etag}", f'"miss", {etag}', "*"):
+        status, body, _ = headed_request(
+            server, "/fronts/seeds", headers={"If-None-Match": header}
+        )
+        assert status == 304, header
+        assert body == b""
+
+
+def test_etag_changes_when_the_front_document_changes(server, campaign):
+    _, _, etag = headed_request(server, "/fronts/seeds")
+    write_json_atomic(campaign / REPORT_DIR / "front_seeds.json", DOC_B)
+    server.store.refresh()
+    status, body, new_etag = headed_request(
+        server, "/fronts/seeds", headers={"If-None-Match": etag}
+    )
+    assert status == 200 and body != b""
+    assert new_etag != etag
+
+
+def test_query_route_carries_etag_and_answers_304_on_match(server):
+    status, body, etag = headed_request(server, "/query", body={"dataset": "seeds"})
+    assert status == 200 and etag is not None
+    status, body, _ = headed_request(
+        server, "/query", body={"dataset": "seeds"}, headers={"If-None-Match": etag}
+    )
+    assert status == 304
+    assert body == b""
+
+
+def test_fronts_and_query_etags_agree_for_one_campaign(server):
+    _, _, front_etag = headed_request(server, "/fronts/seeds")
+    _, _, query_etag = headed_request(server, "/query", body={"dataset": "seeds"})
+    assert front_etag == query_etag
+
+
+# -- pagination ----------------------------------------------------------------------
+
+
+def test_fronts_route_pagination_windows_rows(server, campaign):
+    full = json.loads((campaign / REPORT_DIR / "front_seeds.json").read_bytes())
+    status, body = request(server, "/fronts/seeds?offset=1&limit=1")
+    assert status == 200
+    document = json.loads(body)
+    assert document == {
+        "dataset": "seeds",
+        "baseline": full["baseline"],
+        "total_points": len(full["front"]),
+        "offset": 1,
+        "limit": 1,
+        "front": full["front"][1:2],
+    }
+
+
+def test_fronts_route_offset_only_and_limit_only(server, campaign):
+    full = json.loads((campaign / REPORT_DIR / "front_seeds.json").read_bytes())
+    status, body = request(server, "/fronts/seeds?offset=1")
+    assert status == 200
+    assert json.loads(body)["front"] == full["front"][1:]
+    status, body = request(server, "/fronts/seeds?limit=1")
+    assert status == 200
+    assert json.loads(body)["front"] == full["front"][:1]
+
+
+def test_fronts_route_offset_past_the_end_returns_empty_page(server):
+    status, body = request(server, "/fronts/seeds?offset=99")
+    assert status == 200
+    document = json.loads(body)
+    assert document["front"] == [] and document["total_points"] == 2
+
+
+def test_fronts_route_rejects_invalid_pagination(server):
+    for query_string in ("offset=-1", "limit=0", "offset=abc", "page=2", "limit="):
+        status, body = request(server, f"/fronts/seeds?{query_string}")
+        assert status == 400, query_string
+        assert json.loads(body)["error"] == "invalid pagination"
+
+
+def test_query_route_offset_and_limit_window_ranked_points(server):
+    _, body = request(server, "/query", {"dataset": "seeds", "include_dominated": True})
+    full = json.loads(body)
+    assert full["returned"] == 2
+    _, body = request(
+        server,
+        "/query",
+        {"dataset": "seeds", "include_dominated": True, "offset": 1, "limit": 1},
+    )
+    page = json.loads(body)
+    assert page["points"] == full["points"][1:2]
+    assert page["returned"] == 1
+    # matched counts constraint survivors, not the window.
+    assert page["matched"] == full["matched"]
+    assert page["query"]["offset"] == 1 and page["query"]["limit"] == 1
+
+
+def test_query_route_window_applies_after_top_k(server):
+    _, body = request(server, "/query", {"dataset": "seeds"})
+    full = json.loads(body)
+    _, body = request(
+        server, "/query", {"dataset": "seeds", "top_k": 1, "offset": 1}
+    )
+    page = json.loads(body)
+    assert page["points"] == []  # top_k=1 leaves nothing past offset 1
+    assert page["matched"] == full["matched"]

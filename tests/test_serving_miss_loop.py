@@ -1,0 +1,115 @@
+"""End-to-end miss loop: 404 → enqueue → worker drains → refresh serves.
+
+One test walks the full production story with the real CLI verbs — a
+campaign is run and reported for ``seeds`` only, a query for ``redwine``
+misses (404 + fabric queue entry), a real ``repro campaign work`` worker
+drains the enqueued job, and a report-rebuilding refresh folds the new
+front into the store, after which the same server answers the formerly
+missing dataset with 200s. Everything in between is asserted, so a break
+anywhere in the chain names its own stage.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.campaign.fabric.layout import FabricLayout
+from repro.campaign.journal import REPORT_DIR
+from repro.cli import main
+from repro.serving import FrontStore, MissEnqueuer, start_server
+
+SPEC = {
+    "name": "miss-loop",
+    "datasets": ["seeds"],
+    "seeds": [0],
+    "pipeline": {"train_epochs": 3, "n_samples": 120, "finetune_epochs": 1},
+    "searches": [{"algorithm": "random", "n_evaluations": 2}],
+}
+
+
+def request(server, path, body=None):
+    url = server.url + path
+    req = (
+        urllib.request.Request(url)
+        if body is None
+        else urllib.request.Request(url, data=json.dumps(body).encode(), method="POST")
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def test_miss_enqueue_work_refresh_closes_the_loop(tmp_path, capsys):
+    out = tmp_path / "camp"
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+
+    # Stage 1: a real campaign covers only "seeds".
+    assert main(["campaign", "run", "--spec", str(spec_path), "--out", str(out)]) == 0
+    assert main(["campaign", "report", "--out", str(out)]) == 0
+    assert (out / REPORT_DIR / "front_seeds.json").exists()
+    assert (out / REPORT_DIR / "front_seeds.npz").exists()
+
+    store = FrontStore(out)
+    server, _thread = start_server(store, enqueuer=MissEnqueuer(out))
+    try:
+        # Stage 2: the miss answers 404 and publishes a covering job.
+        status, body = request(server, "/query", {"dataset": "redwine"})
+        assert status == 404
+        assert json.loads(body)["enqueued_job"] == "redwine-random-s0"
+        layout = FabricLayout(out)
+        entry = json.loads(layout.queue_entry("redwine-random-s0").read_text())
+        assert entry["origin"] == "serving-miss"
+        assert entry["job"]["dataset"] == "redwine"
+
+        # Stage 3: a real elastic worker drains the enqueued job.
+        assert (
+            main(
+                [
+                    "campaign",
+                    "work",
+                    "--out",
+                    str(out),
+                    "--worker-id",
+                    "miss-worker",
+                    "--max-idle",
+                    "0.5",
+                    "--poll-interval",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        assert "miss-worker: 1 completed" in capsys.readouterr().out
+        assert (out / "jobs" / "redwine-random-s0" / "front.json").exists()
+
+        # Stage 4: a report-rebuilding refresh folds the new front in.
+        refreshed = store.refresh(rebuild_reports=True)
+        assert refreshed["reports_rebuilt"] == 1
+        assert (out / REPORT_DIR / "front_redwine.json").exists()
+        assert (out / REPORT_DIR / "front_redwine.npz").exists()
+
+        # Stage 5: the same server now answers the formerly missed dataset.
+        status, body = request(server, "/fronts/redwine")
+        assert status == 200
+        assert body == (out / REPORT_DIR / "front_redwine.json").read_bytes()
+        status, body = request(server, "/query", {"dataset": "redwine"})
+        assert status == 200
+        document = json.loads(body)
+        assert document["dataset"] == "redwine"
+        assert document["returned"] >= 1
+        # The rebuilt report's summary still covers the original grid too.
+        status, body = request(server, "/fronts/seeds")
+        assert status == 200
+        # The rebuilt front loads through the columnar fast path.
+        assert store.view(out, "redwine").source == "npz"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    # A second rebuild pass is a no-op: the report now records the job.
+    assert store.refresh(rebuild_reports=True)["reports_rebuilt"] == 0
